@@ -1,0 +1,344 @@
+(* The `comfort` command-line tool.
+
+     comfort generate --count 5            sample test programs from the LM
+     comfort mutate FILE                   ECMA-262-guided mutants of a file
+     comfort run FILE [--engine E --version V --strict]
+                                           run JS on a simulated engine
+     comfort difftest FILE                 differential-test one file
+     comfort fuzz --budget N [--fuzzer F --feedback]
+                                           run a fuzzing campaign
+     comfort export --budget N [--dir D]   fuzz and emit Test262-style tests
+     comfort reduce FILE --engine E --version V
+                                           reduce a bug-exposing test case
+     comfort spec [API]                    dump extracted spec rules
+     comfort engines                       list the engine registry *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let engine_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun e -> String.lowercase_ascii (Engines.Registry.engine_name e)
+                  = String.lowercase_ascii s)
+        Engines.Registry.all_engines
+    with
+    | Some e -> Ok e
+    | None -> Error (`Msg ("unknown engine " ^ s))
+  in
+  let print fmt e = Format.pp_print_string fmt (Engines.Registry.engine_name e) in
+  Arg.conv (parse, print)
+
+(* --- generate --- *)
+
+let generate count seed =
+  let g = Comfort.Generator.create ~seed () in
+  List.iteri
+    (fun i (tc : Comfort.Testcase.t) ->
+      Printf.printf "// sample %d (syntax %s)\n%s\n" (i + 1)
+        (if tc.Comfort.Testcase.tc_syntax_valid then "valid" else "INVALID")
+        tc.Comfort.Testcase.tc_source)
+    (Comfort.Generator.generate g ~n:count)
+
+let generate_cmd =
+  let count =
+    Arg.(value & opt int 3 & info [ "count"; "n" ] ~doc:"Number of programs.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v (Cmd.info "generate" ~doc:"Sample JS test programs from the language model")
+    Term.(const generate $ count $ seed)
+
+(* --- mutate --- *)
+
+let mutate file seed =
+  let src = read_file file in
+  let dg = Comfort.Datagen.create ~seed () in
+  let ms = Comfort.Datagen.mutants_of_program dg src in
+  if ms = [] then print_endline "// no ECMA-262-guided mutants (no known API call sites)"
+  else
+    List.iteri
+      (fun i (m : Comfort.Datagen.mutant) ->
+        Printf.printf "// mutant %d: %s (%s)\n%s\n" (i + 1)
+          (if m.Comfort.Datagen.m_api = "" then "(driver)" else m.Comfort.Datagen.m_api)
+          (if m.Comfort.Datagen.m_guided then "boundary-guided" else "random data")
+          m.Comfort.Datagen.m_source)
+      ms
+
+let mutate_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let seed = Arg.(value & opt int 2 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v (Cmd.info "mutate" ~doc:"Apply ECMA-262-guided test-data generation to a program")
+    Term.(const mutate $ file $ seed)
+
+(* --- run --- *)
+
+let run_js file engine version strict =
+  let src = read_file file in
+  let result =
+    match engine with
+    | None -> Engines.Engine.run_reference ~strict src
+    | Some e -> (
+        let cfg =
+          match version with
+          | Some v -> Engines.Registry.find_config ~engine:e ~version:v
+          | None -> Some (Engines.Registry.latest e)
+        in
+        match cfg with
+        | None ->
+            Printf.eprintf "unknown version; available: %s\n"
+              (String.concat ", "
+                 (List.map
+                    (fun c -> c.Engines.Registry.cfg_version)
+                    (Engines.Registry.configs_of e)));
+            exit 1
+        | Some cfg ->
+            Engines.Engine.run
+              {
+                Engines.Engine.tb_config = cfg;
+                tb_mode = (if strict then Engines.Engine.Strict else Engines.Engine.Normal);
+              }
+              src)
+  in
+  print_string result.Jsinterp.Run.r_output;
+  (match result.Jsinterp.Run.r_parse_error with
+  | Some e -> Printf.eprintf "SyntaxError: %s\n" e
+  | None -> ());
+  (match result.Jsinterp.Run.r_status with
+  | Jsinterp.Run.Sts_normal -> ()
+  | s -> Printf.eprintf "%s\n" (Jsinterp.Run.status_to_string s));
+  if not (Jsinterp.Quirk.Set.is_empty result.Jsinterp.Run.r_fired) then
+    Printf.eprintf "[quirks fired: %s]\n"
+      (String.concat ", "
+         (List.map Jsinterp.Quirk.to_string
+            (Jsinterp.Quirk.Set.elements result.Jsinterp.Run.r_fired)))
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let engine =
+    Arg.(value & opt (some engine_conv) None & info [ "engine" ] ~doc:"Simulated engine.")
+  in
+  let version =
+    Arg.(value & opt (some string) None & info [ "version" ] ~doc:"Engine version.")
+  in
+  let strict = Arg.(value & flag & info [ "strict" ] ~doc:"Strict mode testbed.") in
+  Cmd.v (Cmd.info "run" ~doc:"Run a JS file on a simulated engine")
+    Term.(const run_js $ file $ engine $ version $ strict)
+
+(* --- difftest --- *)
+
+let difftest file =
+  let src = read_file file in
+  let tc = Comfort.Testcase.make src in
+  let report = Comfort.Difftest.run_case (Engines.Engine.latest_testbeds ()) tc in
+  Printf.printf "testbeds run: %d\n" report.Comfort.Difftest.cr_tested;
+  if report.Comfort.Difftest.cr_deviations = [] then
+    print_endline "no deviations: all engines agree"
+  else
+    List.iter
+      (fun (d : Comfort.Difftest.deviation) ->
+        Printf.printf "%s deviates [%s]\n  actual:   %s\n  expected: %s\n"
+          (Engines.Engine.testbed_id d.Comfort.Difftest.d_testbed)
+          (Comfort.Difftest.deviation_kind_to_string d.Comfort.Difftest.d_kind)
+          d.Comfort.Difftest.d_actual d.Comfort.Difftest.d_expected;
+        Jsinterp.Quirk.Set.iter
+          (fun q -> Printf.printf "  ground-truth bug: %s\n" (Jsinterp.Quirk.to_string q))
+          d.Comfort.Difftest.d_fired)
+      report.Comfort.Difftest.cr_deviations
+
+let difftest_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "difftest" ~doc:"Differential-test one file across the latest engines")
+    Term.(const difftest $ file)
+
+(* --- fuzz --- *)
+
+let fuzz budget fuzzer_name seed feedback =
+  let fz =
+    match String.lowercase_ascii fuzzer_name with
+    | "comfort" -> Comfort.Campaign.comfort_fuzzer ~seed ()
+    | "deepsmith" -> Baselines.Fuzzers.deepsmith ~seed ()
+    | "fuzzilli" -> Baselines.Fuzzers.fuzzilli ~seed ()
+    | "codealchemist" -> Baselines.Fuzzers.codealchemist ~seed ()
+    | "die" -> Baselines.Fuzzers.die ~seed ()
+    | "montage" -> Baselines.Fuzzers.montage ~seed ()
+    | other ->
+        Printf.eprintf "unknown fuzzer %s\n" other;
+        exit 1
+  in
+  let res =
+    if feedback then
+      let t = Comfort.Feedback.create fz in
+      Comfort.Feedback.run_rounds ~rounds:4 ~budget_per_round:(max 1 (budget / 4)) t
+    else Comfort.Campaign.run ~budget fz
+  in
+  Printf.printf "fuzzer: %s\ncases: %d\nunique bugs: %d\nrepeats filtered: %d\n"
+    res.Comfort.Campaign.cp_fuzzer res.Comfort.Campaign.cp_cases_run
+    (List.length res.Comfort.Campaign.cp_discoveries)
+    res.Comfort.Campaign.cp_filtered_repeats;
+  List.iter
+    (fun (d : Comfort.Campaign.discovery) ->
+      Printf.printf "  [case %4d] %-13s %-10s %s\n" d.Comfort.Campaign.disc_at
+        (Engines.Registry.engine_name d.Comfort.Campaign.disc_engine)
+        d.Comfort.Campaign.disc_behavior
+        (Jsinterp.Quirk.to_string d.Comfort.Campaign.disc_quirk))
+    res.Comfort.Campaign.cp_discoveries
+
+let fuzz_cmd =
+  let budget =
+    Arg.(value & opt int 1000 & info [ "budget" ] ~doc:"Number of test cases.")
+  in
+  let fuzzer =
+    Arg.(value & opt string "comfort" & info [ "fuzzer" ]
+           ~doc:"comfort | deepsmith | fuzzilli | codealchemist | die | montage")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let feedback =
+    Arg.(value & flag & info [ "feedback" ]
+           ~doc:"Mutate bug-exposing cases between rounds (the §5.5 extension).")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against the simulated engines")
+    Term.(const fuzz $ budget $ fuzzer $ seed $ feedback)
+
+(* --- export --- *)
+
+let export budget seed dir =
+  let fz = Comfort.Campaign.comfort_fuzzer ~seed () in
+  let res = Comfort.Campaign.run ~budget fz in
+  let files = Comfort.Test262_export.export res in
+  (match dir with
+  | None ->
+      List.iter
+        (fun (name, source) -> Printf.printf "// %s\n%s\n" name source)
+        files
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      List.iter
+        (fun (name, source) ->
+          let oc = open_out (Filename.concat dir name) in
+          output_string oc source;
+          close_out oc)
+        files;
+      Printf.printf "wrote %d conformance tests to %s/\n" (List.length files) dir);
+  Printf.printf "// %d discoveries, %d exportable\n"
+    (List.length res.Comfort.Campaign.cp_discoveries)
+    (List.length files)
+
+let export_cmd =
+  let budget =
+    Arg.(value & opt int 1500 & info [ "budget" ] ~doc:"Campaign size.")
+  in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let dir =
+    Arg.(value & opt (some string) None & info [ "dir" ] ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Fuzz, then render discoveries as Test262-style conformance tests")
+    Term.(const export $ budget $ seed $ dir)
+
+(* --- reduce --- *)
+
+let reduce file engine version =
+  let src = read_file file in
+  let cfg =
+    match version with
+    | Some v -> Engines.Registry.find_config ~engine ~version:v
+    | None -> Some (Engines.Registry.latest engine)
+  in
+  match cfg with
+  | None ->
+      Printf.eprintf "unknown version\n";
+      exit 1
+  | Some cfg -> (
+      let tb = { Engines.Engine.tb_config = cfg; tb_mode = Engines.Engine.Normal } in
+      let target = Engines.Engine.run tb src in
+      let reference = Engines.Engine.run_reference src in
+      let tsig = Comfort.Difftest.signature_of_result target in
+      let rsig = Comfort.Difftest.signature_of_result reference in
+      if tsig = rsig then print_endline "// no deviation on that engine; nothing to reduce"
+      else
+        let dev =
+          {
+            Comfort.Difftest.d_testbed = tb;
+            d_kind = Comfort.Difftest.kind_of tsig rsig;
+            d_expected = Comfort.Difftest.signature_to_string rsig;
+            d_actual = Comfort.Difftest.signature_to_string tsig;
+            d_behavior = Comfort.Difftest.behavior_label tsig rsig;
+            d_fired = target.Jsinterp.Run.r_fired;
+          }
+        in
+        let reduced =
+          Comfort.Reducer.reduce
+            ~still_triggers:(Comfort.Reducer.still_triggers_deviation tb dev)
+            src
+        in
+        Printf.printf "// reduced from %d to %d bytes\n%s"
+          (String.length src) (String.length reduced) reduced)
+
+let reduce_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let engine =
+    Arg.(required & opt (some engine_conv) None & info [ "engine" ] ~doc:"Deviating engine.")
+  in
+  let version =
+    Arg.(value & opt (some string) None & info [ "version" ] ~doc:"Engine version.")
+  in
+  Cmd.v (Cmd.info "reduce" ~doc:"Reduce a bug-exposing test case")
+    Term.(const reduce $ file $ engine $ version)
+
+(* --- spec --- *)
+
+let spec api =
+  let db = Lazy.force Specdb.Db.standard in
+  match api with
+  | None ->
+      print_endline (Specdb.Db.stats db);
+      List.iter
+        (fun (e : Specdb.Spec_ast.entry) ->
+          Printf.printf "%-45s rules %d/%d\n" e.Specdb.Spec_ast.e_name
+            e.Specdb.Spec_ast.e_parsed_rules e.Specdb.Spec_ast.e_rule_count)
+        db.Specdb.Db.entries
+  | Some name -> (
+      match Specdb.Db.lookup db (Specdb.Db.last_component name) with
+      | [] -> Printf.eprintf "no spec entry for %s\n" name
+      | entries ->
+          List.iter (fun e -> print_endline (Specdb.Spec_ast.to_json e)) entries)
+
+let spec_cmd =
+  let api = Arg.(value & pos 0 (some string) None & info [] ~docv:"API") in
+  Cmd.v (Cmd.info "spec" ~doc:"Show extracted ECMA-262 specification rules")
+    Term.(const spec $ api)
+
+(* --- engines --- *)
+
+let engines_list () =
+  List.iter
+    (fun (c : Engines.Registry.config) ->
+      Printf.printf "%-14s %-14s %-10s %s (%d seeded bugs)\n"
+        (Engines.Registry.engine_name c.Engines.Registry.cfg_engine)
+        c.Engines.Registry.cfg_version c.Engines.Registry.cfg_release
+        (Engines.Registry.es_to_string c.Engines.Registry.cfg_es)
+        (Jsinterp.Quirk.Set.cardinal c.Engines.Registry.cfg_quirks))
+    Engines.Registry.all_configs
+
+let engines_cmd =
+  Cmd.v (Cmd.info "engines" ~doc:"List the simulated engine registry")
+    Term.(const engines_list $ const ())
+
+let () =
+  let doc = "Comfort: conformance fuzzing for (simulated) JavaScript engines" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "comfort" ~doc)
+          [
+            generate_cmd; mutate_cmd; run_cmd; difftest_cmd; fuzz_cmd;
+            export_cmd; reduce_cmd; spec_cmd; engines_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/bug_gallery.ml: Engines Jsinterp List Option Printf String

@@ -1,0 +1,1 @@
+examples/conformance_hunt.ml: Array Comfort Engines List Printf Sys

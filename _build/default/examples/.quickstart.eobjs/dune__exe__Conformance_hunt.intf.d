@@ -1,0 +1,1 @@
+examples/conformance_hunt.mli:

@@ -1,0 +1,1 @@
+examples/engine_matrix.ml: Comfort Engines Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Comfort Engines Jsinterp List Printf

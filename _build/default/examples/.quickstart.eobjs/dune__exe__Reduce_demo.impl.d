@@ -1,0 +1,1 @@
+examples/reduce_demo.ml: Comfort Engines Jsinterp Option Printf String

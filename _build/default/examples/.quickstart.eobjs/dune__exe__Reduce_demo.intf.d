@@ -1,0 +1,1 @@
+examples/reduce_demo.mli:

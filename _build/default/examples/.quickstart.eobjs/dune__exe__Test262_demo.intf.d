@@ -1,0 +1,1 @@
+examples/test262_demo.mli:

@@ -1,0 +1,178 @@
+(* Bug gallery: every §5.2 listing from the paper, run on the engine version
+   the paper names and on the standard-conforming reference.
+
+     dune exec examples/bug_gallery.exe
+
+   Shows the exact observable difference for each published bug. *)
+
+type case = {
+  title : string;
+  engine : Engines.Registry.engine;
+  version : string;
+  source : string;
+}
+
+let cases =
+  Engines.Registry.
+    [
+      {
+        title = "Figure 2 - Rhino: substr with undefined length";
+        engine = Rhino;
+        version = "1.7.12";
+        source =
+          {|function foo(str, start, len) { var ret = str.substr(start, len); return ret; }
+var s = "Name: Albert";
+var pre = "Name: ";
+var len = undefined;
+var name = foo(s, pre.length, len);
+print(name);|};
+      };
+      {
+        title = "Listing 1 - V8: defineProperty on non-configurable length";
+        engine = V8;
+        version = "8.5-d891c59";
+        source =
+          {|var foo = function() {
+  var arrobj = [0, 1];
+  Object.defineProperty(arrobj, "length", { value: 1, configurable: true });
+};
+try { foo(); print("no error"); } catch (e) { print(e.name); }|};
+      };
+      {
+        title = "Listing 2 - Hermes: quadratic reverse array fill (scaled)";
+        engine = Hermes;
+        version = "0.1.1";
+        source =
+          {|var foo = function(size) {
+  var array = new Array(size);
+  while (size--) { array[size] = 0; }
+};
+foo(90486);
+print("done");|};
+      };
+      {
+        title = "Listing 3 - SpiderMonkey: Uint32Array(3.14)";
+        engine = SpiderMonkey;
+        version = "52.9";
+        source =
+          {|var foo = function(length) { var array = new Uint32Array(length); print(array.length); };
+foo(3.14);|};
+      };
+      {
+        title = "Listing 4 - Rhino: toFixed(-2) without RangeError";
+        engine = Rhino;
+        version = "1.7.12";
+        source =
+          {|var foo = function(num) { var p = num.toFixed(-2); print(p); };
+foo(-634619);|};
+      };
+      {
+        title = "Listing 5 - JSC: TypedArray.set from a string";
+        engine = JSC;
+        version = "246135";
+        source =
+          {|var foo = function() { var e = '123'; A = new Uint8Array(5); A.set(e); print(A); };
+foo();|};
+      };
+      {
+        title = "Listing 6 - QuickJS: obj[true] appends to the array";
+        engine = QuickJS;
+        version = "2020-04-12";
+        source =
+          {|var foo = function() {
+  var property = true;
+  var obj = [1,2,5];
+  obj[property] = 10;
+  print(obj);
+  print(obj[property]);
+};
+foo();|};
+      };
+      {
+        title = "Listing 7 - ChakraCore: eval accepts for-loop without body";
+        engine = ChakraCore;
+        version = "1.11.19";
+        source =
+          {|try { eval("for(var i = 0; i < 5; i++)"); print("compiled"); } catch (e) { print(e.name); }|};
+      };
+      {
+        title = "Listing 8 - JerryScript: split on an anchored regexp";
+        engine = JerryScript;
+        version = "2.3.0";
+        source =
+          {|var foo = function() { var a = "anA".split(/^A/); print(a); };
+foo();|};
+      };
+      {
+        title = "Listing 9 - QuickJS: crash in normalize on empty string";
+        engine = QuickJS;
+        version = "2020-04-12";
+        source =
+          {|var foo = function(str){ str.normalize(true); };
+foo("");|};
+      };
+      {
+        title = "Listing 10 - Rhino: String.prototype.big.call(null)";
+        engine = Rhino;
+        version = "1.7.12";
+        source = {|var v1 = String.prototype.big.call(null);
+print(v1);|};
+      };
+      {
+        title = "Listing 11 - Rhino: Object.seal on a String wrapper";
+        engine = Rhino;
+        version = "1.7.12";
+        source =
+          {|function main() { var v2 = new String(2477); var v4 = Object.seal(v2); }
+main();
+print("ok");|};
+      };
+      {
+        title = "Listing 12 - Rhino: compile past a non-writable lastIndex";
+        engine = Rhino;
+        version = "1.7.12";
+        source =
+          {|var regexp5 = /a/g;
+Object.defineProperty(regexp5, "lastIndex", { writable: false });
+try { regexp5.compile("b"); print("no error"); } catch (e) { print(e.name); }|};
+      };
+      {
+        title = "Listing 13 - Hermes: writable named-function-expression binding";
+        engine = Hermes;
+        version = "0.6.0";
+        source =
+          {|(function v1() {
+  v1 = 20;
+  print(v1 !== 20);
+  print(typeof v1);
+}());|};
+      };
+    ]
+
+let describe (r : Jsinterp.Run.result) =
+  if not r.Jsinterp.Run.r_parsed then
+    "SyntaxError: " ^ Option.value r.Jsinterp.Run.r_parse_error ~default:""
+  else
+    match r.Jsinterp.Run.r_status with
+    | Jsinterp.Run.Sts_normal -> String.trim r.Jsinterp.Run.r_output
+    | s ->
+        String.trim r.Jsinterp.Run.r_output
+        ^ (if r.Jsinterp.Run.r_output = "" then "" else "\n")
+        ^ Jsinterp.Run.status_to_string s
+
+let () =
+  List.iter
+    (fun c ->
+      Printf.printf "== %s ==\n" c.title;
+      let cfg =
+        Option.get (Engines.Registry.find_config ~engine:c.engine ~version:c.version)
+      in
+      let tb = { Engines.Engine.tb_config = cfg; tb_mode = Engines.Engine.Normal } in
+      let buggy = Engines.Engine.run ~fuel:2_000_000 tb c.source in
+      let reference = Engines.Engine.run_reference ~fuel:2_000_000 c.source in
+      Printf.printf "  %-24s | %s\n"
+        (Engines.Registry.engine_name c.engine ^ " " ^ c.version)
+        (String.concat " \\n " (String.split_on_char '\n' (describe buggy)));
+      Printf.printf "  %-24s | %s\n\n" "conforming engine"
+        (String.concat " \\n " (String.split_on_char '\n' (describe reference))))
+    cases

@@ -1,0 +1,42 @@
+(* Conformance hunt: a small fuzzing campaign against all ten engines,
+   mirroring the paper's §5.1 workflow at laptop scale.
+
+     dune exec examples/conformance_hunt.exe [BUDGET]
+
+   Prints each unique bug as it would be reported to the engine developers:
+   engine, affected API, behaviour class, and the (reduced) test case. *)
+
+let () =
+  let budget =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1500
+  in
+  Printf.printf "fuzzing with Comfort: %d test cases across %d testbeds...\n%!"
+    budget
+    (List.length (Comfort.Campaign.default_testbeds ()));
+  let fz = Comfort.Campaign.comfort_fuzzer ~seed:99 () in
+  let res = Comfort.Campaign.run ~budget ~reduce:true fz in
+  Printf.printf "\n%d unique bugs; %d repeated miscompilations filtered by the Fig. 6 tree\n\n"
+    (List.length res.Comfort.Campaign.cp_discoveries)
+    res.Comfort.Campaign.cp_filtered_repeats;
+  List.iteri
+    (fun i (d : Comfort.Campaign.discovery) ->
+      let meta = Engines.Catalogue.find d.Comfort.Campaign.disc_quirk in
+      Printf.printf "--- bug report %d ---------------------------------\n" (i + 1);
+      Printf.printf "engine:    %s (earliest affected version %s)\n"
+        (Engines.Registry.engine_name d.Comfort.Campaign.disc_engine)
+        d.Comfort.Campaign.disc_version;
+      Printf.printf "API:       %s (%s)\n" meta.Engines.Catalogue.api
+        meta.Engines.Catalogue.object_type;
+      Printf.printf "component: %s; behaviour: %s; mode: %s\n"
+        (Engines.Catalogue.component_to_string meta.Engines.Catalogue.component)
+        d.Comfort.Campaign.disc_behavior
+        (Engines.Engine.mode_to_string d.Comfort.Campaign.disc_mode);
+      Printf.printf "found via: %s at case %d\n"
+        (Comfort.Testcase.provenance_to_string
+           d.Comfort.Campaign.disc_case.Comfort.Testcase.tc_provenance)
+        d.Comfort.Campaign.disc_at;
+      (match d.Comfort.Campaign.disc_reduced with
+      | Some reduced ->
+          Printf.printf "reduced test case:\n%s\n" reduced
+      | None -> ()))
+    res.Comfort.Campaign.cp_discoveries

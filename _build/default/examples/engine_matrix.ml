@@ -1,0 +1,67 @@
+(* Engine conformance matrix: run a suite of probe programs over every
+   engine's latest version and chart who deviates where — a miniature
+   Test262-style conformance report derived from differential testing.
+
+     dune exec examples/engine_matrix.exe *)
+
+let probes : (string * string) list =
+  [
+    ("substr undef len", {|print("abcdef".substr(2, undefined));|});
+    ("toFixed(-1)", {|try { print((1.5).toFixed(-1)); } catch (e) { print(e.name); }|});
+    ("repeat(-1)", {|try { print("x".repeat(-1)); } catch (e) { print(e.name); }|});
+    ("charAt(-1)", {|print("abc".charAt(-1) === "");|});
+    ("slice(-2)", {|print("abcdef".slice(-2));|});
+    ("sort default", {|print([10, 9, 1].sort());|});
+    ("join holes", {|print([1, undefined, 2].join("-"));|});
+    ("reduce empty", {|try { print([].reduce(function(a, b) { return a + b; })); } catch (e) { print(e.name); }|});
+    ("toString(40)", {|try { print((255).toString(40)); } catch (e) { print(e.name); }|});
+    ("parseInt 0x", {|print(parseInt("0x1f"));|});
+    ("JSON NaN", {|print(JSON.stringify(NaN));|});
+    ("mod sign", {|print(-5 % 3);|});
+    ("'10' < '9'", {|print("10" < "9");|});
+    ("null == undef", {|print(null == undefined);|});
+    ("1 << 33", {|print(1 << 33);|});
+    ("-1 >>> 0", {|print(-1 >>> 0);|});
+    ("eval value", {|print(eval("1 + 2"));|});
+    ("regex /i", {|print(/HELLO/i.test("hello"));|});
+    ("u8 clamp", {|var c = new Uint8ClampedArray(1); c[0] = 300; print(c[0]);|});
+    ("splice(-1)", {|var a = [1,2,3]; a.splice(0, -1); print(a);|});
+  ]
+
+let () =
+  let engines = Engines.Registry.all_engines in
+  (* header *)
+  Printf.printf "%-16s" "probe";
+  List.iter
+    (fun e ->
+      let name = Engines.Registry.engine_name e in
+      Printf.printf " %-5s" (String.sub name 0 (min 5 (String.length name))))
+    engines;
+  print_newline ();
+  let deviations = Hashtbl.create 16 in
+  List.iter
+    (fun (label, src) ->
+      let reference = Engines.Engine.run_reference src in
+      let rsig = Comfort.Difftest.signature_of_result reference in
+      Printf.printf "%-16s" label;
+      List.iter
+        (fun e ->
+          let cfg = Engines.Registry.latest e in
+          let tb = { Engines.Engine.tb_config = cfg; tb_mode = Engines.Engine.Normal } in
+          let r = Engines.Engine.run tb src in
+          let sig_ = Comfort.Difftest.signature_of_result r in
+          let mark = if sig_ = rsig then "  .  " else " DEV " in
+          if sig_ <> rsig then
+            Hashtbl.replace deviations e
+              (1 + Option.value (Hashtbl.find_opt deviations e) ~default:0);
+          Printf.printf " %s" mark)
+        engines;
+      print_newline ())
+    probes;
+  print_newline ();
+  List.iter
+    (fun e ->
+      Printf.printf "%-14s %d deviating probes\n"
+        (Engines.Registry.engine_name e)
+        (Option.value (Hashtbl.find_opt deviations e) ~default:0))
+    engines

@@ -1,0 +1,64 @@
+(* Test-case reduction demo (paper §3.5): take a large, noisy bug-exposing
+   program and shrink it to the minimal statements that still trigger the
+   same deviation on the same engine.
+
+     dune exec examples/reduce_demo.exe *)
+
+let noisy_case =
+  {|var unusedTable = {alpha: 1, beta: 2, gamma: 3};
+var log = [];
+function helperA(x) {
+  var doubled = x * 2;
+  log.push(doubled);
+  return doubled;
+}
+function helperB(items) {
+  var out = [];
+  for (var i = 0; i < items.length; i++) {
+    out.push(items[i] + 1);
+  }
+  return out;
+}
+helperA(21);
+helperB([1, 2, 3]);
+var extra = "decoration".toUpperCase();
+function foo(str, start, len) {
+  var ret = str.substr(start, len);
+  return ret;
+}
+var s = "Name: Albert";
+var len = undefined;
+print(foo(s, 6, len));
+var tail = [4, 5, 6].join("+");
+helperA(2);|}
+
+let () =
+  let cfg =
+    Option.get
+      (Engines.Registry.find_config ~engine:Engines.Registry.Rhino ~version:"1.7.12")
+  in
+  let tb = { Engines.Engine.tb_config = cfg; tb_mode = Engines.Engine.Normal } in
+  let target = Engines.Engine.run tb noisy_case in
+  let reference = Engines.Engine.run_reference noisy_case in
+  let tsig = Comfort.Difftest.signature_of_result target in
+  let rsig = Comfort.Difftest.signature_of_result reference in
+  Printf.printf "original test case (%d bytes):\n%s\n\n" (String.length noisy_case) noisy_case;
+  Printf.printf "Rhino 1.7.12 output:   %s\n" (Comfort.Difftest.signature_to_string tsig);
+  Printf.printf "conforming output:     %s\n\n" (Comfort.Difftest.signature_to_string rsig);
+  assert (tsig <> rsig);
+  let dev =
+    {
+      Comfort.Difftest.d_testbed = tb;
+      d_kind = Comfort.Difftest.kind_of tsig rsig;
+      d_expected = Comfort.Difftest.signature_to_string rsig;
+      d_actual = Comfort.Difftest.signature_to_string tsig;
+      d_behavior = Comfort.Difftest.behavior_label tsig rsig;
+      d_fired = target.Jsinterp.Run.r_fired;
+    }
+  in
+  let reduced =
+    Comfort.Reducer.reduce
+      ~still_triggers:(Comfort.Reducer.still_triggers_deviation tb dev)
+      noisy_case
+  in
+  Printf.printf "reduced test case (%d bytes):\n%s\n" (String.length reduced) reduced

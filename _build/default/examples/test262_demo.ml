@@ -1,0 +1,49 @@
+(* Test262 contribution workflow (paper §5.4: 21 Comfort-generated test
+   cases were accepted into the official ECMAScript conformance suite).
+
+     dune exec examples/test262_demo.exe
+
+   Runs a short campaign, renders each exportable discovery as a
+   Test262-style conformance test, and then validates the export: the
+   conforming reference engine passes every test, while the engine version
+   carrying the bug fails exactly the test written against it. *)
+
+let () =
+  print_endline "fuzzing (budget 1200)...";
+  let fz = Comfort.Campaign.comfort_fuzzer ~seed:77 () in
+  let res = Comfort.Campaign.run ~budget:1200 fz in
+  let exported = Comfort.Test262_export.export res in
+  Printf.printf "%d discoveries, %d exportable as conformance tests\n\n"
+    (List.length res.Comfort.Campaign.cp_discoveries)
+    (List.length exported);
+  (match exported with
+  | (name, source) :: _ ->
+      Printf.printf "=== example export: %s ===\n%s\n" name source
+  | [] -> ());
+  (* validate each export against the buggy engine and the reference *)
+  List.iter2
+    (fun (d : Comfort.Campaign.discovery) (name, source) ->
+      ignore name;
+      let buggy_cfg =
+        Option.get
+          (Engines.Registry.find_config ~engine:d.Comfort.Campaign.disc_engine
+             ~version:d.Comfort.Campaign.disc_version)
+      in
+      let reference_passes =
+        Comfort.Test262_export.passes
+          {
+            buggy_cfg with
+            Engines.Registry.cfg_quirks = Jsinterp.Quirk.Set.empty;
+          }
+          source
+      in
+      let buggy_passes = Comfort.Test262_export.passes buggy_cfg source in
+      Printf.printf "%-55s conforming:%-5b buggy %s:%b\n"
+        (Jsinterp.Quirk.to_string d.Comfort.Campaign.disc_quirk)
+        reference_passes
+        (Engines.Registry.engine_name d.Comfort.Campaign.disc_engine)
+        buggy_passes)
+    (List.filter
+       (fun d -> Comfort.Test262_export.render d <> None)
+       res.Comfort.Campaign.cp_discoveries)
+    exported

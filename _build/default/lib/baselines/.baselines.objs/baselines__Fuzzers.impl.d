@@ -1,0 +1,1 @@
+lib/baselines/fuzzers.ml: Ast Builder Char Comfort Cutil Hashtbl Jsast Jsinterp Lazy List Lm Mutator Seeds String Visit

@@ -1,0 +1,1 @@
+lib/baselines/mutator.ml: Jsast Jsparse

@@ -1,0 +1,25 @@
+(** The five baseline fuzzers of paper §4.4, behind the same
+    [Comfort.Campaign.fuzzer] interface as Comfort itself.
+
+    Each is a faithful miniature of the corresponding system's test-case
+    generation strategy, seeded with its own corpus ({!Seeds}); per §5.3.2
+    each corpus carries the API pattern its tool is credited with reaching
+    while Comfort's training corpus cannot. *)
+
+(** DNN generation (character-level LM) plus random typed inputs. *)
+val deepsmith : ?seed:int -> unit -> Comfort.Campaign.fuzzer
+
+(** Coverage-guided mutation over a growing corpus. *)
+val fuzzilli : ?seed:int -> unit -> Comfort.Campaign.fuzzer
+
+(** Semantics-aware assembly of def/use-annotated statement bricks. *)
+val codealchemist : ?seed:int -> unit -> Comfort.Campaign.fuzzer
+
+(** Aspect-preserving mutation: types and structure kept, values varied. *)
+val die : ?seed:int -> unit -> Comfort.Campaign.fuzzer
+
+(** LM-guided replacement of AST subtrees in seed programs. *)
+val montage : ?seed:int -> unit -> Comfort.Campaign.fuzzer
+
+(** All five, with derived seeds. *)
+val all : ?seed:int -> unit -> Comfort.Campaign.fuzzer list

@@ -1,0 +1,9 @@
+(* Mutation operators for the baseline fuzzers: the generic AST operators
+   of [Jsast.Mutate] plus source-level helpers that need the parser. *)
+
+include Jsast.Mutate
+
+let parse_opt (src : string) : Jsast.Ast.program option =
+  match Jsparse.Parser.parse_program src with
+  | p -> Some p
+  | exception Jsparse.Parser.Syntax_error _ -> None

@@ -1,0 +1,125 @@
+(* Seed corpora for the mutation-based baseline fuzzers.
+
+   The paper compares against mutation fuzzers that start from the seed
+   programs shipped with their source publications (§4.4); each tool's
+   corpus differs. [common] is a shared set of benign regression-test-style
+   programs (no boundary values — engines pass them all); each baseline
+   additionally carries the seed pattern §5.3.2 credits it with reaching
+   while Comfort cannot (the corresponding API pattern never occurs in
+   Comfort's training corpus):
+
+   - Fuzzilli:      [Object.seal] on a String wrapper       (Listing 11)
+   - CodeAlchemist: [String.prototype.big.call]             (Listing 10)
+   - DIE:           non-writable RegExp [lastIndex] + compile (Listing 12)
+   - Montage:       assignment to a named function expression (Listing 13) *)
+
+let common : string list =
+  [
+    {|var s = "hello world";
+print(s.substr(6, 5));
+print(s.substring(0, 5));|};
+    {|var arr = [30, 1, 2];
+arr.sort(function(a, b) { return a - b; });
+print(arr.join("-"));|};
+    {|var n = 3.14159;
+print(n.toFixed(2));
+print(n.toPrecision(3));|};
+    {|var o = {a: 1, b: 2};
+print(Object.keys(o));
+print(JSON.stringify(o));|};
+    {|var t = new Uint8Array(4);
+t.set([1, 2], 1);
+print(t);|};
+    {|print(parseInt("42", 10));
+print(parseFloat("2.5"));|};
+    {|var x = 10;
+while (x-- > 0) {
+  if (x % 3 === 0) { print(x); }
+}|};
+    {|var f = function(a) { return a * 2; };
+print([1, 2, 3].map(f));|};
+    {|var str = "a,b,c";
+print(str.split(","));
+print(str.replace("b", ";"));|};
+    {|try {
+  null.foo();
+} catch (e) {
+  print(e.name);
+}|};
+    {|var view = new DataView(8);
+view.setUint8(0, 255);
+print(view.getUint8(0));|};
+    {|var big = 20000;
+print(big + big);
+print(big * 2);|};
+    {|var v = [1, 2, 5];
+v[2] = 10;
+print(v);
+print(v[2]);|};
+    {|var re2 = /ab+c/;
+print(re2.test("xabbcx"));
+print("xabcx".search(/abc/));|};
+    {|print("abc".normalize("NFC"));
+print("abc".toUpperCase());|};
+    {|var nested = [1, [2, 3], 4];
+print(nested.flat(1));|};
+    {|print([1, 2].reduce(function(a, b) { return a + b; }, 0));|};
+    {|print("abcdef".charAt(2));
+print("abcdef".indexOf("cd"));|};
+    {|var when = new Date(86400000);
+print(when.getTime());|};
+    {|var out = eval("2 * 3");
+print(out);|};
+    {|var keys = [];
+for (var k in {x: 1, y: 2}) { keys.push(k); }
+print(keys.sort());|};
+    {|var items = [5, 9];
+items.push(12);
+print(items.slice(1));
+print(items.indexOf(9));|};
+    {|function fmt(v) {
+  return "<" + v + ">";
+}
+print(fmt(12));
+print(fmt("x"));|};
+  ]
+
+let fuzzilli_extra : string list =
+  [
+    {|function main() {
+  var v2 = new String(2477);
+  var v4 = Object.seal(v2);
+}
+main();
+print("sealed");|};
+  ]
+
+let codealchemist_extra : string list =
+  [
+    {|var v1 = String.prototype.big.call("text");
+print(v1);|};
+    {|var v0 = null;
+var v1 = String.prototype.big.call(v0);
+print(v1);|};
+  ]
+
+let die_extra : string list =
+  [
+    {|var regexp5 = /a/g;
+Object.defineProperty(regexp5, "lastIndex", { writable: false });
+regexp5.compile("b");
+print(regexp5.lastIndex);|};
+  ]
+
+let montage_extra : string list =
+  [
+    {|(function v1() {
+  v1 = 20;
+  print(v1 !== 20);
+  print(typeof v1);
+}());|};
+  ]
+
+(* Backward-compatible view: every seed (used by tests). *)
+let programs : string list =
+  common @ fuzzilli_extra @ codealchemist_extra @ die_extra @ montage_extra

@@ -1,0 +1,1 @@
+lib/core/bugfilter.ml: Hashtbl Option

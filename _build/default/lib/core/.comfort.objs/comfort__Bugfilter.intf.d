@@ -1,0 +1,1 @@
+lib/core/bugfilter.mli:

@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Bugfilter Datagen Difftest Engines Generator Hashtbl Jsast Jsinterp Jsparse Lazy List Option Queue Quirk Reducer Run Specdb Testcase

@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Difftest Engines Jsinterp Testcase

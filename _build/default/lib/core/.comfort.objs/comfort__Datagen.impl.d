@@ -1,0 +1,1 @@
+lib/core/datagen.ml: Ast Builder Char Cutil Hashtbl Jsast Jsparse Lazy List Option Printer Specdb String Testcase Transform Visit

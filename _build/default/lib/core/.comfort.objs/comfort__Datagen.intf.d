@@ -1,0 +1,1 @@
+lib/core/datagen.mli: Specdb Testcase

@@ -1,0 +1,1 @@
+lib/core/difftest.ml: Engines Jsinterp List Quirk Run String Testcase

@@ -1,0 +1,1 @@
+lib/core/difftest.mli: Engines Jsinterp Testcase

@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Campaign Cutil Difftest Float Jsast Jsparse List Option Queue Testcase

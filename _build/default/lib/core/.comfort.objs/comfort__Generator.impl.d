@@ -1,0 +1,1 @@
+lib/core/generator.ml: Cutil Float Jsparse Lazy List Lm String Testcase

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Campaign Float Jsinterp Jsparse List Testcase

@@ -1,0 +1,1 @@
+lib/core/reducer.ml: Ast Difftest Engines Jsast Jsinterp Jsparse List Option Printer String Transform Visit

@@ -1,0 +1,1 @@
+lib/core/reducer.mli: Difftest Engines

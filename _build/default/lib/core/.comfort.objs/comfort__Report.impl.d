@@ -1,0 +1,1 @@
+lib/core/report.ml: Campaign Catalogue Engines Hashtbl Jsinterp List Option Registry Testcase

@@ -1,0 +1,1 @@
+lib/core/test262_export.ml: Campaign Engines Jsinterp List Printf String

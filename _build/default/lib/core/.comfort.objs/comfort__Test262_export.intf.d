@@ -1,0 +1,1 @@
+lib/core/test262_export.mli: Campaign Engines Jsinterp

@@ -1,0 +1,213 @@
+(* Fuzzing campaign driver.
+
+   Feeds test cases from a fuzzer into differential testing across a set of
+   testbeds, attributes observed deviations to ground-truth bugs (the
+   quirks that fired on the deviating engine), de-duplicates repeats with
+   the Fig. 6 filter tree, and keeps the discovery timeline that Fig. 8
+   plots.
+
+   Testbeds are grouped by mode before voting: a strict-mode engine and a
+   sloppy-mode engine can legitimately disagree, so each mode votes among
+   its own ranks — this mirrors the paper's 102-testbed setup where bugs
+   are reported "under both the normal and the strict modes". *)
+
+open Jsinterp
+
+type fuzzer = {
+  fz_name : string;
+  fz_batch : int -> Testcase.t list;
+      (** produce at least [n] fresh test cases *)
+  fz_raw : (int -> string list) option;
+      (** raw generator output before any screening/mutation, used for the
+          Fig. 9 syntax-passing-rate metric; [None] means the batch output
+          is already the raw output (mutation-based fuzzers) *)
+}
+
+type discovery = {
+  disc_engine : Engines.Registry.engine;
+  disc_quirk : Quirk.t;
+  disc_case : Testcase.t;
+  disc_reduced : string option;
+  disc_kind : Difftest.deviation_kind;
+  disc_behavior : string;
+  disc_at : int;          (** how many cases had run when it was found *)
+  disc_version : string;  (** earliest engine version exhibiting the bug *)
+  disc_mode : Engines.Engine.mode;
+}
+
+type result = {
+  cp_fuzzer : string;
+  cp_cases_run : int;
+  cp_discoveries : discovery list;
+  cp_filtered_repeats : int;   (** deviations suppressed by the Fig. 6 tree *)
+  cp_unattributed : int;       (** deviations with no fired quirk (noise) *)
+  cp_timeline : (int * int) list;  (** (cases run, cumulative unique bugs) *)
+}
+
+(* --- the Comfort fuzzer: LM generation + Algorithm 1 mutants --- *)
+
+let comfort_fuzzer ?(seed = 7) ?(with_datagen = true) () : fuzzer =
+  let gen = Generator.create ~seed () in
+  (* [with_datagen:false] isolates the ECMA-262 guidance (Table 4 /
+     ablation 3): drivers and free-variable bindings are still synthesized,
+     but from an empty specification database, so every input value is
+     random rather than a spec boundary *)
+  let db =
+    if with_datagen then Lazy.force Specdb.Db.standard else Specdb.Db.build []
+  in
+  let dg = Datagen.create ~seed:(seed + 1) ~db () in
+  let queue : Testcase.t Queue.t = Queue.create () in
+  let rec refill n =
+    if n > 0 then begin
+      match Generator.generate gen ~n:1 with
+      | [] -> ()
+      | tc :: _ ->
+          Queue.add tc queue;
+          let mutants = Datagen.mutate dg tc in
+          List.iter (fun m -> Queue.add m queue) mutants;
+          refill (n - 1 - List.length mutants)
+    end
+  in
+  let raw_gen = Generator.create ~seed:(seed + 2) () in
+  {
+    fz_name = (if with_datagen then "Comfort" else "Comfort-nodata");
+    fz_raw =
+      Some (fun n -> List.init n (fun _ -> Generator.sample_program raw_gen));
+    fz_batch =
+      (fun n ->
+        while Queue.length queue < n do
+          refill (n - Queue.length queue)
+        done;
+        List.init n (fun _ -> Queue.pop queue));
+  }
+
+(* --- campaign --- *)
+
+let api_of_deviation (dev : Difftest.deviation) (tc : Testcase.t) :
+    string option =
+  match Quirk.Set.choose_opt dev.Difftest.d_fired with
+  | Some q -> Some (Engines.Catalogue.find q).Engines.Catalogue.api
+  | None -> (
+      match tc.Testcase.tc_provenance with
+      | Testcase.P_ecma_mutated api -> Some api
+      | _ -> (
+          match Jsparse.Parser.parse_program tc.Testcase.tc_source with
+          | p -> (
+              match Jsast.Visit.call_sites p with
+              | cs :: _ -> Some cs.Jsast.Visit.cs_callee
+              | [] -> None)
+          | exception Jsparse.Parser.Syntax_error _ -> None))
+
+(* Causal attribution: a fired quirk is credited with a deviation only if
+   disabling that quirk alone changes the deviating engine's behaviour on
+   the test case. This keeps incidental quirk firings (a deviant path that
+   executed but produced the same observable output) from inflating the
+   bug count. *)
+let causal_quirks (tb : Engines.Engine.testbed) (src : string)
+    (dev : Difftest.deviation) ~fuel : Quirk.t list =
+  let cfg = tb.Engines.Engine.tb_config in
+  let base_sig = dev.Difftest.d_actual in
+  Quirk.Set.fold
+    (fun q acc ->
+      let quirks = Quirk.Set.remove q cfg.Engines.Registry.cfg_quirks in
+      let r =
+        Run.run ~quirks
+          ~parse_opts:(Engines.Registry.parse_opts_of_config cfg)
+          ~strict:(tb.Engines.Engine.tb_mode = Engines.Engine.Strict)
+          ~fuel src
+      in
+      let s = Difftest.signature_to_string (Difftest.signature_of_result r) in
+      if s <> base_sig then q :: acc else acc)
+    dev.Difftest.d_fired []
+
+let default_testbeds () =
+  Engines.Engine.latest_testbeds ~mode:Engines.Engine.Normal ()
+  @ Engines.Engine.latest_testbeds ~mode:Engines.Engine.Strict ()
+
+let run ?(testbeds = default_testbeds ()) ?(budget = 200)
+    ?(fuel = Difftest.default_fuel) ?(reduce = false) (fz : fuzzer) : result =
+  let by_mode =
+    [
+      List.filter (fun tb -> tb.Engines.Engine.tb_mode = Engines.Engine.Normal) testbeds;
+      List.filter (fun tb -> tb.Engines.Engine.tb_mode = Engines.Engine.Strict) testbeds;
+    ]
+    |> List.filter (fun l -> l <> [])
+  in
+  let filter = Bugfilter.create () in
+  let seen : (Engines.Registry.engine * Quirk.t, unit) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let discoveries = ref [] in
+  let unattributed = ref 0 in
+  let timeline = ref [] in
+  let cases = fz.fz_batch budget in
+  List.iteri
+    (fun idx tc ->
+      List.iter
+        (fun tbs ->
+          let report = Difftest.run_case ~fuel tbs tc in
+          List.iter
+            (fun (dev : Difftest.deviation) ->
+              let tb = dev.Difftest.d_testbed in
+              let engine = tb.Engines.Engine.tb_config.Engines.Registry.cfg_engine in
+              let api = api_of_deviation dev tc in
+              (* developer-facing dedup: the Fig. 6 tree *)
+              let verdict =
+                Bugfilter.classify filter
+                  ~engine:(Engines.Registry.engine_name engine)
+                  ~api ~behavior:dev.Difftest.d_behavior
+              in
+              ignore verdict;
+              if Quirk.Set.is_empty dev.Difftest.d_fired then incr unattributed
+              else
+                let causal =
+                  causal_quirks tb tc.Testcase.tc_source dev ~fuel
+                in
+                if causal = [] then incr unattributed
+                else
+                List.iter
+                  (fun q ->
+                    if not (Hashtbl.mem seen (engine, q)) then begin
+                      Hashtbl.replace seen (engine, q) ();
+                      let reduced =
+                        if reduce then
+                          Some
+                            (Reducer.reduce
+                               ~still_triggers:
+                                 (Reducer.still_triggers_deviation tb dev)
+                               tc.Testcase.tc_source)
+                        else None
+                      in
+                      let d =
+                        {
+                          disc_engine = engine;
+                          disc_quirk = q;
+                          disc_case = tc;
+                          disc_reduced = reduced;
+                          disc_kind = dev.Difftest.d_kind;
+                          disc_behavior = dev.Difftest.d_behavior;
+                          disc_at = idx + 1;
+                          disc_version =
+                            Option.value
+                              (Engines.Registry.earliest_version engine q)
+                              ~default:
+                                tb.Engines.Engine.tb_config
+                                  .Engines.Registry.cfg_version;
+                          disc_mode = tb.Engines.Engine.tb_mode;
+                        }
+                      in
+                      discoveries := d :: !discoveries
+                    end)
+                  causal)
+            report.Difftest.cr_deviations)
+        by_mode;
+      timeline := (idx + 1, Hashtbl.length seen) :: !timeline)
+    cases;
+  {
+    cp_fuzzer = fz.fz_name;
+    cp_cases_run = List.length cases;
+    cp_discoveries = List.rev !discoveries;
+    cp_filtered_repeats = Bugfilter.filtered_count filter;
+    cp_unattributed = !unattributed;
+    cp_timeline = List.rev !timeline;
+  }

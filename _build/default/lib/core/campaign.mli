@@ -1,0 +1,61 @@
+(** Fuzzing campaign driver: the paper's end-to-end testing loop.
+
+    Feeds test cases from a fuzzer into differential testing across a set
+    of testbeds, attributes deviations to ground-truth bugs via the quirks
+    that causally fired on the deviating engine, de-duplicates repeats with
+    the Fig. 6 filter tree, and records the discovery timeline plotted in
+    Fig. 8. *)
+
+(** The common fuzzer interface shared by Comfort and all baselines. *)
+type fuzzer = {
+  fz_name : string;
+  fz_batch : int -> Testcase.t list;
+      (** produce at least [n] fresh test cases *)
+  fz_raw : (int -> string list) option;
+      (** raw generator output before screening/mutation, for the Fig. 9
+          passing-rate metric; [None] when the batch is already raw *)
+}
+
+type discovery = {
+  disc_engine : Engines.Registry.engine;
+  disc_quirk : Jsinterp.Quirk.t;      (** the ground-truth bug *)
+  disc_case : Testcase.t;             (** the exposing test case *)
+  disc_reduced : string option;       (** §3.5 reduction, when requested *)
+  disc_kind : Difftest.deviation_kind;
+  disc_behavior : string;
+  disc_at : int;                      (** cases run when it was found *)
+  disc_version : string;              (** earliest affected engine version *)
+  disc_mode : Engines.Engine.mode;
+}
+
+type result = {
+  cp_fuzzer : string;
+  cp_cases_run : int;
+  cp_discoveries : discovery list;    (** unique (engine, bug) pairs *)
+  cp_filtered_repeats : int;          (** suppressed by the Fig. 6 tree *)
+  cp_unattributed : int;              (** deviations with no causal quirk *)
+  cp_timeline : (int * int) list;     (** (cases run, cumulative bugs) *)
+}
+
+(** The Comfort fuzzer: LM program generation plus Algorithm 1 mutants.
+    [with_datagen:false] keeps driver synthesis but strips all spec
+    boundary values (the guidance ablation). *)
+val comfort_fuzzer : ?seed:int -> ?with_datagen:bool -> unit -> fuzzer
+
+(** Latest version of every engine, in both modes (20 testbeds). *)
+val default_testbeds : unit -> Engines.Engine.testbed list
+
+(** Run a campaign. Testbeds vote within their own mode group, since
+    strict and sloppy semantics legitimately differ.
+    @param testbeds  defaults to {!default_testbeds}; pass
+                     [Engines.Engine.all_testbeds] for the paper's full
+                     102-testbed setup
+    @param budget    number of test cases to execute
+    @param reduce    reduce the first exposing case of each discovery *)
+val run :
+  ?testbeds:Engines.Engine.testbed list ->
+  ?budget:int ->
+  ?fuel:int ->
+  ?reduce:bool ->
+  fuzzer ->
+  result

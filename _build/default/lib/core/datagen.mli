@@ -1,0 +1,26 @@
+(** ECMA-262-guided test-data generation — Algorithm 1 of the paper (§3.3).
+
+    Takes a generated test program, finds the JS API call sites it contains,
+    looks each up in the specification database, and emits mutated test
+    cases whose inputs hit the boundary conditions the specification text
+    mentions, plus purely random inputs for the "normal conditions" side. *)
+
+type mutant = {
+  m_source : string;
+  m_api : string;   (** spec entry that guided the mutation; "" for plain drivers *)
+  m_guided : bool;  (** [true] when spec boundary values were used *)
+}
+
+type t
+
+(** @param db the specification database (default: the embedded corpus);
+    pass an empty database to disable spec guidance while keeping driver
+    synthesis — the ablation of DESIGN.md §4.3. *)
+val create : ?seed:int -> ?db:Specdb.Db.t -> ?max_mutants:int -> unit -> t
+
+(** Algorithm 1 on one source program; [] when it does not parse. *)
+val mutants_of_program : t -> string -> mutant list
+
+(** [mutate t tc] wraps {!mutants_of_program} into test cases with
+    provenance assigned per mutant ([P_ecma_mutated] vs [P_generated]). *)
+val mutate : t -> Testcase.t -> Testcase.t list

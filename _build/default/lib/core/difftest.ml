@@ -1,0 +1,189 @@
+(* Differential testing with majority voting (paper §3.4, Fig. 5).
+
+   A test case runs on every applicable testbed; testbeds whose front end
+   does not support the program's ECMAScript edition are excluded (§2.2).
+   Each run is summarised to a behaviour signature; the majority signature
+   is taken as ground truth and every minority testbed is reported as a
+   deviation, classified into the Figure-5 vocabulary. Crashes and
+   timeouts are flagged regardless of the vote. *)
+
+open Jsinterp
+
+type signature =
+  | Sig_parse_fail
+  | Sig_normal of string           (** printed output *)
+  | Sig_exception of string * string  (** error name, output before throw *)
+  | Sig_crash
+  | Sig_timeout
+
+let signature_to_string = function
+  | Sig_parse_fail -> "parse error"
+  | Sig_normal out -> "output " ^ String.escaped out
+  | Sig_exception (name, _) -> "uncaught " ^ name
+  | Sig_crash -> "crash"
+  | Sig_timeout -> "timeout"
+
+type deviation_kind =
+  | Dev_parse       (** inconsistent parse outcome *)
+  | Dev_output      (** wrong output *)
+  | Dev_exception   (** throws where majority doesn't, or vice versa *)
+  | Dev_crash       (** runtime crash *)
+  | Dev_timeout     (** runtime timeout (2t rule) *)
+
+let deviation_kind_to_string = function
+  | Dev_parse -> "ParseError"
+  | Dev_output -> "WrongOutput"
+  | Dev_exception -> "Exception"
+  | Dev_crash -> "Crash"
+  | Dev_timeout -> "TimeOut"
+
+type deviation = {
+  d_testbed : Engines.Engine.testbed;
+  d_kind : deviation_kind;
+  d_expected : string;   (** majority signature, rendered *)
+  d_actual : string;
+  d_behavior : string;   (** leaf label for the bug-filter tree *)
+  d_fired : Quirk.Set.t; (** ground-truth quirks that fired on this testbed *)
+}
+
+type case_report = {
+  cr_case : Testcase.t;
+  cr_deviations : deviation list;
+  cr_all_parse_failed : bool;
+  cr_all_timeout : bool;
+  cr_tested : int;  (** testbeds that actually ran the case *)
+}
+
+(* Behaviour label in the style of the paper's Fig. 6 leaves. *)
+let behavior_label (sig_ : signature) (majority : signature) : string =
+  match (sig_, majority) with
+  | Sig_crash, _ -> "Crash"
+  | Sig_timeout, _ -> "TimeOut"
+  | Sig_exception (name, _), _ -> name
+  | Sig_normal _, Sig_exception (name, _) -> "Missing" ^ name
+  | Sig_normal _, _ -> "WrongOutput"
+  | Sig_parse_fail, _ -> "ParseError"
+
+let kind_of (sig_ : signature) (majority : signature) : deviation_kind =
+  match (sig_, majority) with
+  | Sig_crash, _ -> Dev_crash
+  | Sig_timeout, _ -> Dev_timeout
+  | Sig_parse_fail, _ | _, Sig_parse_fail -> Dev_parse
+  | Sig_exception _, _ | _, Sig_exception _ -> Dev_exception
+  | Sig_normal _, _ -> Dev_output
+
+(* Convert a run result to a signature; timeouts via fuel exhaustion. *)
+let signature_of_result (r : Run.result) : signature =
+  if not r.Run.r_parsed then Sig_parse_fail
+  else
+    match r.Run.r_status with
+    | Run.Sts_normal -> Sig_normal r.Run.r_output
+    | Run.Sts_uncaught (name, _) -> Sig_exception (name, r.Run.r_output)
+    | Run.Sts_crash _ -> Sig_crash
+    | Run.Sts_timeout -> Sig_timeout
+
+let default_fuel = 300_000
+
+(* The 2t rule (§3.4): an engine that terminated but consumed more than
+   twice the slowest of the other engines — with a floor to avoid noise —
+   is flagged as a timeout. *)
+let apply_2t_rule (results : (Engines.Engine.testbed * Run.result) list) :
+    (Engines.Engine.testbed * signature) list =
+  let fuels =
+    List.filter_map
+      (fun (_, (r : Run.result)) ->
+        if r.Run.r_parsed && r.Run.r_status = Run.Sts_normal then
+          Some r.Run.r_fuel_used
+        else None)
+      results
+  in
+  List.map
+    (fun (tb, (r : Run.result)) ->
+      let sig_ = signature_of_result r in
+      let others = List.filter (fun f -> f <> r.Run.r_fuel_used) fuels in
+      let t = List.fold_left max 0 others in
+      let slow =
+        sig_ <> Sig_timeout && others <> []
+        && r.Run.r_fuel_used > max (2 * t) 20_000
+      in
+      (tb, if slow then Sig_timeout else sig_))
+    results
+
+let run_case ?(fuel = default_fuel) (testbeds : Engines.Engine.testbed list)
+    (tc : Testcase.t) : case_report =
+  (* edition gating: skip engines whose front end cannot express the
+     program when the standard front end can *)
+  let applicable =
+    List.filter
+      (fun (tb : Engines.Engine.testbed) ->
+        Engines.Engine.supports tb.Engines.Engine.tb_config tc.Testcase.tc_source)
+      testbeds
+  in
+  let results =
+    List.map (fun tb -> (tb, Engines.Engine.run ~fuel tb tc.Testcase.tc_source)) applicable
+  in
+  let sigs = apply_2t_rule results in
+  let all_parse_failed =
+    sigs <> [] && List.for_all (fun (_, s) -> s = Sig_parse_fail) sigs
+  in
+  let all_timeout =
+    sigs <> [] && List.for_all (fun (_, s) -> s = Sig_timeout) sigs
+  in
+  if all_parse_failed || all_timeout || List.length sigs < 3 then
+    {
+      cr_case = tc;
+      cr_deviations = [];
+      cr_all_parse_failed = all_parse_failed;
+      cr_all_timeout = all_timeout;
+      cr_tested = List.length sigs;
+    }
+  else begin
+    (* majority vote over signatures *)
+    let groups : (signature * int) list =
+      List.fold_left
+        (fun acc (_, s) ->
+          match List.assoc_opt s acc with
+          | Some n -> (s, n + 1) :: List.remove_assoc s acc
+          | None -> (s, 1) :: acc)
+        [] sigs
+    in
+    let majority_sig, majority_n =
+      List.fold_left
+        (fun (bs, bn) (s, n) -> if n > bn then (s, n) else (bs, bn))
+        (Sig_parse_fail, 0) groups
+    in
+    let have_majority = 2 * majority_n > List.length sigs in
+    let deviations =
+      List.filter_map
+        (fun ((tb : Engines.Engine.testbed), s) ->
+          let is_anomaly =
+            match s with
+            | Sig_crash | Sig_timeout -> true (* always of interest *)
+            | _ -> have_majority && s <> majority_sig
+          in
+          if not is_anomaly then None
+          else
+            let fired =
+              match List.assoc_opt tb results with
+              | Some r -> r.Run.r_fired
+              | None -> Quirk.Set.empty
+            in
+            Some
+              {
+                d_testbed = tb;
+                d_kind = kind_of s majority_sig;
+                d_expected = signature_to_string majority_sig;
+                d_actual = signature_to_string s;
+                d_behavior = behavior_label s majority_sig;
+                d_fired = fired;
+              })
+        sigs
+    in
+    {
+      cr_case = tc;
+      cr_deviations = deviations;
+      cr_all_parse_failed = false;
+      cr_all_timeout = false;
+      cr_tested = List.length sigs;
+    }
+  end

@@ -1,0 +1,52 @@
+(** Differential testing with majority voting (paper §3.4, Figure 5).
+
+    A test case runs on every applicable testbed; engines whose front end
+    does not support the program's ECMAScript edition are excluded (§2.2).
+    Each run is summarised to a behaviour signature, the majority signature
+    is taken as ground truth, and minority testbeds are reported as
+    deviations. Crashes and timeouts are flagged regardless of the vote. *)
+
+type signature =
+  | Sig_parse_fail
+  | Sig_normal of string              (** printed output *)
+  | Sig_exception of string * string  (** error name, output before throw *)
+  | Sig_crash
+  | Sig_timeout
+
+val signature_to_string : signature -> string
+
+(** The Figure-5 outcome classes a deviation can take. *)
+type deviation_kind = Dev_parse | Dev_output | Dev_exception | Dev_crash | Dev_timeout
+
+val deviation_kind_to_string : deviation_kind -> string
+
+type deviation = {
+  d_testbed : Engines.Engine.testbed;
+  d_kind : deviation_kind;
+  d_expected : string;   (** majority signature, rendered *)
+  d_actual : string;
+  d_behavior : string;   (** leaf label for the Fig. 6 filter tree *)
+  d_fired : Jsinterp.Quirk.Set.t;
+      (** ground-truth quirks that fired on the deviating run *)
+}
+
+type case_report = {
+  cr_case : Testcase.t;
+  cr_deviations : deviation list;
+  cr_all_parse_failed : bool;  (** consistent parse error — case ignored *)
+  cr_all_timeout : bool;       (** likely an infinite loop — case ignored *)
+  cr_tested : int;             (** testbeds that actually ran the case *)
+}
+
+(** Classify one engine run. *)
+val signature_of_result : Jsinterp.Run.result -> signature
+
+val behavior_label : signature -> signature -> string
+val kind_of : signature -> signature -> deviation_kind
+
+(** Execution budget per testbed (fuel units standing in for wall-clock). *)
+val default_fuel : int
+
+(** Run one test case across the given testbeds and vote. *)
+val run_case :
+  ?fuel:int -> Engines.Engine.testbed list -> Testcase.t -> case_report

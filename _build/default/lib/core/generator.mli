@@ -1,0 +1,36 @@
+(** The Comfort test-program generator (paper §3.2).
+
+    Samples a seed function header, extends it with top-k language-model
+    sampling, and terminates when braces match, the model emits [<EOF>], or
+    the token cap is reached. A configurable fraction of syntactically
+    invalid programs is kept to exercise engine parsers (the paper keeps
+    20%). *)
+
+type t
+
+(** [create ()] builds a generator around the standard Comfort model.
+    @param seed          RNG seed (default 1)
+    @param top_k         sampling breadth (paper: 10)
+    @param max_tokens    length cap per program (paper: 5000)
+    @param keep_invalid  fraction of invalid programs retained (paper: 0.2)
+    @param model         the language model (default: the order-8 BPE model) *)
+val create :
+  ?seed:int ->
+  ?top_k:int ->
+  ?max_tokens:int ->
+  ?keep_invalid:float ->
+  ?model:Lm.Model.t ->
+  unit ->
+  t
+
+(** The bracket-matching termination condition of §3.2. *)
+val braces_matched : string -> bool
+
+(** One raw sample from the model, before any screening. *)
+val sample_program : t -> string
+
+(** Generate [n] test cases after the validity screening policy. *)
+val generate : t -> n:int -> Testcase.t list
+
+(** Syntactic validity rate over [n] raw samples (Fig. 9 passing rate). *)
+val validity_rate : t -> n:int -> float

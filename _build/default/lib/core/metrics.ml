@@ -1,0 +1,86 @@
+(* Test-case quality metrics (paper §5.3.3, Fig. 9).
+
+   - syntax passing rate: fraction of raw fuzzer output accepted by the
+     JSHint-substitute parser;
+   - statement / branch / function coverage: average per-program ratio of
+     locations executed when the (syntactically valid) test case runs on
+     the reference engine, measured with the interpreter's Istanbul-style
+     instrumentation. *)
+
+type quality = {
+  q_fuzzer : string;
+  q_samples : int;
+  q_validity : float;
+  q_stmt_cov : float;
+  q_branch_cov : float;
+  q_func_cov : float;
+}
+
+let measure ?(fuel = 200_000) (fz : Campaign.fuzzer) ~(n : int) : quality =
+  let cases = fz.Campaign.fz_batch n in
+  let valid = List.filter (fun c -> c.Testcase.tc_syntax_valid) cases in
+  (* passing rate over the generator's raw output where the fuzzer exposes
+     it (generative fuzzers); over the emitted cases otherwise *)
+  let validity =
+    match fz.Campaign.fz_raw with
+    | Some raw ->
+        let samples = raw n in
+        Float.of_int
+          (List.length (List.filter Jsparse.Parser.is_valid samples))
+        /. Float.of_int (max 1 (List.length samples))
+    | None ->
+        Float.of_int (List.length valid)
+        /. Float.of_int (max 1 (List.length cases))
+  in
+  let covs =
+    List.filter_map
+      (fun (tc : Testcase.t) ->
+        let r =
+          Jsinterp.Run.run ~coverage:true ~fuel tc.Testcase.tc_source
+        in
+        r.Jsinterp.Run.r_coverage)
+      valid
+  in
+  (* aggregate over location totals rather than averaging per-program
+     ratios, so programs without any branch do not count as 100% branch
+     coverage *)
+  let agg fc ft =
+    let covered = List.fold_left (fun a c -> a + fc c) 0 covs in
+    let total = List.fold_left (fun a c -> a + ft c) 0 covs in
+    if total = 0 then 0.0 else Float.of_int covered /. Float.of_int total
+  in
+  {
+    q_fuzzer = fz.Campaign.fz_name;
+    q_samples = List.length cases;
+    q_validity = validity;
+    q_stmt_cov =
+      agg (fun c -> c.Jsinterp.Coverage.stmt_covered)
+        (fun c -> c.Jsinterp.Coverage.stmt_total);
+    q_branch_cov =
+      agg (fun c -> c.Jsinterp.Coverage.branch_covered)
+        (fun c -> c.Jsinterp.Coverage.branch_total);
+    q_func_cov =
+      agg (fun c -> c.Jsinterp.Coverage.func_covered)
+        (fun c -> c.Jsinterp.Coverage.func_total);
+  }
+
+(* Share of valid generated programs that still raise a runtime exception
+   (the paper reports ~18% for Comfort). *)
+let runtime_exception_rate (fz : Campaign.fuzzer) ~(n : int) : float =
+  let cases = fz.Campaign.fz_batch n in
+  let valid =
+    List.filter (fun (c : Testcase.t) -> c.Testcase.tc_syntax_valid) cases
+  in
+  match valid with
+  | [] -> 0.0
+  | _ ->
+      let throwing =
+        List.filter
+          (fun (tc : Testcase.t) ->
+            let r = Jsinterp.Run.run ~fuel:200_000 tc.Testcase.tc_source in
+            match r.Jsinterp.Run.r_status with
+            | Jsinterp.Run.Sts_uncaught _ -> true
+            | _ -> false)
+          valid
+      in
+      Float.of_int (List.length throwing) /. Float.of_int (List.length valid)

@@ -1,0 +1,18 @@
+(** Test-case quality metrics (paper §5.3.3, Figure 9). *)
+
+type quality = {
+  q_fuzzer : string;
+  q_samples : int;
+  q_validity : float;    (** syntax passing rate over raw generator output *)
+  q_stmt_cov : float;    (** aggregate statement coverage of valid cases *)
+  q_branch_cov : float;
+  q_func_cov : float;
+}
+
+(** Measure one fuzzer over [n] cases; coverage runs each syntactically
+    valid case on the reference engine with instrumentation. *)
+val measure : ?fuel:int -> Campaign.fuzzer -> n:int -> quality
+
+(** Share of valid generated cases that raise a runtime exception (the
+    paper reports ~18% for Comfort). *)
+val runtime_exception_rate : Campaign.fuzzer -> n:int -> float

@@ -1,0 +1,194 @@
+(* Test262-style export of discovered bugs.
+
+   The paper reports that 21 Comfort-generated test cases were accepted
+   into Test262, the official ECMAScript conformance suite. This module
+   produces that artefact: given a discovery, it renders a self-contained
+   conformance test in the Test262 house style — YAML front matter
+   describing the tested clause, an assertion harness, and the (reduced)
+   trigger embedded as assertions against the *conforming* behaviour.
+
+   The generated tests run on any of this repository's simulated engines
+   via [run_exported]: a conforming engine passes silently, an engine
+   carrying the bug fails the assertion. *)
+
+(* The minimal assert harness Test262 provides via [assert.js]. *)
+let harness =
+  {|var __failures = [];
+function __fail(msg) { __failures.push(msg); }
+function assert(cond, msg) { if (!cond) { __fail(msg); } }
+assert.sameValue = function(actual, expected, msg) {
+  if (actual !== expected && !(actual !== actual && expected !== expected)) {
+    __fail(msg + " (expected " + expected + ", got " + actual + ")");
+  }
+};
+assert.throws = function(kind, fn, msg) {
+  var threw = false;
+  try { fn(); } catch (e) { threw = e instanceof kind; }
+  if (!threw) { __fail(msg + " (expected " + kind.prototype.name + ")"); }
+};
+|}
+
+let epilogue =
+  {|if (__failures.length === 0) { print("PASS"); }
+else { for (var __i = 0; __i < __failures.length; __i++) { print("FAIL: " + __failures[__i]); } }
+|}
+
+(* A conformance assertion per quirk: what a standard-conforming engine must
+   observably do at the boundary the bug violates. Assertions are authored
+   once per quirk, like a Test262 contributor would write them. *)
+let assertion_for (q : Jsinterp.Quirk.t) : string option =
+  let open Jsinterp.Quirk in
+  match q with
+  | Q_substr_undefined_length_empty ->
+      Some
+        {|assert.sameValue("abcdef".substr(2, undefined), "cdef",
+  "substr with undefined length extends to the end of the string");|}
+  | Q_defineproperty_array_length_no_typeerror ->
+      Some
+        {|assert.throws(TypeError, function() {
+  Object.defineProperty([0, 1], "length", { value: 1, configurable: true });
+}, "redefining non-configurable array length as configurable");|}
+  | Q_uint32array_fractional_length_typeerror ->
+      Some
+        {|assert.sameValue(new Uint32Array(3.14).length, 3,
+  "typed array length converts via ToIndex");|}
+  | Q_tofixed_no_rangeerror ->
+      Some
+        {|assert.throws(RangeError, function() { (-634619).toFixed(-2); },
+  "toFixed rejects digit counts below 0");|}
+  | Q_typedarray_set_string_typeerror ->
+      Some
+        {|var sample = new Uint8Array(5);
+sample.set("123");
+assert.sameValue(sample.join(","), "1,2,3,0,0",
+  "set treats a string as an array-like source");|}
+  | Q_bool_prop_appends_to_array ->
+      Some
+        {|var arr = [1, 2, 5];
+arr[true] = 10;
+assert.sameValue(arr.length, 3, "a boolean key is an ordinary property key");
+assert.sameValue(arr[true], 10, "the property is readable back");|}
+  | Q_eval_for_missing_body_accepted ->
+      Some
+        {|assert.throws(SyntaxError, function() { eval("for(var i = 0; i < 5; i++)"); },
+  "a for statement requires a body");|}
+  | Q_split_regexp_anchor_bug ->
+      Some
+        {|assert.sameValue("anA".split(/^A/).join("|"), "anA",
+  "an anchored pattern that does not match splits nothing");|}
+  | Q_string_big_null_no_typeerror ->
+      Some
+        {|assert.throws(TypeError, function() { String.prototype.big.call(null); },
+  "annex-B string methods still require an object-coercible receiver");|}
+  | Q_regexp_lastindex_nonwritable_silent ->
+      Some
+        {|var re = /a/g;
+Object.defineProperty(re, "lastIndex", { writable: false });
+assert.throws(TypeError, function() { re.compile("b"); },
+  "re-initialising a RegExp writes lastIndex and must respect writability");|}
+  | Q_repeat_negative_empty ->
+      Some
+        {|assert.throws(RangeError, function() { "x".repeat(-1); },
+  "repeat rejects negative counts");|}
+  | Q_tostring_radix_no_rangeerror ->
+      Some
+        {|assert.throws(RangeError, function() { (255).toString(40); },
+  "toString radix must be between 2 and 36");|}
+  | Q_toprecision_zero_accepted ->
+      Some
+        {|assert.throws(RangeError, function() { (1.5).toPrecision(0); },
+  "toPrecision precision must be at least 1");|}
+  | Q_reduce_empty_returns_undefined ->
+      Some
+        {|assert.throws(TypeError, function() {
+  [].reduce(function(a, b) { return a + b; });
+}, "reduce of an empty array with no initial value");|}
+  | Q_splice_negative_delcount_deletes ->
+      Some
+        {|var spliced = [1, 2, 3];
+spliced.splice(0, -1);
+assert.sameValue(spliced.join(","), "1,2,3",
+  "a negative deleteCount clamps to zero");|}
+  | Q_array_includes_strict_nan ->
+      Some
+        {|assert.sameValue([NaN].includes(NaN), true,
+  "includes uses SameValueZero, so NaN is found");|}
+  | Q_lastindexof_nan_zero ->
+      Some
+        {|assert.sameValue("banana".lastIndexOf("an", NaN), 3,
+  "a NaN position means searching from the end");|}
+  | Q_freeze_array_elements_writable ->
+      Some
+        {|var frozen = [1];
+Object.freeze(frozen);
+frozen[0] = 9;
+assert.sameValue(frozen[0], 1, "elements of a frozen array are read-only");|}
+  | Q_defineproperty_defaults_writable ->
+      Some
+        {|var host = {};
+Object.defineProperty(host, "k", { value: 1 });
+host.k = 2;
+assert.sameValue(host.k, 1, "descriptor fields default to false");|}
+  | Q_padstart_overlong_truncates ->
+      Some
+        {|assert.sameValue("abcdef".padStart(3, "x"), "abcdef",
+  "padStart never truncates a string longer than maxLength");|}
+  | Q_replace_undefined_search_noop ->
+      Some
+        {|assert.sameValue("x undefined y".replace(undefined, "Z"), "x Z y",
+  "an undefined searchValue is coerced to the string \"undefined\"");|}
+  | Q_charat_negative_wraps ->
+      Some
+        {|assert.sameValue("abc".charAt(-1), "",
+  "charAt with a negative position returns the empty string");|}
+  | Q_slice_negative_start_zero ->
+      Some
+        {|assert.sameValue("abcdef".slice(-2), "ef",
+  "a negative slice start counts from the end");|}
+  | _ -> None
+
+(* Render one Test262-style file for a discovery. Returns [None] when no
+   conformance assertion has been authored for the quirk (crash and
+   performance bugs are reported upstream instead, as in the paper). *)
+let render (d : Campaign.discovery) : (string * string) option =
+  match assertion_for d.Campaign.disc_quirk with
+  | None -> None
+  | Some body ->
+      let q = d.Campaign.disc_quirk in
+      let meta = Engines.Catalogue.find q in
+      let filename =
+        Printf.sprintf "%s-%s.js"
+          (String.lowercase_ascii
+             (String.map
+                (fun c -> if c = '.' || c = '%' then '-' else c)
+                meta.Engines.Catalogue.api))
+          (Jsinterp.Quirk.to_string q)
+      in
+      let front_matter =
+        Printf.sprintf
+          {|/*---
+esid: sec-%s
+description: >
+  %s deviates from the specification in %s %s
+  (found by Comfort via differential testing; behaviour class %s).
+features: []
+---*/
+|}
+          (String.lowercase_ascii meta.Engines.Catalogue.api)
+          meta.Engines.Catalogue.api
+          (Engines.Registry.engine_name d.Campaign.disc_engine)
+          d.Campaign.disc_version d.Campaign.disc_behavior
+      in
+      Some (filename, front_matter ^ harness ^ body ^ "\n" ^ epilogue)
+
+(* Export every exportable discovery of a campaign. *)
+let export (res : Campaign.result) : (string * string) list =
+  List.filter_map render res.Campaign.cp_discoveries
+
+(* Run an exported test on one engine configuration; [true] = conformant. *)
+let passes (cfg : Engines.Registry.config) (source : string) : bool =
+  let tb = { Engines.Engine.tb_config = cfg; tb_mode = Engines.Engine.Normal } in
+  let r = Engines.Engine.run ~fuel:2_000_000 tb source in
+  r.Jsinterp.Run.r_parsed
+  && r.Jsinterp.Run.r_status = Jsinterp.Run.Sts_normal
+  && r.Jsinterp.Run.r_output = "PASS\n"

@@ -1,0 +1,22 @@
+(** Test262-style export of discovered conformance bugs (paper §5.4: 21
+    Comfort-generated test cases were accepted into the official suite).
+
+    Each exportable discovery renders to a self-contained conformance test
+    in the Test262 house style: YAML front matter, a miniature assert
+    harness, and assertions against the conforming behaviour. A conforming
+    engine prints ["PASS"]; an engine carrying the bug prints the failing
+    assertion. *)
+
+(** The conformance assertion authored for a quirk, if any. Crash and
+    performance bugs have no assertion (they are reported upstream rather
+    than contributed as conformance tests, as in the paper). *)
+val assertion_for : Jsinterp.Quirk.t -> string option
+
+(** Render one discovery to [(filename, file contents)]. *)
+val render : Campaign.discovery -> (string * string) option
+
+(** Render every exportable discovery of a campaign. *)
+val export : Campaign.result -> (string * string) list
+
+(** Does this engine configuration pass the exported test? *)
+val passes : Engines.Registry.config -> string -> bool

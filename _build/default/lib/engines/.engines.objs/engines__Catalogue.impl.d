@@ -1,0 +1,1 @@
+lib/engines/catalogue.ml: Jsinterp List Quirk

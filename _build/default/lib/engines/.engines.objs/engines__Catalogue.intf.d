@@ -1,0 +1,1 @@
+lib/engines/catalogue.mli: Jsinterp

@@ -1,0 +1,1 @@
+lib/engines/engine.ml: Jsinterp Jsparse List Printf Registry Run

@@ -1,0 +1,1 @@
+lib/engines/engine.mli: Jsinterp Registry

@@ -1,0 +1,1 @@
+lib/engines/registry.ml: Jsinterp Jsparse List Printf Quirk

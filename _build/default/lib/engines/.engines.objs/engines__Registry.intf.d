@@ -1,0 +1,1 @@
+lib/engines/registry.mli: Jsinterp Jsparse

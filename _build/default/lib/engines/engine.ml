@@ -1,0 +1,56 @@
+(* Testbed execution: run a test case on one engine-version configuration
+   in one mode (normal or strict), per the paper's §4.2 testbed setup. *)
+
+open Jsinterp
+
+type mode = Normal | Strict
+
+let mode_to_string = function Normal -> "normal" | Strict -> "strict"
+
+type testbed = {
+  tb_config : Registry.config;
+  tb_mode : mode;
+}
+
+let testbed_id (tb : testbed) =
+  Printf.sprintf "%s[%s]" (Registry.id tb.tb_config) (mode_to_string tb.tb_mode)
+
+(* The paper's 102 testbeds: 51 configurations x 2 modes. *)
+let all_testbeds : testbed list =
+  List.concat_map
+    (fun c -> [ { tb_config = c; tb_mode = Normal }; { tb_config = c; tb_mode = Strict } ])
+    Registry.all_configs
+
+(* Testbeds for the newest version of each engine, the default target set
+   for a fuzzing campaign. *)
+let latest_testbeds ?(mode = Normal) () : testbed list =
+  List.map
+    (fun e -> { tb_config = Registry.latest e; tb_mode = mode })
+    Registry.all_engines
+
+let run ?(fuel = Run.default_fuel) ?(coverage = false) (tb : testbed)
+    (src : string) : Run.result =
+  Run.run
+    ~quirks:tb.tb_config.Registry.cfg_quirks
+    ~parse_opts:(Registry.parse_opts_of_config tb.tb_config)
+    ~strict:(tb.tb_mode = Strict)
+    ~fuel ~coverage src
+
+(* A reference run: the standard-conforming engine with no quirks. Used by
+   the reducer and by examples as the "expected" behaviour. *)
+let run_reference ?(fuel = Run.default_fuel) ?(strict = false) (src : string) :
+    Run.result =
+  Run.run ~strict ~fuel src
+
+(* Can this configuration's front end parse the program at all? Used by the
+   campaign to honour the paper's rule of only testing engines against
+   programs within their supported edition (§2.2). *)
+let supports (c : Registry.config) (src : string) : bool =
+  match
+    Jsparse.Parser.parse_program ~opts:(Registry.parse_opts_of_config c) src
+  with
+  | _ -> true
+  | exception Jsparse.Parser.Syntax_error _ ->
+      (* distinguish "ES edition too old" from genuinely bad syntax: if the
+         default front end accepts it, the rejection is a feature gap *)
+      not (Jsparse.Parser.is_valid src)

@@ -1,0 +1,29 @@
+(** Testbed execution (paper §4.2): run a test case on one engine-version
+    configuration in one mode. The paper's setup is 102 testbeds — 51
+    configurations, each in normal and strict mode. *)
+
+type mode = Normal | Strict
+
+val mode_to_string : mode -> string
+
+type testbed = { tb_config : Registry.config; tb_mode : mode }
+
+val testbed_id : testbed -> string
+
+(** All 102 testbeds. *)
+val all_testbeds : testbed list
+
+(** The newest version of each engine (default campaign target set). *)
+val latest_testbeds : ?mode:mode -> unit -> testbed list
+
+(** Execute a source program on a testbed. *)
+val run : ?fuel:int -> ?coverage:bool -> testbed -> string -> Jsinterp.Run.result
+
+(** The standard-conforming engine with no quirks — the oracle used by the
+    reducer and examples. *)
+val run_reference : ?fuel:int -> ?strict:bool -> string -> Jsinterp.Run.result
+
+(** Can this configuration's front end express the program at all? Used to
+    honour the paper's rule of only testing engines against programs within
+    their supported ECMAScript edition (§2.2). *)
+val supports : Registry.config -> string -> bool

@@ -1,0 +1,1 @@
+lib/jsast/ast.ml:

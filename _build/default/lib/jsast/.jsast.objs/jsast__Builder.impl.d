@@ -1,0 +1,1 @@
+lib/jsast/builder.ml: Ast Float List Option

@@ -1,0 +1,1 @@
+lib/jsast/builder.mli: Ast

@@ -1,0 +1,1 @@
+lib/jsast/mutate.ml: Ast Builder Char Cutil Float List Printer String Transform Visit

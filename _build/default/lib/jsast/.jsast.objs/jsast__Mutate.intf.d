@@ -1,0 +1,1 @@
+lib/jsast/mutate.mli: Ast Cutil

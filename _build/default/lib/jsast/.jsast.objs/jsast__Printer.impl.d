@@ -1,0 +1,1 @@
+lib/jsast/printer.ml: Ast Buffer Char Float List Printf String

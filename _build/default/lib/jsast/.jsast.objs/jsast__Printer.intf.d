@@ -1,0 +1,1 @@
+lib/jsast/printer.mli: Ast

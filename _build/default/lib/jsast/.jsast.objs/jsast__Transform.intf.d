@@ -1,0 +1,1 @@
+lib/jsast/transform.mli: Ast

@@ -1,0 +1,1 @@
+lib/jsast/visit.ml: Ast Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/jsast/visit.mli: Ast

@@ -1,0 +1,155 @@
+(* Abstract syntax for the JavaScript subset handled by this reproduction.
+
+   The subset covers what the Comfort pipeline needs to exercise: ES5.1
+   statements and expressions plus the ES2015 features the paper's test cases
+   rely on (let/const, arrow functions, template literals, computed member
+   and property names, for-of).
+
+   Statements and expressions are id-annotated records ([stmt] wraps
+   [stmt_desc], [expr] wraps [expr_desc]). The ids are assigned at
+   construction time (see {!Builder}) and identify syntactic locations for
+   the coverage instrumentation (statement/branch coverage, Fig. 9 of the
+   paper) and for the test-case reducer. Ids are unique within a program but
+   carry no other meaning. *)
+
+type lit =
+  | Lnull
+  | Lbool of bool
+  | Lnum of float
+  | Lstr of string
+  | Lregexp of string * string  (** pattern, flags *)
+
+type unop =
+  | Uneg        (** [-e] *)
+  | Uplus       (** [+e] *)
+  | Unot        (** [!e] *)
+  | Ubnot       (** [~e] *)
+  | Utypeof
+  | Uvoid
+  | Udelete
+
+type binop =
+  | Add | Sub | Mul | Div | Mod | Exp
+  | Eq | Neq | StrictEq | StrictNeq
+  | Lt | Gt | Le | Ge
+  | BitAnd | BitOr | BitXor
+  | Shl | Shr | Ushr
+  | Instanceof | In
+
+type logop = And | Or
+
+type update_op = Incr | Decr
+
+type var_kind = Var | Let | Const
+
+type expr = { eid : int; e : expr_desc }
+
+and expr_desc =
+  | Lit of lit
+  | Ident of string
+  | This
+  | Array_lit of expr option list
+      (** [None] entries are elisions, e.g. [\[1,,2\]]. *)
+  | Object_lit of (propname * expr) list
+  | Func of func
+  | Arrow of func
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Logical of logop * expr * expr
+  | Assign of binop option * expr * expr
+      (** [Assign (None, lhs, rhs)] is [lhs = rhs]; [Some op] is [lhs op= rhs].
+          The lhs must be an [Ident] or [Member]. *)
+  | Update of update_op * bool * expr  (** op, [true] = prefix, target *)
+  | Cond of expr * expr * expr
+  | Call of expr * expr list
+  | New of expr * expr list
+  | Member of expr * property
+  | Seq of expr * expr
+  | Template of template_part list
+
+and property =
+  | Pfield of string     (** [e.name] *)
+  | Pindex of expr       (** [e\[i\]] *)
+
+and propname =
+  | PN_ident of string
+  | PN_str of string
+  | PN_num of float
+  | PN_computed of expr
+
+and template_part =
+  | Tstr of string
+  | Tsub of expr
+
+and func = {
+  fname : string option;
+  params : string list;
+  body : stmt list;
+  is_arrow : bool;
+}
+
+and stmt = { sid : int; s : stmt_desc }
+
+and stmt_desc =
+  | Expr_stmt of expr
+  | Var_decl of var_kind * (string * expr option) list
+  | Func_decl of func
+  | Return of expr option
+  | If of expr * stmt * stmt option
+  | Block of stmt list
+  | For of for_init option * expr option * expr option * stmt
+  | For_in of var_kind option * string * expr * stmt
+  | For_of of var_kind option * string * expr * stmt
+  | While of expr * stmt
+  | Do_while of stmt * expr
+  | Break of string option
+  | Continue of string option
+  | Throw of expr
+  | Try of stmt list * (string * stmt list) option * stmt list option
+      (** try block, optional catch (param, body), optional finally *)
+  | Switch of expr * (expr option * stmt list) list
+      (** [None] discriminant is the [default:] clause. *)
+  | Labeled of string * stmt
+  | Empty
+  | Debugger
+
+and for_init =
+  | FI_decl of var_kind * (string * expr option) list
+  | FI_expr of expr
+
+type program = {
+  prog_body : stmt list;
+  prog_strict : bool;  (** ["use strict"] directive prologue present *)
+}
+
+(* Operator precedence used by both the parser and the printer; a shared
+   definition keeps round-tripping exact. Higher binds tighter. *)
+let binop_prec = function
+  | Exp -> 14
+  | Mul | Div | Mod -> 13
+  | Add | Sub -> 12
+  | Shl | Shr | Ushr -> 11
+  | Lt | Gt | Le | Ge | Instanceof | In -> 10
+  | Eq | Neq | StrictEq | StrictNeq -> 9
+  | BitAnd -> 8
+  | BitXor -> 7
+  | BitOr -> 6
+
+let logop_prec = function And -> 5 | Or -> 4
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Exp -> "**"
+  | Eq -> "==" | Neq -> "!=" | StrictEq -> "===" | StrictNeq -> "!=="
+  | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">="
+  | BitAnd -> "&" | BitOr -> "|" | BitXor -> "^"
+  | Shl -> "<<" | Shr -> ">>" | Ushr -> ">>>"
+  | Instanceof -> "instanceof" | In -> "in"
+
+let unop_to_string = function
+  | Uneg -> "-" | Uplus -> "+" | Unot -> "!" | Ubnot -> "~"
+  | Utypeof -> "typeof" | Uvoid -> "void" | Udelete -> "delete"
+
+let logop_to_string = function And -> "&&" | Or -> "||"
+
+let var_kind_to_string = function Var -> "var" | Let -> "let" | Const -> "const"

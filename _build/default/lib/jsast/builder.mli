@@ -1,0 +1,75 @@
+(** Smart constructors assigning fresh node ids.
+
+    All AST producers (the parser, the baseline mutators, the test-data
+    generator, the reducer) build nodes through this module so that every
+    node carries a distinct id for coverage accounting. *)
+
+(** Wrap a description with a fresh id. *)
+val e : Ast.expr_desc -> Ast.expr
+
+val s : Ast.stmt_desc -> Ast.stmt
+
+(** Reset the id counter — only from tests asserting on concrete ids. *)
+val reset_ids : unit -> unit
+
+(** {2 Expressions} *)
+
+val lit : Ast.lit -> Ast.expr
+val null : Ast.expr
+val bool : bool -> Ast.expr
+val num : float -> Ast.expr
+val int : int -> Ast.expr
+val str : string -> Ast.expr
+val regexp : string -> string -> Ast.expr
+val ident : string -> Ast.expr
+val this : unit -> Ast.expr
+val undefined : unit -> Ast.expr
+val array : Ast.expr list -> Ast.expr
+val object_ : (Ast.propname * Ast.expr) list -> Ast.expr
+val unary : Ast.unop -> Ast.expr -> Ast.expr
+val binary : Ast.binop -> Ast.expr -> Ast.expr -> Ast.expr
+val logical : Ast.logop -> Ast.expr -> Ast.expr -> Ast.expr
+val assign : Ast.expr -> Ast.expr -> Ast.expr
+val assign_op : Ast.binop -> Ast.expr -> Ast.expr -> Ast.expr
+val cond : Ast.expr -> Ast.expr -> Ast.expr -> Ast.expr
+val call : Ast.expr -> Ast.expr list -> Ast.expr
+val new_ : Ast.expr -> Ast.expr list -> Ast.expr
+val field : Ast.expr -> string -> Ast.expr
+val index : Ast.expr -> Ast.expr -> Ast.expr
+val seq : Ast.expr -> Ast.expr -> Ast.expr
+val template : Ast.template_part list -> Ast.expr
+val func : ?name:string -> ?arrow:bool -> string list -> Ast.stmt list -> Ast.expr
+
+(** [meth_call obj name args] builds [obj.name(args)]. *)
+val meth_call : Ast.expr -> string -> Ast.expr list -> Ast.expr
+
+(** {2 Statements} *)
+
+val expr_stmt : Ast.expr -> Ast.stmt
+val var : ?kind:Ast.var_kind -> string -> Ast.expr -> Ast.stmt
+val var_uninit : ?kind:Ast.var_kind -> string -> Ast.stmt
+val func_decl : string -> string list -> Ast.stmt list -> Ast.stmt
+val return_ : Ast.expr -> Ast.stmt
+val return_void : unit -> Ast.stmt
+val if_ : Ast.expr -> Ast.stmt -> Ast.stmt
+val if_else : Ast.expr -> Ast.stmt -> Ast.stmt -> Ast.stmt
+val block : Ast.stmt list -> Ast.stmt
+val while_ : Ast.expr -> Ast.stmt -> Ast.stmt
+val throw : Ast.expr -> Ast.stmt
+val try_catch : Ast.stmt list -> string -> Ast.stmt list -> Ast.stmt
+val empty : unit -> Ast.stmt
+
+(** [print x] builds [print(x)] — the output primitive every testbed
+    compares on. *)
+val print : Ast.expr -> Ast.stmt
+
+val program : ?strict:bool -> Ast.stmt list -> Ast.program
+
+(** {2 Fresh-id deep copies}
+
+    Used when grafting a subtree from one program into another, so the host
+    keeps id uniqueness. *)
+
+val refresh_expr : Ast.expr -> Ast.expr
+val refresh_stmt : Ast.stmt -> Ast.stmt
+val refresh_program : Ast.program -> Ast.program

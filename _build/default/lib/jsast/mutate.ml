@@ -1,0 +1,103 @@
+(* Generic AST mutation operators.
+
+   Used by the mutation-based baseline fuzzers (Fuzzilli/DIE/Montage
+   miniatures) and by the feedback extension of the Comfort pipeline that
+   mutates bug-exposing test cases (paper §5.5). *)
+
+module B = Builder
+module Rng = Cutil.Rng
+
+let interesting_numbers =
+  [ 0.0; 1.0; -1.0; 2.0; 0.5; -0.5; 255.0; 256.0; 65535.0; 2147483647.0;
+    -2147483648.0; 4294967295.0; 1e21; Float.nan; Float.infinity ]
+
+let interesting_strings = [ ""; " "; "0"; "abc"; "undefined"; "NaN"; "\\"; "$1" ]
+
+(* Replace one literal with an "interesting" value of the same type
+   (DIE-style aspect preservation) or of a random type. *)
+let mutate_literal ?(preserve_type = false) (rng : Rng.t) (p : Ast.program) :
+    Ast.program =
+  (* pick a random literal expression id *)
+  let lits = ref [] in
+  Visit.iter_program
+    ~fe:(fun x -> match x.Ast.e with Ast.Lit _ -> lits := x :: !lits | _ -> ())
+    p;
+  match !lits with
+  | [] -> p
+  | lits ->
+      let target = Rng.pick rng lits in
+      let replacement =
+        match target.Ast.e with
+        | Ast.Lit (Ast.Lnum _) when preserve_type ->
+            (* DIE mutates mostly to plain random values of the same type,
+               with an occasional "interesting" constant *)
+            if Rng.chance rng 0.3 then B.num (Rng.pick rng interesting_numbers)
+            else B.int (Rng.int rng 200 - 100)
+        | Ast.Lit (Ast.Lstr _) when preserve_type ->
+            if Rng.chance rng 0.3 then B.str (Rng.pick rng interesting_strings)
+            else
+              B.str
+                (String.init (Rng.int rng 5 + 1) (fun _ ->
+                     Char.chr (97 + Rng.int rng 26)))
+        | Ast.Lit (Ast.Lbool b) when preserve_type -> B.bool (not b)
+        | _ -> (
+            match Rng.int rng 5 with
+            | 0 -> B.num (Rng.pick rng interesting_numbers)
+            | 1 -> B.str (Rng.pick rng interesting_strings)
+            | 2 -> B.bool (Rng.bool rng)
+            | 3 -> B.null
+            | _ -> B.undefined ())
+      in
+      Transform.replace_expr p ~eid:target.Ast.eid ~replacement
+
+(* Swap one binary operator for another in the same family. *)
+let mutate_operator (rng : Rng.t) (p : Ast.program) : Ast.program =
+  let families =
+    [
+      [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Exp ];
+      [ Ast.Eq; Ast.Neq; Ast.StrictEq; Ast.StrictNeq ];
+      [ Ast.Lt; Ast.Gt; Ast.Le; Ast.Ge ];
+      [ Ast.BitAnd; Ast.BitOr; Ast.BitXor; Ast.Shl; Ast.Shr; Ast.Ushr ];
+    ]
+  in
+  let bins = ref [] in
+  Visit.iter_program
+    ~fe:(fun x -> match x.Ast.e with Ast.Binary _ -> bins := x :: !bins | _ -> ())
+    p;
+  match !bins with
+  | [] -> p
+  | bins -> (
+      let target = Rng.pick rng bins in
+      match target.Ast.e with
+      | Ast.Binary (op, a, b) -> (
+          match List.find_opt (List.mem op) families with
+          | Some family ->
+              let op' = Rng.pick rng family in
+              Transform.replace_expr p ~eid:target.Ast.eid
+                ~replacement:(B.binary op' (B.refresh_expr a) (B.refresh_expr b))
+          | None -> p)
+      | _ -> p)
+
+(* Graft one top-level statement of [donor] into [host] at a random
+   position (LangFuzz/Fuzzilli-style splicing). *)
+let splice (rng : Rng.t) ~(host : Ast.program) ~(donor : Ast.program) :
+    Ast.program =
+  match donor.Ast.prog_body with
+  | [] -> host
+  | donor_body ->
+      let stmt = B.refresh_stmt (Rng.pick rng donor_body) in
+      let body = host.Ast.prog_body in
+      let pos = Rng.int rng (List.length body + 1) in
+      let before = List.filteri (fun i _ -> i < pos) body in
+      let after = List.filteri (fun i _ -> i >= pos) body in
+      { host with Ast.prog_body = before @ [ stmt ] @ after }
+
+(* Delete one random top-level statement. *)
+let drop_statement (rng : Rng.t) (p : Ast.program) : Ast.program =
+  match p.Ast.prog_body with
+  | [] | [ _ ] -> p
+  | body ->
+      let victim = Rng.int rng (List.length body) in
+      { p with Ast.prog_body = List.filteri (fun i _ -> i <> victim) body }
+
+let to_src = Printer.program_to_string

@@ -1,0 +1,132 @@
+(* Deep rewriting over programs.
+
+   [map_program] rebuilds a program bottom-up, applying [fe] to every
+   expression and [fs] to every statement after their children have been
+   rewritten. Node ids of untouched nodes are preserved, so coverage data
+   and call-site ids stay valid across a rewrite that only replaces a
+   subtree. The test-data generator and the reducer are both built on it. *)
+
+open Ast
+
+let rec map_expr ~fe ~fs (x : expr) : expr =
+  let remap d = { x with e = d } in
+  let x' =
+    match x.e with
+    | Lit _ | Ident _ | This -> x
+    | Array_lit elems ->
+        remap (Array_lit (List.map (Option.map (map_expr ~fe ~fs)) elems))
+    | Object_lit props ->
+        remap
+          (Object_lit
+             (List.map
+                (fun (pn, v) ->
+                  let pn =
+                    match pn with
+                    | PN_computed e -> PN_computed (map_expr ~fe ~fs e)
+                    | pn -> pn
+                  in
+                  (pn, map_expr ~fe ~fs v))
+                props))
+    | Func f -> remap (Func (map_func ~fe ~fs f))
+    | Arrow f -> remap (Arrow (map_func ~fe ~fs f))
+    | Unary (op, a) -> remap (Unary (op, map_expr ~fe ~fs a))
+    | Binary (op, a, b) ->
+        remap (Binary (op, map_expr ~fe ~fs a, map_expr ~fe ~fs b))
+    | Logical (op, a, b) ->
+        remap (Logical (op, map_expr ~fe ~fs a, map_expr ~fe ~fs b))
+    | Assign (op, a, b) ->
+        remap (Assign (op, map_expr ~fe ~fs a, map_expr ~fe ~fs b))
+    | Update (op, pre, a) -> remap (Update (op, pre, map_expr ~fe ~fs a))
+    | Cond (c, t, f) ->
+        remap (Cond (map_expr ~fe ~fs c, map_expr ~fe ~fs t, map_expr ~fe ~fs f))
+    | Call (f, args) ->
+        remap (Call (map_expr ~fe ~fs f, List.map (map_expr ~fe ~fs) args))
+    | New (f, args) ->
+        remap (New (map_expr ~fe ~fs f, List.map (map_expr ~fe ~fs) args))
+    | Member (o, Pfield n) -> remap (Member (map_expr ~fe ~fs o, Pfield n))
+    | Member (o, Pindex i) ->
+        remap (Member (map_expr ~fe ~fs o, Pindex (map_expr ~fe ~fs i)))
+    | Seq (a, b) -> remap (Seq (map_expr ~fe ~fs a, map_expr ~fe ~fs b))
+    | Template parts ->
+        remap
+          (Template
+             (List.map
+                (function
+                  | Tstr s -> Tstr s
+                  | Tsub e -> Tsub (map_expr ~fe ~fs e))
+                parts))
+  in
+  fe x'
+
+and map_func ~fe ~fs (f : func) : func =
+  { f with body = List.map (map_stmt ~fe ~fs) f.body }
+
+and map_stmt ~fe ~fs (st : stmt) : stmt =
+  let remap d = { st with s = d } in
+  let e = map_expr ~fe ~fs in
+  let s = map_stmt ~fe ~fs in
+  let st' =
+    match st.s with
+    | Expr_stmt x -> remap (Expr_stmt (e x))
+    | Var_decl (k, decls) ->
+        remap (Var_decl (k, List.map (fun (n, i) -> (n, Option.map e i)) decls))
+    | Func_decl f -> remap (Func_decl (map_func ~fe ~fs f))
+    | Return x -> remap (Return (Option.map e x))
+    | If (c, t, f) -> remap (If (e c, s t, Option.map s f))
+    | Block body -> remap (Block (List.map s body))
+    | For (init, c, upd, body) ->
+        let init =
+          Option.map
+            (function
+              | FI_decl (k, decls) ->
+                  FI_decl (k, List.map (fun (n, i) -> (n, Option.map e i)) decls)
+              | FI_expr x -> FI_expr (e x))
+            init
+        in
+        remap (For (init, Option.map e c, Option.map e upd, s body))
+    | For_in (k, n, o, body) -> remap (For_in (k, n, e o, s body))
+    | For_of (k, n, o, body) -> remap (For_of (k, n, e o, s body))
+    | While (c, body) -> remap (While (e c, s body))
+    | Do_while (body, c) -> remap (Do_while (s body, e c))
+    | Break _ | Continue _ | Empty | Debugger -> st
+    | Throw x -> remap (Throw (e x))
+    | Try (b, h, f) ->
+        remap
+          (Try
+             ( List.map s b,
+               Option.map (fun (p, hb) -> (p, List.map s hb)) h,
+               Option.map (List.map s) f ))
+    | Switch (d, cases) ->
+        remap
+          (Switch (e d, List.map (fun (c, body) -> (Option.map e c, List.map s body)) cases))
+    | Labeled (l, inner) -> remap (Labeled (l, s inner))
+  in
+  fs st'
+
+let map_program ?(fe = fun x -> x) ?(fs = fun s -> s) (p : program) : program =
+  { p with prog_body = List.map (map_stmt ~fe ~fs) p.prog_body }
+
+(* Replace the expression with node id [eid] by [replacement]. *)
+let replace_expr (p : program) ~(eid : int) ~(replacement : expr) : program =
+  map_program ~fe:(fun x -> if x.eid = eid then replacement else x) p
+
+(* Replace the initializer of the first declaration of variable [name]. *)
+let replace_var_init (p : program) ~(name : string) ~(init : expr) : program =
+  let done_ = ref false in
+  map_program
+    ~fs:(fun st ->
+      match st.s with
+      | Var_decl (k, decls) when not !done_ ->
+          let decls =
+            List.map
+              (fun (n, i) ->
+                if n = name && not !done_ then begin
+                  done_ := true;
+                  (n, Some init)
+                end
+                else (n, i))
+              decls
+          in
+          { st with s = Var_decl (k, decls) }
+      | _ -> st)
+    p

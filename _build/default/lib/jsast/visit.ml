@@ -1,0 +1,268 @@
+(* Generic traversals and static queries over programs.
+
+   These are the analyses shared by the test-data generator (call-site
+   extraction, def-use association of Algorithm 1, line 8), the coverage
+   instrumentation (enumerating coverable locations) and the reducer. *)
+
+open Ast
+
+(* Apply [fe] to every expression and [fs] to every statement, top-down,
+   including inside function-expression bodies. *)
+let rec iter_expr ?(fs = ignore) ~fe (x : expr) =
+  let iter_expr = iter_expr ~fs in
+  fe x;
+  match x.e with
+  | Lit _ | Ident _ | This -> ()
+  | Array_lit elems -> List.iter (Option.iter (iter_expr ~fe)) elems
+  | Object_lit props ->
+      List.iter
+        (fun (pn, v) ->
+          (match pn with PN_computed e -> iter_expr ~fe e | _ -> ());
+          iter_expr ~fe v)
+        props
+  | Func f | Arrow f -> List.iter (iter_stmt ~fe ~fs) f.body
+  | Unary (_, a) | Update (_, _, a) -> iter_expr ~fe a
+  | Binary (_, a, b) | Logical (_, a, b) | Assign (_, a, b) | Seq (a, b) ->
+      iter_expr ~fe a;
+      iter_expr ~fe b
+  | Cond (a, b, c) ->
+      iter_expr ~fe a;
+      iter_expr ~fe b;
+      iter_expr ~fe c
+  | Call (f, args) | New (f, args) ->
+      iter_expr ~fe f;
+      List.iter (iter_expr ~fe) args
+  | Member (o, Pfield _) -> iter_expr ~fe o
+  | Member (o, Pindex i) ->
+      iter_expr ~fe o;
+      iter_expr ~fe i
+  | Template parts ->
+      List.iter (function Tstr _ -> () | Tsub e -> iter_expr ~fe e) parts
+
+and iter_stmt ~fe ~fs (st : stmt) =
+  fs st;
+  let expr = iter_expr ~fs ~fe in
+  let stmt = iter_stmt ~fe ~fs in
+  match st.s with
+  | Expr_stmt x -> expr x
+  | Var_decl (_, decls) -> List.iter (fun (_, i) -> Option.iter expr i) decls
+  | Func_decl f -> List.iter stmt f.body
+  | Return x -> Option.iter expr x
+  | If (c, t, f) ->
+      expr c;
+      stmt t;
+      Option.iter stmt f
+  | Block body -> List.iter stmt body
+  | For (init, c, upd, body) ->
+      (match init with
+      | Some (FI_decl (_, decls)) ->
+          List.iter (fun (_, i) -> Option.iter expr i) decls
+      | Some (FI_expr x) -> expr x
+      | None -> ());
+      Option.iter expr c;
+      Option.iter expr upd;
+      stmt body
+  | For_in (_, _, o, body) | For_of (_, _, o, body) ->
+      expr o;
+      stmt body
+  | While (c, body) ->
+      expr c;
+      stmt body
+  | Do_while (body, c) ->
+      stmt body;
+      expr c
+  | Break _ | Continue _ | Empty | Debugger -> ()
+  | Throw x -> expr x
+  | Try (b, h, f) ->
+      List.iter stmt b;
+      Option.iter (fun (_, hb) -> List.iter stmt hb) h;
+      Option.iter (List.iter stmt) f
+  | Switch (d, cases) ->
+      expr d;
+      List.iter
+        (fun (c, body) ->
+          Option.iter expr c;
+          List.iter stmt body)
+        cases
+  | Labeled (_, st) -> stmt st
+
+let iter_program ?(fe = ignore) ?(fs = ignore) (p : program) =
+  List.iter (iter_stmt ~fe ~fs) p.prog_body
+
+(* Counting helpers used by the coverage metrics (denominators). *)
+
+let count_statements p =
+  let n = ref 0 in
+  iter_program ~fs:(fun _ -> incr n) p;
+  !n
+
+let count_functions p =
+  let n = ref 0 in
+  iter_program
+    ~fe:(fun x -> match x.e with Func _ | Arrow _ -> incr n | _ -> ())
+    ~fs:(fun st -> match st.s with Func_decl _ -> incr n | _ -> ())
+    p;
+  !n
+
+(* A "branch" is one arm of a conditional construct; an [If] contributes two
+   (then/else, whether or not the else is written), a [Cond] two, a [Logical]
+   two (short-circuit taken / not taken), each loop two (enter / skip), each
+   switch case one. This matches how Istanbul counts branches. *)
+let count_branch_arms p =
+  let n = ref 0 in
+  iter_program
+    ~fe:(fun x ->
+      match x.e with Cond _ | Logical _ -> n := !n + 2 | _ -> ())
+    ~fs:(fun st ->
+      match st.s with
+      | If _ -> n := !n + 2
+      | While _ | Do_while _ | For _ | For_in _ | For_of _ -> n := !n + 2
+      | Switch (_, cases) -> n := !n + List.length cases
+      | _ -> ())
+    p;
+  !n
+
+let count_nodes p =
+  let n = ref 0 in
+  iter_program ~fe:(fun _ -> incr n) ~fs:(fun _ -> incr n) p;
+  !n
+
+(* A call site interesting to the test-data generator: the callee "API name"
+   in the ECMA-262 database key style. [x.substr(a)] yields ["substr"] with
+   [receiver = Some "x"], [new Uint32Array(n)] yields ["Uint32Array"],
+   [parseInt(s)] yields ["parseInt"]. *)
+type call_site = {
+  cs_callee : string;          (** last path component, e.g. ["substr"] *)
+  cs_path : string list;       (** full dotted path, e.g. [\["Object"; "defineProperty"\]] *)
+  cs_receiver : string option; (** receiver identifier for method calls *)
+  cs_args : expr list;
+  cs_is_new : bool;
+  cs_expr_id : int;
+}
+
+let rec callee_path (x : expr) : string list option =
+  match x.e with
+  | Ident n -> Some [ n ]
+  | Member (o, Pfield n) ->
+      Option.map (fun p -> p @ [ n ]) (callee_path o)
+  | _ -> None
+
+let call_sites (p : program) : call_site list =
+  let acc = ref [] in
+  iter_program
+    ~fe:(fun x ->
+      match x.e with
+      | Call (f, args) | New (f, args) -> (
+          let is_new = match x.e with New _ -> true | _ -> false in
+          match callee_path f with
+          | Some path when path <> [] ->
+              let receiver =
+                match (f.e, path) with
+                | Member ({ e = Ident r; _ }, _), _ -> Some r
+                | _ -> None
+              in
+              acc :=
+                {
+                  cs_callee = List.nth path (List.length path - 1);
+                  cs_path = path;
+                  cs_receiver = receiver;
+                  cs_args = args;
+                  cs_is_new = is_new;
+                  cs_expr_id = x.eid;
+                }
+                :: !acc
+          | _ -> ())
+      | _ -> ())
+    p;
+  List.rev !acc
+
+(* Names of all declared variables and functions; used for def-use
+   association when mutating argument values. *)
+let declared_names (p : program) : string list =
+  let acc = ref [] in
+  iter_program
+    ~fs:(fun st ->
+      match st.s with
+      | Var_decl (_, decls) ->
+          List.iter (fun (n, _) -> acc := n :: !acc) decls
+      | Func_decl { fname = Some n; _ } -> acc := n :: !acc
+      | For (Some (FI_decl (_, decls)), _, _, _) ->
+          List.iter (fun (n, _) -> acc := n :: !acc) decls
+      | For_in (Some _, n, _, _) | For_of (Some _, n, _, _) ->
+          acc := n :: !acc
+      | _ -> ())
+    p;
+  List.rev !acc
+
+(* Free identifiers referenced but never declared at any scope of the
+   program. Approximate (no scope analysis) but sufficient for the semantic
+   checks the generator applies. *)
+let referenced_idents (p : program) : string list =
+  let tbl = Hashtbl.create 16 in
+  iter_program
+    ~fe:(fun x ->
+      match x.e with
+      | Ident n -> Hashtbl.replace tbl n ()
+      | Func f | Arrow f ->
+          List.iter (fun p -> Hashtbl.replace tbl p ()) f.params
+      | _ -> ())
+    p;
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+
+(* Names bound anywhere in the program: declarations, parameters, function
+   names, catch parameters, loop binders. A scope-insensitive
+   over-approximation of bound names — safe for deciding which identifiers
+   need a synthesized binding. *)
+let bound_names (p : program) : string list =
+  let tbl = Hashtbl.create 16 in
+  let add n = Hashtbl.replace tbl n () in
+  iter_program
+    ~fe:(fun x ->
+      match x.e with
+      | Func f | Arrow f ->
+          Option.iter add f.fname;
+          List.iter add f.params
+      | _ -> ())
+    ~fs:(fun st ->
+      match st.s with
+      | Var_decl (_, decls) -> List.iter (fun (n, _) -> add n) decls
+      | Func_decl f ->
+          Option.iter add f.fname;
+          List.iter add f.params
+      | For (Some (FI_decl (_, decls)), _, _, _) ->
+          List.iter (fun (n, _) -> add n) decls
+      | For_in (_, n, _, _) | For_of (_, n, _, _) -> add n
+      | Try (_, Some (param, _), _) -> add param
+      | _ -> ())
+    p;
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+
+(* Global names every engine realm provides; not "free" when referenced. *)
+let builtin_globals : string list =
+  [
+    "print"; "undefined"; "NaN"; "Infinity"; "globalThis"; "this"; "arguments";
+    "Math"; "JSON"; "Object"; "Function"; "String"; "Number"; "Boolean";
+    "Array"; "RegExp"; "Date"; "Error"; "TypeError"; "RangeError";
+    "SyntaxError"; "ReferenceError"; "EvalError"; "parseInt"; "parseFloat";
+    "isNaN"; "isFinite"; "eval"; "Uint8Array"; "Uint8ClampedArray";
+    "Int8Array"; "Uint16Array"; "Int16Array"; "Uint32Array"; "Int32Array";
+    "Float32Array"; "Float64Array"; "DataView";
+  ]
+
+(* Identifiers that are referenced, unbound, and not builtin globals. *)
+let free_idents (p : program) : string list =
+  let bound = bound_names p in
+  let refs = ref [] in
+  let seen = Hashtbl.create 16 in
+  iter_program
+    ~fe:(fun x ->
+      match x.e with
+      | Ident n
+        when (not (Hashtbl.mem seen n))
+             && (not (List.mem n bound))
+             && not (List.mem n builtin_globals) ->
+          Hashtbl.replace seen n ();
+          refs := n :: !refs
+      | _ -> ())
+    p;
+  List.rev !refs

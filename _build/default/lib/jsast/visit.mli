@@ -1,0 +1,64 @@
+(** Generic traversals and static queries over programs: the analyses
+    shared by the test-data generator (call-site extraction, the def-use
+    association of the paper's Algorithm 1 line 8), the coverage
+    instrumentation (enumerating coverable locations) and the reducer. *)
+
+(** Apply [fe] to every expression, top-down, including inside
+    function-expression bodies; [fs] fires on statements nested in those
+    bodies. *)
+val iter_expr : ?fs:(Ast.stmt -> unit) -> fe:(Ast.expr -> unit) -> Ast.expr -> unit
+
+val iter_stmt :
+  fe:(Ast.expr -> unit) -> fs:(Ast.stmt -> unit) -> Ast.stmt -> unit
+
+val iter_program :
+  ?fe:(Ast.expr -> unit) -> ?fs:(Ast.stmt -> unit) -> Ast.program -> unit
+
+(** {2 Static counts (coverage denominators)} *)
+
+val count_statements : Ast.program -> int
+val count_functions : Ast.program -> int
+
+(** One arm per conditional construct: if/loops contribute two, each switch
+    case one — matching how Istanbul counts branches. *)
+val count_branch_arms : Ast.program -> int
+
+val count_nodes : Ast.program -> int
+
+(** {2 Call sites} *)
+
+(** A call site interesting to the test-data generator: [x.substr(a)]
+    yields callee ["substr"] with [cs_receiver = Some "x"];
+    [new Uint32Array(n)] yields ["Uint32Array"]. *)
+type call_site = {
+  cs_callee : string;           (** last path component *)
+  cs_path : string list;        (** full dotted path *)
+  cs_receiver : string option;  (** receiver identifier for method calls *)
+  cs_args : Ast.expr list;
+  cs_is_new : bool;
+  cs_expr_id : int;
+}
+
+(** The dotted-name path of a callee expression, if it is one. *)
+val callee_path : Ast.expr -> string list option
+
+val call_sites : Ast.program -> call_site list
+
+(** {2 Name analyses} *)
+
+(** Names declared anywhere ([var]/[let]/[const], function names, loop
+    binders). *)
+val declared_names : Ast.program -> string list
+
+val referenced_idents : Ast.program -> string list
+
+(** Scope-insensitive over-approximation of bound names (declarations,
+    parameters, catch params, loop binders). *)
+val bound_names : Ast.program -> string list
+
+(** Global names every engine realm provides. *)
+val builtin_globals : string list
+
+(** Identifiers referenced, unbound, and not builtin — the names the
+    test-data generator must bind for the program to execute. *)
+val free_idents : Ast.program -> string list

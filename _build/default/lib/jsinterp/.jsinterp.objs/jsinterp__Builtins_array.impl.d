@@ -1,0 +1,1 @@
+lib/jsinterp/builtins_array.ml: Array Builtins_util Float List Ops Quirk String Value

@@ -1,0 +1,1 @@
+lib/jsinterp/builtins_json.ml: Array Buffer Builtins_util Char Float List Ops Printf Quirk String Value

@@ -1,0 +1,1 @@
+lib/jsinterp/builtins_number.ml: Builtins_util Char Float List Ops Printf Quirk String Value

@@ -1,0 +1,1 @@
+lib/jsinterp/builtins_object.ml: Array Builtins_util Float List Ops Option Printf Quirk String Value

@@ -1,0 +1,1 @@
+lib/jsinterp/builtins_regexp.ml: Array Builtins_string Builtins_util Float Ops Quirk Regex String Value

@@ -1,0 +1,1 @@
+lib/jsinterp/builtins_string.ml: Array Buffer Builtins_util Char Float List Ops Quirk Regex String Value

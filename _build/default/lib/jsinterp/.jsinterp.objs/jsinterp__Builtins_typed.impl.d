@@ -1,0 +1,1 @@
+lib/jsinterp/builtins_typed.ml: Array Builtins_util Bytes Char Float Int64 List Ops Option Quirk String Value

@@ -1,0 +1,1 @@
+lib/jsinterp/builtins_util.ml: Float List Ops Value

@@ -1,0 +1,1 @@
+lib/jsinterp/coverage.ml: Ast Float Hashtbl Jsast List Visit

@@ -1,0 +1,1 @@
+lib/jsinterp/coverage.mli: Jsast

@@ -1,0 +1,1 @@
+lib/jsinterp/interp.ml: Buffer Coverage Float Hashtbl Int32 Jsast List Ops Option Printf Quirk Regex String Value

@@ -1,0 +1,1 @@
+lib/jsinterp/ops.ml: Array Buffer Char Float Int32 List Option Printf Quirk String Value

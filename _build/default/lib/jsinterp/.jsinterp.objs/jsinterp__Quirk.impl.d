@@ -1,0 +1,1 @@
+lib/jsinterp/quirk.ml: List Stdlib

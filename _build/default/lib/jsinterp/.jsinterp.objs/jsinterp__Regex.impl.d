@@ -1,0 +1,1 @@
+lib/jsinterp/regex.ml: Array Char List Option Printf String

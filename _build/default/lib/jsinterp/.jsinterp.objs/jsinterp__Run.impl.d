@@ -1,0 +1,1 @@
+lib/jsinterp/run.ml: Buffer Builtins Coverage Hashtbl Interp Jsast Jsparse Ops Option Printf Quirk Value

@@ -1,0 +1,1 @@
+lib/jsinterp/run.mli: Coverage Jsparse Quirk

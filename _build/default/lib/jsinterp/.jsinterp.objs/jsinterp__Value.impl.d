@@ -1,0 +1,1 @@
+lib/jsinterp/value.ml: Buffer Coverage Hashtbl Jsast Jsparse List Quirk Regex

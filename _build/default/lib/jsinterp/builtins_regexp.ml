@@ -1,0 +1,105 @@
+(* RegExp.prototype: exec / test / toString / compile.
+
+   The lastIndex write-protection rule (the DIE-found Rhino/JerryScript bug
+   of Listing 12) is enforced here: when [lastIndex] has been made
+   non-writable, any internal write to it must throw a TypeError. *)
+
+open Value
+open Builtins_util
+
+let this_regexp ctx (this : value) : obj * regex_data =
+  match this with
+  | Obj ({ regex = Some rd; _ } as o) -> (o, rd)
+  | _ -> Ops.type_error ctx "RegExp.prototype method called on a non-RegExp"
+
+let sem ctx = Builtins_string.regex_semantics ctx
+
+(* Internal [[Set]] of lastIndex; the conformance-relevant write path. *)
+let set_last_index ctx (o : obj) (v : float) : unit =
+  match find_own o "lastIndex" with
+  | Some p ->
+      if p.writable then p.v <- Num v
+      else if fire ctx Quirk.Q_regexp_lastindex_nonwritable_silent then ()
+      else Ops.type_error ctx "cannot assign to read only property 'lastIndex'"
+  | None -> set_own o "lastIndex" (mkprop ~enumerable:false (Num v))
+
+let get_last_index ctx (o : obj) : int =
+  match find_own o "lastIndex" with
+  | Some p -> Float.to_int (Ops.to_integer ctx p.v)
+  | None -> 0
+
+let install ctx (regexp_proto : obj) : unit =
+  def_method ctx regexp_proto "toString" 0 (fun ctx this _ ->
+      let _, rd = this_regexp ctx this in
+      Str ("/" ^ rd.rx_source ^ "/" ^ rd.rx_flags));
+
+  def_method ctx regexp_proto "test" 1 (fun ctx this args ->
+      let o, rd = this_regexp ctx this in
+      let s = Ops.to_string ctx (arg 0 args) in
+      let start = if rd.rx_prog.Regex.flag_g then get_last_index ctx o else 0 in
+      match Regex.exec ~sem:(sem ctx) rd.rx_prog s start with
+      | Some m ->
+          if rd.rx_prog.Regex.flag_g then
+            set_last_index ctx o (Float.of_int m.Regex.m_end);
+          Bool true
+      | None ->
+          if rd.rx_prog.Regex.flag_g then set_last_index ctx o 0.0;
+          Bool false);
+
+  def_method ctx regexp_proto "exec" 1 (fun ctx this args ->
+      let o, rd = this_regexp ctx this in
+      let s = Ops.to_string ctx (arg 0 args) in
+      let start = if rd.rx_prog.Regex.flag_g then get_last_index ctx o else 0 in
+      if start > String.length s then begin
+        if rd.rx_prog.Regex.flag_g then set_last_index ctx o 0.0;
+        Null
+      end
+      else
+        match Regex.exec ~sem:(sem ctx) rd.rx_prog s start with
+        | None ->
+            if rd.rx_prog.Regex.flag_g then set_last_index ctx o 0.0;
+            Null
+        | Some m ->
+            if rd.rx_prog.Regex.flag_g then
+              set_last_index ctx o (Float.of_int m.Regex.m_end);
+            let matched = String.sub s m.Regex.m_start (m.Regex.m_end - m.Regex.m_start) in
+            let groups =
+              Array.to_list
+                (Array.map
+                   (function
+                     | Some (a, b) -> Str (String.sub s a (b - a))
+                     | None -> Undefined)
+                   m.Regex.m_groups)
+            in
+            let res = Ops.make_array ctx (Str matched :: groups) in
+            set_own res "index" (mkprop (int_ m.Regex.m_start));
+            set_own res "input" (mkprop (Str s));
+            Obj res);
+
+  (* legacy RegExp.prototype.compile — resets lastIndex to 0, which is the
+     write Listing 12 exercises against a non-writable lastIndex *)
+  def_method ctx regexp_proto "compile" 2 (fun ctx this args ->
+      let o, rd = this_regexp ctx this in
+      let pat =
+        match arg 0 args with
+        | Undefined -> rd.rx_source
+        | v -> Ops.to_string ctx v
+      in
+      let flags =
+        match arg 1 args with
+        | Undefined -> rd.rx_flags
+        | v -> Ops.to_string ctx v
+      in
+      (match Regex.compile pat flags with
+      | prog ->
+          o.regex <- Some { rx_source = pat; rx_flags = flags; rx_prog = prog };
+          set_last_index ctx o 0.0;
+          (match find_own o "source" with
+          | Some p -> p.v <- Str pat
+          | None -> ());
+          (match find_own o "flags" with
+          | Some p -> p.v <- Str flags
+          | None -> ())
+      | exception Regex.Parse_error msg ->
+          Ops.syntax_error ctx ("invalid regular expression: " ^ msg));
+      this)

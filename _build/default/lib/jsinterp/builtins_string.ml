@@ -1,0 +1,543 @@
+(* String constructor and String.prototype.
+
+   The substr implementation follows the ECMA-262 pseudo-code reproduced in
+   the paper's Figure 1 step by step; the Rhino bug of Figure 2 is the
+   [Q_substr_undefined_length_empty] deviation in step 6. *)
+
+open Value
+open Builtins_util
+
+let clamp_index len i = max 0 (min len i)
+
+let rec install ctx (string_proto : obj) : unit =
+  let to_int ctx v = Float.to_int (max (-1e9) (min 1e9 (Ops.to_integer ctx v))) in
+
+  def_method ctx string_proto "toString" 0 (fun ctx this _ ->
+      match this with
+      | Str _ -> this
+      | Obj { prim = Some (Str s); _ } -> Str s
+      | _ -> Ops.type_error ctx "String.prototype.toString requires a string");
+  def_method ctx string_proto "valueOf" 0 (fun ctx this _ ->
+      match this with
+      | Str _ -> this
+      | Obj { prim = Some (Str s); _ } -> Str s
+      | _ -> Ops.type_error ctx "String.prototype.valueOf requires a string");
+
+  def_method ctx string_proto "charAt" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      let i = to_int ctx (arg 0 args) in
+      let i =
+        if i < 0 && fire ctx Quirk.Q_charat_negative_wraps then
+          String.length s + i
+        else i
+      in
+      if i >= 0 && i < String.length s then Str (String.make 1 s.[i]) else Str "");
+
+  def_method ctx string_proto "charCodeAt" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      let i = to_int ctx (arg 0 args) in
+      if i >= 0 && i < String.length s then num (Float.of_int (Char.code s.[i]))
+      else Num Float.nan);
+
+  def_method ctx string_proto "indexOf" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      let search = Ops.to_string ctx (arg 0 args) in
+      let from =
+        if fire ctx Quirk.Q_string_indexof_fromindex_ignored then 0
+        else clamp_index (String.length s) (to_int ctx (arg 1 args))
+      in
+      let n = String.length s and m = String.length search in
+      let rec find i =
+        if i + m > n then -1
+        else if String.sub s i m = search then i
+        else find (i + 1)
+      in
+      int_ (find from));
+
+  def_method ctx string_proto "lastIndexOf" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      let search = Ops.to_string ctx (arg 0 args) in
+      let n = String.length s and m = String.length search in
+      let posv = arg 1 args in
+      let posn = Ops.to_number ctx posv in
+      let start =
+        if Float.is_nan posn then
+          if fire ctx Quirk.Q_lastindexof_nan_zero then 0 else n
+        else clamp_index n (Float.to_int (max (-1e9) (min 1e9 posn)))
+      in
+      let rec find i =
+        if i < 0 then -1
+        else if i + m <= n && String.sub s i m = search then i
+        else find (i - 1)
+      in
+      int_ (find (min start (n - m) |> max (-1))));
+
+  def_method ctx string_proto "includes" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      let search = Ops.to_string ctx (arg 0 args) in
+      let from = clamp_index (String.length s) (to_int ctx (arg 1 args)) in
+      let n = String.length s and m = String.length search in
+      let rec find i =
+        if i + m > n then false
+        else String.sub s i m = search || find (i + 1)
+      in
+      bool_ (find from));
+
+  def_method ctx string_proto "startsWith" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      let search = Ops.to_string ctx (arg 0 args) in
+      let pos =
+        if fire ctx Quirk.Q_startswith_position_ignored then 0
+        else clamp_index (String.length s) (to_int ctx (arg 1 args))
+      in
+      let m = String.length search in
+      bool_ (pos + m <= String.length s && String.sub s pos m = search));
+
+  def_method ctx string_proto "endsWith" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      let search = Ops.to_string ctx (arg 0 args) in
+      let endpos =
+        match arg 1 args with
+        | Undefined -> String.length s
+        | v -> clamp_index (String.length s) (to_int ctx v)
+      in
+      let m = String.length search in
+      bool_ (endpos - m >= 0 && String.sub s (endpos - m) m = search));
+
+  def_method ctx string_proto "slice" 2 (fun ctx this args ->
+      let s = this_string ctx this in
+      let n = String.length s in
+      let resolve v dflt =
+        match v with
+        | Undefined -> dflt
+        | v ->
+            let i = to_int ctx v in
+            if i < 0 then
+              if fire ctx Quirk.Q_slice_negative_start_zero then 0
+              else max 0 (n + i)
+            else min i n
+      in
+      let a = resolve (arg 0 args) 0 in
+      let b = resolve (arg 1 args) n in
+      if a < b then Str (String.sub s a (b - a)) else Str "");
+
+  def_method ctx string_proto "substring" 2 (fun ctx this args ->
+      let s = this_string ctx this in
+      let n = String.length s in
+      let resolve v dflt =
+        match v with Undefined -> dflt | v -> clamp_index n (to_int ctx v)
+      in
+      let a = resolve (arg 0 args) 0 in
+      let b = resolve (arg 1 args) n in
+      let lo = min a b and hi = max a b in
+      Str (String.sub s lo (hi - lo)));
+
+  (* String.prototype.substr(start, length) — Figure 1 of the paper. *)
+  def_method ctx string_proto "substr" 2 (fun ctx this args ->
+      let s = this_string ctx this in
+      let size = String.length s in
+      let int_start = Ops.to_integer ctx (arg 0 args) in
+      let end_ =
+        match arg 1 args with
+        | Undefined ->
+            (* step 6: if length is undefined, let end be +inf. The Rhino
+               bug treats it as 0, yielding the empty string. *)
+            if fire ctx Quirk.Q_substr_undefined_length_empty then 0.0
+            else Float.infinity
+        | v -> Ops.to_integer ctx v
+      in
+      let int_start =
+        if int_start < 0.0 then Float.max (Float.of_int size +. int_start) 0.0
+        else int_start
+      in
+      let int_start = Float.to_int (Float.min int_start (Float.of_int size)) in
+      let result_length =
+        Float.min (Float.max end_ 0.0) (Float.of_int (size - int_start))
+      in
+      if result_length <= 0.0 then Str ""
+      else Str (String.sub s int_start (Float.to_int result_length)));
+
+  def_method ctx string_proto "concat" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      Str (List.fold_left (fun acc a -> acc ^ Ops.to_string ctx a) s args));
+
+  def_method ctx string_proto "toUpperCase" 0 (fun ctx this _ ->
+      Str (String.uppercase_ascii (this_string ctx this)));
+  def_method ctx string_proto "toLowerCase" 0 (fun ctx this _ ->
+      Str (String.lowercase_ascii (this_string ctx this)));
+
+  def_method ctx string_proto "trim" 0 (fun ctx this _ ->
+      let s = this_string ctx this in
+      let is_ws c =
+        c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '\x0c'
+        || (c = '\x0b' && not (fire ctx Quirk.Q_trim_missing_vt))
+      in
+      let n = String.length s in
+      let a = ref 0 and b = ref n in
+      while !a < n && is_ws s.[!a] do incr a done;
+      while !b > !a && is_ws s.[!b - 1] do decr b done;
+      Str (String.sub s !a (!b - !a)));
+
+  def_method ctx string_proto "repeat" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      let n = Ops.to_integer ctx (arg 0 args) in
+      if n < 0.0 || n = Float.infinity then
+        if fire ctx Quirk.Q_repeat_negative_empty then Str ""
+        else Ops.range_error ctx "invalid count value"
+      else begin
+        let n = Float.to_int n in
+        if n * String.length s > 100_000_000 then
+          Ops.range_error ctx "repeat count too large";
+        burn ctx (n * String.length s / 16);
+        let buf = Buffer.create (n * String.length s) in
+        for _ = 1 to n do Buffer.add_string buf s done;
+        Str (Buffer.contents buf)
+      end);
+
+  let pad ~at_start ctx this args =
+    let s = this_string ctx this in
+    let target = to_int ctx (arg 0 args) in
+    let filler =
+      match arg 1 args with Undefined -> " " | v -> Ops.to_string ctx v
+    in
+    if target <= String.length s then
+      if at_start && target > 0 && target < String.length s
+         && fire ctx Quirk.Q_padstart_overlong_truncates
+      then Str (String.sub s 0 target)
+      else Str s
+    else if filler = "" then Str s
+    else begin
+      let need = target - String.length s in
+      (* ECMA-262 bounds string length at 2^53-1 but real engines throw
+         far earlier; model the memory with fuel and a hard cap *)
+      if need > 50_000_000 then Ops.range_error ctx "Invalid string length";
+      burn ctx (need / 16 + 1);
+      let buf = Buffer.create need in
+      while Buffer.length buf < need do
+        Buffer.add_string buf filler
+      done;
+      let padding = String.sub (Buffer.contents buf) 0 need in
+      Str (if at_start then padding ^ s else s ^ padding)
+    end
+  in
+  def_method ctx string_proto "padStart" 1 (pad ~at_start:true);
+  def_method ctx string_proto "padEnd" 1 (pad ~at_start:false);
+
+  (* split: string or regexp separator *)
+  def_method ctx string_proto "split" 2 (fun ctx this args ->
+      let s = this_string ctx this in
+      let limit =
+        match arg 1 args with
+        | Undefined -> max_int
+        | v -> Float.to_int (Ops.to_uint32 ctx v)
+      in
+      let pieces =
+        match arg 0 args with
+        | Undefined -> [ s ]
+        | Obj ({ regex = Some rd; _ }) ->
+            let sem = regex_semantics ctx in
+            let anchor_bug =
+              has_leading_anchor rd.rx_prog
+              && Regex.exec ~sem rd.rx_prog s 0 = None
+              && fire ctx Quirk.Q_split_regexp_anchor_bug
+            in
+            if anchor_bug then begin
+              (* the buggy engine drops the anchor, splits, and discards the
+                 trailing empty piece: "anA".split(/^A/) -> ["an"] *)
+              let prog_noanchor = strip_leading_anchor rd.rx_prog in
+              let ps = regex_split ctx ~sem prog_noanchor s in
+              let rec drop_trailing_empty = function
+                | [] -> []
+                | [ "" ] -> []
+                | x :: tl -> x :: drop_trailing_empty tl
+              in
+              drop_trailing_empty ps
+            end
+            else regex_split ctx ~sem rd.rx_prog s
+        | sep -> (
+            let sep = Ops.to_string ctx sep in
+            if sep = "" then List.init (String.length s) (fun i -> String.make 1 s.[i])
+            else
+              let rec go acc start =
+                match find_sub s sep start with
+                | Some i -> go (String.sub s start (i - start) :: acc) (i + String.length sep)
+                | None -> List.rev (String.sub s start (String.length s - start) :: acc)
+              in
+              go [] 0)
+      in
+      let pieces =
+        if limit = max_int then pieces
+        else List.filteri (fun i _ -> i < limit) pieces
+      in
+      Obj (Ops.make_array ctx (List.map str pieces)));
+
+  (* replace: first-match only (String.prototype.replace) *)
+  def_method ctx string_proto "replace" 2 (fun ctx this args ->
+      let s = this_string ctx this in
+      let apply_repl ~matched ~offset ~groups =
+        match arg 1 args with
+        | Obj { call = Some _; _ } as fn ->
+            let call_args =
+              if fire ctx Quirk.Q_replace_fn_missing_offset then [ Str matched ]
+              else
+                Str matched
+                :: (List.map (fun g -> match g with Some g -> Str g | None -> Undefined) groups
+                   @ [ int_ offset; Str s ])
+            in
+            Ops.to_string ctx (ctx.call_hook ctx fn Undefined call_args)
+        | v ->
+            let repl = Ops.to_string ctx v in
+            if fire ctx Quirk.Q_replace_dollar_group_literal then repl
+            else expand_replacement repl ~matched ~offset ~subject:s ~groups
+      in
+      match arg 0 args with
+      | Obj ({ regex = Some rd; _ }) -> (
+          let sem = regex_semantics ctx in
+          let global = rd.rx_prog.Regex.flag_g in
+          let buf = Buffer.create (String.length s) in
+          let rec go pos count =
+            if pos > String.length s then ()
+            else
+              match Regex.exec ~sem rd.rx_prog s pos with
+              | Some m when count = 0 || global ->
+                  Buffer.add_string buf (String.sub s pos (m.Regex.m_start - pos));
+                  let matched = String.sub s m.Regex.m_start (m.Regex.m_end - m.Regex.m_start) in
+                  let groups =
+                    Array.to_list
+                      (Array.map
+                         (function
+                           | Some (a, b) -> Some (String.sub s a (b - a))
+                           | None -> None)
+                         m.Regex.m_groups)
+                  in
+                  Buffer.add_string buf
+                    (apply_repl ~matched ~offset:m.Regex.m_start ~groups);
+                  let next =
+                    if m.Regex.m_end = m.Regex.m_start then begin
+                      if m.Regex.m_end < String.length s then
+                        Buffer.add_char buf s.[m.Regex.m_end];
+                      m.Regex.m_end + 1
+                    end
+                    else m.Regex.m_end
+                  in
+                  if global then go next (count + 1)
+                  else
+                    Buffer.add_string buf
+                      (String.sub s next (String.length s - next))
+              | _ ->
+                  Buffer.add_string buf (String.sub s pos (String.length s - pos))
+          in
+          go 0 0;
+          Str (Buffer.contents buf))
+      | Undefined when fire ctx Quirk.Q_replace_undefined_search_noop ->
+          (* the search value should be coerced to "undefined" and looked
+             up; this engine bails out and returns the subject unchanged *)
+          Str s
+      | search_v -> (
+          let search = Ops.to_string ctx search_v in
+          if search = "" then
+            if fire ctx Quirk.Q_replace_empty_pattern_skips then Str s
+            else Str (apply_repl ~matched:"" ~offset:0 ~groups:[] ^ s)
+          else
+            match find_sub s search 0 with
+            | None -> Str s
+            | Some i ->
+                Str
+                  (String.sub s 0 i
+                  ^ apply_repl ~matched:search ~offset:i ~groups:[]
+                  ^ String.sub s (i + String.length search)
+                      (String.length s - i - String.length search))));
+
+  def_method ctx string_proto "match" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      match arg 0 args with
+      | Obj ({ regex = Some rd; _ }) ->
+          let sem = regex_semantics ctx in
+          if rd.rx_prog.Regex.flag_g then begin
+            let rec go acc pos =
+              if pos > String.length s then List.rev acc
+              else
+                match Regex.exec ~sem rd.rx_prog s pos with
+                | Some m ->
+                    let matched = String.sub s m.Regex.m_start (m.Regex.m_end - m.Regex.m_start) in
+                    let next = if m.Regex.m_end = m.Regex.m_start then pos + 1 else m.Regex.m_end in
+                    go (Str matched :: acc) next
+                | None -> List.rev acc
+            in
+            match go [] 0 with
+            | [] -> Null
+            | ms -> Obj (Ops.make_array ctx ms)
+          end
+          else (
+            match Regex.exec ~sem rd.rx_prog s 0 with
+            | None -> Null
+            | Some m ->
+                let matched = String.sub s m.Regex.m_start (m.Regex.m_end - m.Regex.m_start) in
+                let groups =
+                  Array.to_list
+                    (Array.map
+                       (function
+                         | Some (a, b) -> Str (String.sub s a (b - a))
+                         | None -> Undefined)
+                       m.Regex.m_groups)
+                in
+                let res = Ops.make_array ctx (Str matched :: groups) in
+                set_own res "index" (mkprop (int_ m.Regex.m_start));
+                set_own res "input" (mkprop (Str s));
+                Obj res)
+      | v ->
+          (* non-regexp: coerced to a regexp source *)
+          let pat = Ops.to_string ctx v in
+          let quoted = quote_regex pat in
+          (match Regex.compile quoted "" with
+          | prog -> (
+              match Regex.exec prog s 0 with
+              | None -> Null
+              | Some m ->
+                  let matched = String.sub s m.Regex.m_start (m.Regex.m_end - m.Regex.m_start) in
+                  Obj (Ops.make_array ctx [ Str matched ]))
+          | exception Regex.Parse_error _ -> Null));
+
+  def_method ctx string_proto "search" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      match arg 0 args with
+      | Obj ({ regex = Some rd; _ }) -> (
+          let sem = regex_semantics ctx in
+          match Regex.exec ~sem rd.rx_prog s 0 with
+          | Some m -> int_ m.Regex.m_start
+          | None -> int_ (-1))
+      | _ -> int_ (-1));
+
+  def_method ctx string_proto "normalize" 0 (fun ctx this args ->
+      let s = this_string ctx this in
+      (* QuickJS memory-safety bug (Listing 9) *)
+      if s = "" && args <> [] && fire ctx Quirk.Q_normalize_empty_crash then
+        raise (Engine_crash "String.prototype.normalize heap corruption");
+      let form =
+        match arg 0 args with Undefined -> "NFC" | v -> Ops.to_string ctx v
+      in
+      if not (List.mem form [ "NFC"; "NFD"; "NFKC"; "NFKD" ]) then
+        Ops.range_error ctx "invalid normalization form"
+      else Str s (* ASCII corpus: all forms are the identity *));
+
+  (* legacy annex-B method; the CodeAlchemist-found Rhino bug lives here *)
+  def_method ctx string_proto "big" 0 (fun ctx this _ ->
+      match this with
+      | Undefined | Null ->
+          if fire ctx Quirk.Q_string_big_null_no_typeerror then
+            Str ("<big>" ^ Ops.to_string ctx this ^ "</big>")
+          else
+            Ops.type_error ctx "String.prototype.big called on null or undefined"
+      | v -> Str ("<big>" ^ Ops.to_string ctx v ^ "</big>"));
+
+  def_method ctx string_proto "codePointAt" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      let i = to_int ctx (arg 0 args) in
+      if i >= 0 && i < String.length s then num (Float.of_int (Char.code s.[i]))
+      else Undefined);
+
+  def_method ctx string_proto "at" 1 (fun ctx this args ->
+      let s = this_string ctx this in
+      let i = to_int ctx (arg 0 args) in
+      let i = if i < 0 then String.length s + i else i in
+      if i >= 0 && i < String.length s then Str (String.make 1 s.[i]) else Undefined)
+
+(* The replace builtin needs an early return for the undefined-search
+   quirk; OCaml exceptions keep the code flat. *)
+and regex_semantics ctx : Regex.semantics =
+  {
+    Regex.dot_matches_newline = fire ctx Quirk.Q_regex_dot_matches_newline;
+    ignorecase_broken = fire ctx Quirk.Q_regex_ignorecase_broken;
+    class_negation_broken = fire ctx Quirk.Q_regex_class_negation_broken;
+  }
+
+and has_leading_anchor (p : Regex.prog) : bool =
+  match p.Regex.nodes with
+  | [ Regex.Alt alts ] ->
+      List.exists (function Regex.Start :: _ -> true | _ -> false) alts
+  | Regex.Start :: _ -> true
+  | _ -> false
+
+and strip_leading_anchor (p : Regex.prog) : Regex.prog =
+  let strip_seq = function Regex.Start :: rest -> rest | seq -> seq in
+  let nodes =
+    match p.Regex.nodes with
+    | [ Regex.Alt alts ] -> [ Regex.Alt (List.map strip_seq alts) ]
+    | nodes -> strip_seq nodes
+  in
+  { p with Regex.nodes }
+
+and regex_split ctx ~sem (prog : Regex.prog) (s : string) : string list =
+  ignore ctx;
+  let n = String.length s in
+  let rec go acc start pos =
+    if pos > n then List.rev (String.sub s start (n - start) :: acc)
+    else
+      match Regex.exec ~sem prog s pos with
+      | Some m when m.Regex.m_end > m.Regex.m_start || m.Regex.m_start > start ->
+          if m.Regex.m_start >= n then
+            List.rev (String.sub s start (n - start) :: acc)
+          else
+            go
+              (String.sub s start (m.Regex.m_start - start) :: acc)
+              m.Regex.m_end
+              (max m.Regex.m_end (m.Regex.m_start + 1))
+      | Some m ->
+          (* empty match at current position: step forward *)
+          ignore m;
+          go acc start (pos + 1)
+      | None -> List.rev (String.sub s start (n - start) :: acc)
+  in
+  if n = 0 then (
+    match Regex.exec ~sem prog s 0 with Some _ -> [] | None -> [ "" ])
+  else go [] 0 0
+
+and find_sub (s : string) (sub : string) (from : int) : int option =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1)
+  in
+  go (max 0 from)
+
+and expand_replacement (repl : string) ~matched ~offset ~subject ~groups : string =
+  let buf = Buffer.create (String.length repl) in
+  let n = String.length repl in
+  let i = ref 0 in
+  while !i < n do
+    if repl.[!i] = '$' && !i + 1 < n then begin
+      (match repl.[!i + 1] with
+      | '$' -> Buffer.add_char buf '$'
+      | '&' -> Buffer.add_string buf matched
+      | '`' -> Buffer.add_string buf (String.sub subject 0 offset)
+      | '\'' ->
+          Buffer.add_string buf
+            (String.sub subject (offset + String.length matched)
+               (String.length subject - offset - String.length matched))
+      | '1' .. '9' as c ->
+          let g = Char.code c - Char.code '0' in
+          (match List.nth_opt groups (g - 1) with
+          | Some (Some g) -> Buffer.add_string buf g
+          | Some None -> ()
+          | None ->
+              Buffer.add_char buf '$';
+              Buffer.add_char buf c)
+      | c ->
+          Buffer.add_char buf '$';
+          Buffer.add_char buf c);
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf repl.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+and quote_regex (s : string) : string =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if String.contains "\\^$.|?*+()[]{}/" c then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,175 @@
+(* Top-level engine entry: source in, classified result out.
+
+   [run] is what a "testbed" executes. It builds a fresh realm, parses with
+   the engine's front-end options, executes with the engine's quirk set, and
+   classifies the outcome in the vocabulary of the paper's Figure 5. *)
+
+type status =
+  | Sts_normal
+  | Sts_uncaught of string * string  (** error name, message *)
+  | Sts_crash of string              (** simulated engine crash *)
+  | Sts_timeout                      (** fuel exhausted *)
+
+type result = {
+  r_parsed : bool;
+  r_parse_error : string option;
+  r_status : status;
+  r_output : string;
+  r_fuel_used : int;
+  r_fired : Quirk.Set.t;   (** ground-truth quirks whose deviant path ran *)
+  r_coverage : Coverage.summary option;
+}
+
+let status_to_string = function
+  | Sts_normal -> "normal"
+  | Sts_uncaught (name, msg) -> Printf.sprintf "uncaught %s: %s" name msg
+  | Sts_crash msg -> "crash: " ^ msg
+  | Sts_timeout -> "timeout"
+
+let default_fuel = 2_000_000
+
+(* Parser-level quirks live in the front end: derive the engine's parse
+   options from its quirk set so a profile is a single source of truth. *)
+let parse_opts_of ~(base : Jsparse.Parser.options) (quirks : Quirk.Set.t) :
+    Jsparse.Parser.options =
+  let mem q = Quirk.Set.mem q quirks in
+  {
+    base with
+    Jsparse.Parser.accept_for_missing_body =
+      base.Jsparse.Parser.accept_for_missing_body
+      || mem Quirk.Q_eval_for_missing_body_accepted;
+    accept_dup_params_strict =
+      base.Jsparse.Parser.accept_dup_params_strict
+      || mem Quirk.Q_strict_dup_params_accepted;
+    accept_strict_delete_unqualified =
+      base.Jsparse.Parser.accept_strict_delete_unqualified
+      || mem Quirk.Q_strict_delete_unqualified_accepted;
+  }
+
+let make_ctx ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_options)
+    ?(fuel = default_fuel) ?(coverage = false) () : Value.ctx =
+  let global = Value.make_obj ~oclass:"Object" () in
+  let global_scope =
+    { Value.bindings = Hashtbl.create 16; parent = None; frozen_names = [] }
+  in
+  let ctx : Value.ctx =
+    {
+      Value.global;
+      global_scope;
+      quirks;
+      parse_opts;
+      fuel;
+      fuel_cap = fuel;
+      out = Buffer.create 256;
+      fired = Quirk.Set.empty;
+      call_hook = (fun _ _ _ _ -> Value.Undefined);
+      eval_hook = (fun _ _ _ _ -> Value.Undefined);
+      coverage = (if coverage then Some (Coverage.create ()) else None);
+      loop_trip = 0;
+      strconcat_drop_armed = true;
+      protos = [];
+      depth = 0;
+    }
+  in
+  ctx.call_hook <- (fun ctx fn this args -> Interp.call_function ctx fn this args);
+  ctx.eval_hook <-
+    (fun ctx scope strict src ->
+      (* wire quirk firing out of the engine's parser *)
+      let opts =
+        {
+          ctx.parse_opts with
+          Jsparse.Parser.quirk_sink =
+            (fun name ->
+              match Quirk.of_string name with
+              | Some q when Value.quirk_on ctx q ->
+                  ctx.fired <- Quirk.Set.add q ctx.fired
+              | _ -> ());
+        }
+      in
+      match Jsparse.Parser.parse_program ~opts ~force_strict:strict src with
+      | prog -> Interp.exec_in_scope ctx scope ~strict prog
+      | exception Jsparse.Parser.Syntax_error (msg, _) ->
+          Ops.syntax_error ctx msg);
+  Builtins.install ctx;
+  ctx
+
+(* [this] binding for top-level code *)
+let bind_globals ctx =
+  Hashtbl.replace ctx.Value.global_scope.Value.bindings "this"
+    (ref (Value.Obj ctx.Value.global))
+
+let run ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_options)
+    ?(strict = false) ?(fuel = default_fuel) ?(coverage = false) (src : string) :
+    result =
+  let parse_opts = parse_opts_of ~base:parse_opts quirks in
+  let ctx = make_ctx ~quirks ~parse_opts ~fuel ~coverage () in
+  bind_globals ctx;
+  let parse_fired = ref Quirk.Set.empty in
+  let opts =
+    {
+      parse_opts with
+      Jsparse.Parser.quirk_sink =
+        (fun name ->
+          match Quirk.of_string name with
+          | Some q when Quirk.Set.mem q quirks ->
+              parse_fired := Quirk.Set.add q !parse_fired
+          | _ -> ());
+    }
+  in
+  match Jsparse.Parser.parse_program ~opts ~force_strict:strict src with
+  | exception Jsparse.Parser.Syntax_error (msg, line) ->
+      {
+        r_parsed = false;
+        r_parse_error = Some (Printf.sprintf "line %d: %s" line msg);
+        r_status = Sts_normal;
+        r_output = "";
+        r_fuel_used = 0;
+        r_fired = !parse_fired;
+        r_coverage = None;
+      }
+  | prog ->
+      let prog =
+        if strict && not prog.Jsast.Ast.prog_strict then
+          { prog with Jsast.Ast.prog_strict = true }
+        else prog
+      in
+      let status =
+        try
+          ignore (Interp.exec_program ctx prog);
+          Sts_normal
+        with
+        | Value.Js_throw v ->
+            let name, msg =
+              match v with
+              | Value.Obj o ->
+                  let get k =
+                    match Value.find_own o k with
+                    | Some p -> (
+                        match p.Value.v with Value.Str s -> s | _ -> "")
+                    | None -> ""
+                  in
+                  let n = get "name" in
+                  ((if n = "" then "Error" else n), get "message")
+              | Value.Str s -> ("", s)
+              | v -> ("", Ops.number_to_string (match v with Value.Num f -> f | _ -> 0.0))
+            in
+            Sts_uncaught (name, msg)
+        | Value.Engine_crash msg -> Sts_crash msg
+        | Value.Out_of_fuel -> Sts_timeout
+        | Stack_overflow -> Sts_crash "stack exhausted"
+      in
+      {
+        r_parsed = true;
+        r_parse_error = None;
+        r_status = status;
+        r_output = Buffer.contents ctx.Value.out;
+        r_fuel_used = ctx.Value.fuel_cap - ctx.Value.fuel;
+        r_fired = Quirk.Set.union !parse_fired ctx.Value.fired;
+        r_coverage =
+          Option.map (fun c -> Coverage.summarize c prog) ctx.Value.coverage;
+      }
+
+(* Convenience for tests and examples: run on the standard-conforming
+   reference engine and return printed output. *)
+let output_of ?quirks ?strict ?fuel (src : string) : string =
+  (run ?quirks ?strict ?fuel src).r_output

@@ -1,0 +1,48 @@
+(** Top-level engine entry point: source in, classified result out.
+
+    [run] is what one "testbed" executes: it builds a fresh realm, parses
+    with the engine's front-end options, evaluates with the engine's quirk
+    set under a fuel budget, and classifies the outcome in the vocabulary
+    of the paper's Figure 5. *)
+
+type status =
+  | Sts_normal
+  | Sts_uncaught of string * string  (** error name, message *)
+  | Sts_crash of string              (** simulated engine crash *)
+  | Sts_timeout                      (** fuel exhausted *)
+
+type result = {
+  r_parsed : bool;
+  r_parse_error : string option;
+  r_status : status;
+  r_output : string;        (** everything [print] emitted *)
+  r_fuel_used : int;        (** execution cost, the wall-clock stand-in *)
+  r_fired : Quirk.Set.t;    (** ground-truth quirks whose deviant path ran *)
+  r_coverage : Coverage.summary option;
+}
+
+val status_to_string : status -> string
+
+val default_fuel : int
+
+(** Derive front-end options from a quirk set (parser-level bugs live in
+    the front end, so a quirk profile is a single source of truth). *)
+val parse_opts_of :
+  base:Jsparse.Parser.options -> Quirk.Set.t -> Jsparse.Parser.options
+
+(** Execute a program.
+    @param quirks     the engine's bug set (empty = conforming reference)
+    @param parse_opts front-end profile (ES edition gates)
+    @param strict     run as a strict-mode testbed
+    @param coverage   record statement/branch/function coverage *)
+val run :
+  ?quirks:Quirk.Set.t ->
+  ?parse_opts:Jsparse.Parser.options ->
+  ?strict:bool ->
+  ?fuel:int ->
+  ?coverage:bool ->
+  string ->
+  result
+
+(** Convenience: printed output of a run on the conforming engine. *)
+val output_of : ?quirks:Quirk.Set.t -> ?strict:bool -> ?fuel:int -> string -> string

@@ -1,0 +1,199 @@
+(* Runtime value and object model of the reference engine.
+
+   Everything the interpreter, the coercion layer and the builtins share is
+   defined here, including the execution context [ctx], to avoid a module
+   cycle: builtins need to call back into the evaluator (e.g. [sort] calling
+   a JS comparator), which is wired through [ctx.call_hook] at start-up. *)
+
+type value =
+  | Undefined
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Obj of obj
+
+and obj = {
+  oid : int;
+  mutable oclass : string;
+      (** [[Class]]-like tag: "Object", "Array", "Function", "String",
+          "Number", "Boolean", "RegExp", "Error", "JSON", "Math",
+          "TypedArray", "DataView", "Arguments" *)
+  mutable proto : value;
+  mutable props : (string * prop) list;  (** insertion-ordered named props *)
+  mutable extensible : bool;
+  mutable call : callable option;
+  mutable arr : arr option;              (** Array / TypedArray storage *)
+  mutable prim : value option;           (** wrapped primitive *)
+  mutable regex : regex_data option;
+  mutable dataview : bytes option;
+}
+
+and prop = {
+  mutable v : value;
+  mutable writable : bool;
+  mutable enumerable : bool;
+  mutable configurable : bool;
+  mutable getter : value option; (** accessor support for defineProperty *)
+}
+
+and callable =
+  | Js_closure of closure
+  | Native of string * int * (ctx -> value -> value list -> value)
+      (** name, arity ([length] property), implementation *)
+
+and closure = {
+  cl_name : string;
+  cl_params : string list;
+  cl_body : Jsast.Ast.stmt list;
+  cl_scope : scope;
+  cl_this : value option;  (** [Some v] for arrows: lexically captured *)
+  cl_strict : bool;
+  cl_binding : value ref option;
+      (** named function expressions bind their own name; kept so the
+          [Q_named_funcexpr_binding_mutable] quirk can corrupt it *)
+  cl_node_id : int;
+      (** AST node id of the defining Func/Arrow/Func_decl, for function
+          coverage (recorded when the body first executes) *)
+}
+
+and scope = {
+  bindings : (string, value ref) Hashtbl.t;
+  parent : scope option;
+  mutable frozen_names : string list;
+      (** immutable bindings (named function expressions); assignment is a
+          silent no-op in sloppy mode, TypeError in strict — unless the
+          [Q_named_funcexpr_binding_mutable] quirk is active *)
+}
+
+and typed_kind = U8 | U8C | I8 | U16 | I16 | U32 | I32 | F32 | F64
+
+and arr = {
+  mutable elems : value array;   (** dense storage; [Undefined] fills holes *)
+  mutable alen : int;
+  ty : typed_kind option;        (** [None] = ordinary Array *)
+  mutable length_writable : bool;
+  mutable min_written : int;     (** lowest index ever stored; drives the
+                                     Hermes relocation cost model *)
+}
+
+and regex_data = {
+  rx_source : string;
+  rx_flags : string;
+  rx_prog : Regex.prog;
+}
+
+and ctx = {
+  mutable global : obj;
+  global_scope : scope;
+  quirks : Quirk.Set.t;
+  parse_opts : Jsparse.Parser.options;
+  mutable fuel : int;            (** remaining execution budget *)
+  fuel_cap : int;
+  out : Buffer.t;
+  mutable fired : Quirk.Set.t;   (** quirks whose deviant path executed *)
+  mutable call_hook : ctx -> value -> value -> value list -> value;
+      (** function value, this, args — set by [Interp] *)
+  mutable eval_hook : ctx -> scope -> bool -> string -> value;
+      (** scope, strict, source — set by [Interp] *)
+  coverage : Coverage.t option;
+  mutable loop_trip : int;       (** iterations of the innermost loop; feeds
+                                     the optimizer-quirk cost model *)
+  mutable strconcat_drop_armed : bool;
+  mutable protos : (string * obj) list;
+      (** intrinsic prototypes ("Object", "String", "Array", …) installed by
+          [Builtins.install]; consulted for primitive member access *)
+  mutable depth : int;  (** JS call depth, for the stack-size limit *)
+}
+
+let proto_of ctx name =
+  match List.assoc_opt name ctx.protos with
+  | Some o -> Obj o
+  | None -> Null
+
+(* JS exceptions carry the thrown value. *)
+exception Js_throw of value
+
+(* Simulated engine crash (segfault analogue); aborts the test run. *)
+exception Engine_crash of string
+
+(* Execution budget exhausted; classified as a timeout by the harness. *)
+exception Out_of_fuel
+
+let obj_counter = ref 0
+
+let make_obj ?(oclass = "Object") ?(proto = Null) () =
+  incr obj_counter;
+  {
+    oid = !obj_counter;
+    oclass;
+    proto;
+    props = [];
+    extensible = true;
+    call = None;
+    arr = None;
+    prim = None;
+    regex = None;
+    dataview = None;
+  }
+
+let mkprop ?(writable = true) ?(enumerable = true) ?(configurable = true) v =
+  { v; writable; enumerable; configurable; getter = None }
+
+let type_of = function
+  | Undefined -> "undefined"
+  | Null -> "object"
+  | Bool _ -> "boolean"
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | Obj o -> if o.call <> None then "function" else "object"
+
+let is_callable = function Obj { call = Some _; _ } -> true | _ -> false
+
+let quirk_on ctx q = Quirk.Set.mem q ctx.quirks
+
+(* Check-and-record: returns whether the quirk is active, and if so marks it
+   as fired. All deviation points in the interpreter and builtins go through
+   this so that campaign scoring can attribute observed deviations to
+   ground-truth bugs. *)
+let fire ctx q =
+  if quirk_on ctx q then begin
+    ctx.fired <- Quirk.Set.add q ctx.fired;
+    true
+  end
+  else false
+
+let burn ctx n =
+  ctx.fuel <- ctx.fuel - n;
+  if ctx.fuel < 0 then raise Out_of_fuel
+
+(* --- property list helpers (insertion-ordered assoc) --- *)
+
+let find_own (o : obj) (k : string) : prop option = List.assoc_opt k o.props
+
+let set_own (o : obj) (k : string) (p : prop) =
+  if List.mem_assoc k o.props then
+    o.props <- List.map (fun (k', p') -> if k' = k then (k, p) else (k', p')) o.props
+  else o.props <- o.props @ [ (k, p) ]
+
+let remove_own (o : obj) (k : string) =
+  o.props <- List.filter (fun (k', _) -> k' <> k) o.props
+
+let own_keys (o : obj) : string list = List.map fst o.props
+
+(* Canonical array-index interpretation of a property key. *)
+let array_index_of_key (k : string) : int option =
+  match int_of_string_opt k with
+  | Some i when i >= 0 && string_of_int i = k -> Some i
+  | _ -> None
+
+let typed_kind_name = function
+  | U8 -> "Uint8Array"
+  | U8C -> "Uint8ClampedArray"
+  | I8 -> "Int8Array"
+  | U16 -> "Uint16Array"
+  | I16 -> "Int16Array"
+  | U32 -> "Uint32Array"
+  | I32 -> "Int32Array"
+  | F32 -> "Float32Array"
+  | F64 -> "Float64Array"

@@ -1,0 +1,1 @@
+lib/jsparse/lexer.ml: Buffer Char Float List Printf String Token

@@ -1,0 +1,1 @@
+lib/jsparse/parser.ml: Array Ast Builder Hashtbl Jsast Lexer List Printf Result String Token

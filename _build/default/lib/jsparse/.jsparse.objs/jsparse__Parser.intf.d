@@ -1,0 +1,1 @@
+lib/jsparse/parser.mli: Jsast

@@ -1,0 +1,1 @@
+lib/jsparse/token.ml: List Printf

@@ -1,0 +1,375 @@
+(* Hand-written lexer for the JavaScript subset.
+
+   Produces the whole token stream up front (generated test programs are
+   small, a few KB at most). Each token records whether a line terminator
+   preceded it, which the parser needs for automatic semicolon insertion and
+   the restricted productions (return/throw/break/continue).
+
+   Regular-expression literals are disambiguated from division with the
+   usual heuristic on the previous significant token. *)
+
+exception Error of string * int (* message, line *)
+
+type lexed = {
+  tok : Token.t;
+  line : int;
+  newline_before : bool;
+}
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable nl_pending : bool;
+  mutable prev : Token.t option; (* previous significant token *)
+}
+
+let error st msg = raise (Error (msg, st.line))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (if st.pos < String.length st.src && st.src.[st.pos] = '\n' then (
+     st.line <- st.line + 1;
+     st.nl_pending <- true));
+  st.pos <- st.pos + 1
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec loop () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> error st "unterminated block comment"
+        | _ ->
+            advance st;
+            loop ()
+      in
+      loop ();
+      skip_trivia st
+  | _ -> ()
+
+let is_ident_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | '$' -> true
+  | _ -> false
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' -> true
+  | _ -> false
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_number st =
+  let start = st.pos in
+  let hex = peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') in
+  if hex then (
+    advance st;
+    advance st;
+    while
+      match peek st with
+      | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> true
+      | _ -> false
+    do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    if String.length text = 2 then error st "invalid hex literal";
+    Float.of_int (int_of_string text))
+  else begin
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    (if peek st = Some '.' then (
+       advance st;
+       while (match peek st with Some c -> is_digit c | None -> false) do
+         advance st
+       done));
+    (match peek st with
+    | Some ('e' | 'E') ->
+        advance st;
+        (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+        if not (match peek st with Some c -> is_digit c | None -> false) then
+          error st "missing exponent digits";
+        while (match peek st with Some c -> is_digit c | None -> false) do
+          advance st
+        done
+    | _ -> ());
+    (* ECMA-262 11.8.3: the character immediately following a NumericLiteral
+       must not be an IdentifierStart — [3in], [1abc] are syntax errors *)
+    (match peek st with
+    | Some c when is_ident_start c ->
+        error st (Printf.sprintf "identifier starts immediately after number (%c)" c)
+    | _ -> ());
+    let text = String.sub st.src start (st.pos - start) in
+    try float_of_string text with _ -> error st ("bad number literal " ^ text)
+  end
+
+let lex_string st quote =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '\n' -> error st "newline in string literal"
+    | Some c when c = quote -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> error st "unterminated escape"
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            loop ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance st;
+            loop ()
+        | Some 'r' ->
+            Buffer.add_char buf '\r';
+            advance st;
+            loop ()
+        | Some 'b' ->
+            Buffer.add_char buf '\b';
+            advance st;
+            loop ()
+        | Some '0' ->
+            Buffer.add_char buf '\x00';
+            advance st;
+            loop ()
+        | Some 'x' ->
+            advance st;
+            let h1 = peek st and h2 = peek2 st in
+            (match (h1, h2) with
+            | Some a, Some b -> (
+                advance st;
+                advance st;
+                match int_of_string_opt (Printf.sprintf "0x%c%c" a b) with
+                | Some code ->
+                    Buffer.add_char buf (Char.chr code);
+                    loop ()
+                | None -> error st "bad \\x escape")
+            | _ -> error st "bad \\x escape")
+        | Some 'u' ->
+            (* keep BMP escapes as UTF-8-ish bytes; good enough for the
+               generated corpus which stays in ASCII *)
+            advance st;
+            let take4 () =
+              if st.pos + 4 > String.length st.src then error st "bad \\u escape";
+              let s = String.sub st.src st.pos 4 in
+              st.pos <- st.pos + 4;
+              match int_of_string_opt ("0x" ^ s) with
+              | Some v -> v
+              | None -> error st "bad \\u escape"
+            in
+            let v = take4 () in
+            if v < 128 then Buffer.add_char buf (Char.chr v)
+            else Buffer.add_string buf (Printf.sprintf "\\u%04x" v);
+            loop ()
+        | Some c ->
+            Buffer.add_char buf c;
+            advance st;
+            loop ())
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let lex_regexp st =
+  advance st (* consume '/' *);
+  let buf = Buffer.create 16 in
+  let rec loop in_class =
+    match peek st with
+    | None | Some '\n' -> error st "unterminated regexp literal"
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> error st "unterminated regexp literal"
+        | Some c ->
+            Buffer.add_char buf '\\';
+            Buffer.add_char buf c;
+            advance st;
+            loop in_class)
+    | Some '[' ->
+        Buffer.add_char buf '[';
+        advance st;
+        loop true
+    | Some ']' when in_class ->
+        Buffer.add_char buf ']';
+        advance st;
+        loop false
+    | Some '/' when not in_class -> advance st
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop in_class
+  in
+  loop false;
+  let fstart = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let flags = String.sub st.src fstart (st.pos - fstart) in
+  String.iter
+    (fun c ->
+      if not (String.contains "gimsuy" c) then
+        error st (Printf.sprintf "invalid regexp flag %c" c))
+    flags;
+  (Buffer.contents buf, flags)
+
+(* May a '/' at this point start a regexp literal (vs. division)? *)
+let regexp_allowed prev =
+  match prev with
+  | None -> true
+  | Some (Token.Tpunct (")" | "]")) -> false
+  | Some (Token.Tpunct _) -> true
+  | Some (Token.Tkeyword ("this" | "null" | "true" | "false")) -> false
+  | Some (Token.Tkeyword _) -> true
+  | Some (Token.Tnum _ | Token.Tstr _ | Token.Ttemplate _ | Token.Tregexp _
+         | Token.Tident _ | Token.Teof) ->
+      false
+
+let puncts_3 = [ "==="; "!=="; ">>>"; "**=" ]
+let puncts_2 =
+  [
+    "=="; "!="; "<="; ">="; "&&"; "||"; "++"; "--"; "+="; "-="; "*="; "/=";
+    "%="; "&="; "|="; "^="; "<<"; ">>"; "=>"; "**";
+  ]
+
+let rec lex_token st : Token.t =
+  skip_trivia st;
+  match peek st with
+  | None -> Token.Teof
+  | Some c when is_ident_start c ->
+      let word = lex_ident st in
+      if Token.is_keyword word then Token.Tkeyword word
+      else if List.mem word Token.reserved_words then
+        error st ("reserved word used as identifier: " ^ word)
+      else Token.Tident word
+  | Some c when is_digit c -> Token.Tnum (lex_number st)
+  | Some '.' when (match peek2 st with Some d -> is_digit d | None -> false) ->
+      Token.Tnum (lex_number st)
+  | Some ('"' as q) | Some ('\'' as q) -> Token.Tstr (lex_string st q)
+  | Some '`' -> lex_template st
+  | Some '/' when regexp_allowed st.prev ->
+      let body, flags = lex_regexp st in
+      Token.Tregexp (body, flags)
+  | Some _ ->
+      let try_punct n lst =
+        if st.pos + n <= String.length st.src then
+          let s = String.sub st.src st.pos n in
+          if List.mem s lst then Some s else None
+        else None
+      in
+      let p =
+        match try_punct 3 puncts_3 with
+        | Some s -> Some s
+        | None -> (
+            match try_punct 2 puncts_2 with
+            | Some s -> Some s
+            | None ->
+                let c = st.src.[st.pos] in
+                if String.contains "+-*/%=<>!&|^~?:;,.(){}[]" c then
+                  Some (String.make 1 c)
+                else None)
+      in
+      (match p with
+      | Some s ->
+          st.pos <- st.pos + String.length s;
+          Token.Tpunct s
+      | None -> error st (Printf.sprintf "unexpected character %C" st.src.[st.pos]))
+
+and lex_template st : Token.t =
+  advance st (* '`' *);
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then (
+      parts := Token.Pstr (Buffer.contents buf) :: !parts;
+      Buffer.clear buf)
+  in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated template literal"
+    | Some '`' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st; loop ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance st; loop ()
+        | Some c -> Buffer.add_char buf c; advance st; loop ()
+        | None -> error st "unterminated template literal")
+    | Some '$' when peek2 st = Some '{' ->
+        flush ();
+        advance st;
+        advance st;
+        (* lex the substitution up to the matching '}' *)
+        let toks = ref [] in
+        let depth = ref 0 in
+        let rec sub () =
+          skip_trivia st;
+          match peek st with
+          | Some '}' when !depth = 0 -> advance st
+          | None -> error st "unterminated template substitution"
+          | _ ->
+              let t = lex_token st in
+              (match t with
+              | Token.Tpunct "{" -> incr depth
+              | Token.Tpunct "}" -> decr depth
+              | _ -> ());
+              st.prev <- Some t;
+              toks := t :: !toks;
+              sub ()
+        in
+        sub ();
+        parts := Token.Psub (List.rev !toks) :: !parts;
+        loop ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        loop ()
+  in
+  loop ();
+  flush ();
+  Token.Ttemplate (List.rev !parts)
+
+(* Tokenize the full input. Raises {!Error} on lexical errors. *)
+let tokenize (src : string) : lexed list =
+  let st = { src; pos = 0; line = 1; nl_pending = false; prev = None } in
+  let acc = ref [] in
+  let rec loop () =
+    skip_trivia st;
+    let nl = st.nl_pending in
+    st.nl_pending <- false;
+    let line = st.line in
+    let tok = lex_token st in
+    st.prev <- Some tok;
+    acc := { tok; line; newline_before = nl } :: !acc;
+    if tok <> Token.Teof then loop ()
+  in
+  loop ();
+  List.rev !acc

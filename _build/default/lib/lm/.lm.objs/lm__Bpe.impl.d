@@ -1,0 +1,1 @@
+lib/lm/bpe.ml: Hashtbl List Option String

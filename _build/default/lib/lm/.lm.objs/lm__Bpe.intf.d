@@ -1,0 +1,1 @@
+lib/lm/bpe.mli:

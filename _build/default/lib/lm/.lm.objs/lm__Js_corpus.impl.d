@@ -1,0 +1,1 @@
+lib/lm/js_corpus.ml: String

@@ -1,0 +1,1 @@
+lib/lm/model.ml: Bpe Buffer Cutil Js_corpus Lazy List Ngram String

@@ -1,0 +1,1 @@
+lib/lm/model.mli: Bpe Cutil Lazy Ngram

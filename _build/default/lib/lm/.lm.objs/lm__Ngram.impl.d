@@ -1,0 +1,1 @@
+lib/lm/ngram.ml: Array Cutil Hashtbl List String

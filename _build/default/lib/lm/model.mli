@@ -1,0 +1,36 @@
+(** Trained language models over the embedded JS corpus.
+
+    {!comfort} is the Comfort generator's model: BPE tokens with an order-8
+    back-off context — the GPT-2 substitute (see DESIGN.md). {!deepsmith}
+    is the baseline: character tokens with an order-4 context, standing in
+    for DeepSmith's LSTM. The longer modelled context is what reproduces
+    the paper's syntactic-validity gap (Fig. 9). *)
+
+type t = {
+  tokenizer : Bpe.t;
+  model : Ngram.t;
+  char_level : bool;
+}
+
+val train_bpe : ?order:int -> ?n_merges:int -> string list -> t
+val train_chars : ?order:int -> string list -> t
+
+(** Memoised standard models (training is a one-off cost, as in the
+    paper's 30 GPU-hours — at laptop scale). *)
+val comfort : t Lazy.t
+val deepsmith : t Lazy.t
+
+val encode : t -> string -> int list
+val decode : t -> int list -> string
+val eof : t -> int
+
+(** Sample a continuation of [prefix] with top-[k] sampling until [stop]
+    accepts the text so far, [<EOF>] is produced, or [max_tokens] is hit. *)
+val generate :
+  t ->
+  Cutil.Rng.t ->
+  prefix:string ->
+  k:int ->
+  max_tokens:int ->
+  stop:(string -> bool) ->
+  string

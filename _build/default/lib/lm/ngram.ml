@@ -1,0 +1,87 @@
+(* Back-off n-gram language model with top-k sampling.
+
+   The density-estimation substitute for the paper's fine-tuned GPT-2 (see
+   DESIGN.md): the surrounding machinery — top-k next-token sampling,
+   bracket-matched termination, <EOF>, length caps — follows §3.2 verbatim.
+   A higher order means longer modelled dependencies; the DeepSmith baseline
+   uses the same code at character level with a short context, reproducing
+   the LSTM-vs-Transformer gap of Fig. 9. *)
+
+type t = {
+  order : int;                                  (* max context length + 1 *)
+  tables : (string, (int * int) list ref) Hashtbl.t array;
+      (* tables.(k): context of length k -> assoc of next-token counts *)
+  bos : int;                                    (* synthetic begin marker *)
+}
+
+let key (ctx : int list) : string = String.concat "," (List.map string_of_int ctx)
+
+let create ~order ~bos =
+  {
+    order;
+    tables = Array.init order (fun _ -> Hashtbl.create 1024);
+    bos;
+  }
+
+let bump tbl ctx next =
+  let k = key ctx in
+  let cell =
+    match Hashtbl.find_opt tbl k with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.replace tbl k c;
+        c
+  in
+  cell :=
+    (match List.assoc_opt next !cell with
+    | Some n -> (next, n + 1) :: List.remove_assoc next !cell
+    | None -> (next, 1) :: !cell)
+
+(* Train on one token sequence (one program). *)
+let add_sequence (t : t) (seq : int list) : unit =
+  let padded = List.init (t.order - 1) (fun _ -> t.bos) @ seq in
+  let arr = Array.of_list padded in
+  let n = Array.length arr in
+  for i = t.order - 1 to n - 1 do
+    let next = arr.(i) in
+    for k = 0 to t.order - 1 do
+      (* context of length k ending right before position i *)
+      let ctx = Array.to_list (Array.sub arr (i - k) k) in
+      bump t.tables.(k) ctx next
+    done
+  done
+
+(* Top-k candidates for the longest matching context, backing off to
+   shorter contexts when a context is unseen. Deterministic ordering:
+   count desc, then token id. *)
+let candidates (t : t) (history : int list) ~(k : int) : (int * int) list =
+  let hist = Array.of_list history in
+  let n = Array.length hist in
+  let rec back_off len =
+    if len < 0 then []
+    else begin
+      let ctx = Array.to_list (Array.sub hist (n - len) len) in
+      match Hashtbl.find_opt t.tables.(len) (key ctx) with
+      | Some cell when !cell <> [] ->
+          let sorted =
+            List.sort
+              (fun (t1, c1) (t2, c2) ->
+                match compare c2 c1 with 0 -> compare t1 t2 | c -> c)
+              !cell
+          in
+          List.filteri (fun i _ -> i < k) sorted
+      | _ -> back_off (len - 1)
+    end
+  in
+  back_off (min (t.order - 1) n)
+
+(* Sample the next token: weighted draw among the top-k candidates. *)
+let sample (t : t) (rng : Cutil.Rng.t) (history : int list) ~(k : int) : int option =
+  match candidates t history ~k with
+  | [] -> None
+  | cands -> Some (Cutil.Rng.weighted rng (List.map (fun (tok, c) -> (c, tok)) cands))
+
+(* Pad the history with BOS for a fresh generation. *)
+let initial_history (t : t) (prefix : int list) : int list =
+  List.init (t.order - 1) (fun _ -> t.bos) @ prefix

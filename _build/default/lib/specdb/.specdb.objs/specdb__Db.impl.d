@@ -1,0 +1,1 @@
+lib/specdb/db.ml: Ecma_corpus Float Hashtbl Lazy List Option Printf Spec_ast Spec_parser String

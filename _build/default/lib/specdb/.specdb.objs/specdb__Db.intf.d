@@ -1,0 +1,1 @@
+lib/specdb/db.mli: Hashtbl Lazy Spec_ast

@@ -1,0 +1,1 @@
+lib/specdb/ecma_corpus.ml:

@@ -1,0 +1,1 @@
+lib/specdb/spec_ast.mli:

@@ -1,0 +1,1 @@
+lib/specdb/spec_parser.ml: Hashtbl List Printf Re Spec_ast String

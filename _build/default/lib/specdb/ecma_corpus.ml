@@ -1,0 +1,634 @@
+(* An embedded mini ECMA-262 document.
+
+   Substitution for the real ECMA-262 HTML (see DESIGN.md): sections are
+   written in exactly the pseudo-code style of the paper's Figure 1 — a
+   header line [Name ( params )] followed by numbered algorithm steps. A
+   handful of sections are deliberately written in free-form prose instead;
+   these model the parts of the real standard the paper's extractor cannot
+   handle (§3.1 reports 82% rule coverage, and §5.3.2 attributes the
+   DIE-found lastIndex bug to exactly such a prose rule). *)
+
+let text =
+  {ecma|
+String.prototype.substr ( start, length )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. ReturnIfAbrupt(S).
+  4. Let intStart be ToInteger(start).
+  5. ReturnIfAbrupt(intStart).
+  6. If length is undefined, let end be +Infinity; else let end be ToInteger(length).
+  7. ReturnIfAbrupt(end).
+  8. Let size be the number of code units in S.
+  9. If intStart < 0, let intStart be max(size + intStart, 0).
+  10. Let resultLength be min(max(end, 0), size - intStart).
+  11. If resultLength <= 0, return the empty String "".
+  12. Return a String containing resultLength consecutive code units from S beginning with the code unit at index intStart.
+
+String.prototype.substring ( start, end )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let len be the number of code units in S.
+  4. Let intStart be ToInteger(start).
+  5. If end is undefined, let intEnd be len; else let intEnd be ToInteger(end).
+  6. Let finalStart be min(max(intStart, 0), len).
+  7. Let finalEnd be min(max(intEnd, 0), len).
+  8. Let from be min(finalStart, finalEnd).
+  9. Let to be max(finalStart, finalEnd).
+  10. Return a String of length to - from, containing code units from S.
+
+String.prototype.slice ( start, end )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let len be the number of code units in S.
+  4. Let intStart be ToInteger(start).
+  5. If end is undefined, let intEnd be len; else let intEnd be ToInteger(end).
+  6. If intStart < 0, let from be max(len + intStart, 0); else let from be min(intStart, len).
+  7. If intEnd < 0, let to be max(len + intEnd, 0); else let to be min(intEnd, len).
+  8. Let span be max(to - from, 0).
+  9. Return a String containing span consecutive code units from S beginning at from.
+
+String.prototype.charAt ( pos )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let position be ToInteger(pos).
+  4. Let size be the number of code units in S.
+  5. If position < 0 or position >= size, return the empty String "".
+  6. Return a String of length 1 containing one code unit from S, namely the code unit at index position.
+
+String.prototype.charCodeAt ( pos )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let position be ToInteger(pos).
+  4. Let size be the number of code units in S.
+  5. If position < 0 or position >= size, return NaN.
+  6. Return the Number value of the code unit at index position within S.
+
+String.prototype.indexOf ( searchString, position )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let searchStr be ToString(searchString).
+  4. Let pos be ToInteger(position).
+  5. If position is undefined, this step produces the value 0.
+  6. Let len be the number of code units in S.
+  7. Let start be min(max(pos, 0), len).
+  8. Return the smallest possible integer k not smaller than start such that searchStr occurs at k within S; or -1 if there is no such integer.
+
+String.prototype.lastIndexOf ( searchString, position )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let searchStr be ToString(searchString).
+  4. Let numPos be ToNumber(position).
+  5. If numPos is NaN, let pos be +Infinity; otherwise, let pos be ToInteger(numPos).
+  6. Let len be the number of code units in S.
+  7. Let start be min(max(pos, 0), len).
+  8. Return the largest possible nonnegative integer k not larger than start such that searchStr occurs at k within S; or -1 if there is no such integer.
+
+String.prototype.includes ( searchString, position )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let searchStr be ToString(searchString).
+  4. Let pos be ToInteger(position).
+  5. Let len be the number of code units in S.
+  6. Let start be min(max(pos, 0), len).
+  7. If searchStr occurs at or after start within S, return true; otherwise return false.
+
+String.prototype.startsWith ( searchString, position )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let searchStr be ToString(searchString).
+  4. Let pos be ToInteger(position).
+  5. Let len be the number of code units in S.
+  6. Let start be min(max(pos, 0), len).
+  7. If the sequence of code units of searchStr occurs at start within S, return true; otherwise return false.
+
+String.prototype.endsWith ( searchString, endPosition )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let searchStr be ToString(searchString).
+  4. If endPosition is undefined, let pos be the number of code units in S; else let pos be ToInteger(endPosition).
+  5. Let len be the number of code units in S.
+  6. Let end be min(max(pos, 0), len).
+  7. If the sequence of code units of searchStr occurs ending at end within S, return true; otherwise return false.
+
+String.prototype.repeat ( count )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let n be ToInteger(count).
+  4. If n < 0, throw a RangeError exception.
+  5. If n is +Infinity, throw a RangeError exception.
+  6. Return the String value that is made from n copies of S appended together.
+
+String.prototype.padStart ( maxLength, fillString )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let intMaxLength be ToLength(maxLength).
+  4. Let stringLength be the number of code units in S.
+  5. If intMaxLength <= stringLength, return S.
+  6. If fillString is undefined, let filler be the String consisting solely of one space.
+  7. Else, let filler be ToString(fillString).
+  8. If filler is the empty String "", return S.
+  9. Let truncatedStringFiller be a String of length intMaxLength - stringLength, made of repeated copies of filler.
+  10. Return the string-concatenation of truncatedStringFiller and S.
+
+String.prototype.padEnd ( maxLength, fillString )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let intMaxLength be ToLength(maxLength).
+  4. Let stringLength be the number of code units in S.
+  5. If intMaxLength <= stringLength, return S.
+  6. If fillString is undefined, let filler be the String consisting solely of one space.
+  7. Else, let filler be ToString(fillString).
+  8. If filler is the empty String "", return S.
+  9. Return the string-concatenation of S and repeated copies of filler truncated to intMaxLength - stringLength code units.
+
+String.prototype.split ( separator, limit )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. If limit is undefined, let lim be 4294967295; else let lim be ToUint32(limit).
+  4. If separator is undefined, return an Array containing the single String S.
+  5. If separator is a RegExp object, split S on each match of separator.
+  6. Let R be ToString(separator).
+  7. If lim = 0, return an empty Array.
+  8. If R is the empty String "", return an Array of single code unit Strings.
+  9. Return an Array containing the substrings of S delimited by R.
+
+String.prototype.replace ( searchValue, replaceValue )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let string be ToString(O).
+  3. If searchValue is a RegExp object, apply its match semantics.
+  4. Let searchString be ToString(searchValue).
+  5. If searchValue is undefined, searchString is the String "undefined".
+  6. Let pos be the index of the first occurrence of searchString in string; if there is none, return string.
+  7. If IsCallable(replaceValue) is true, let replacement be ToString(Call(replaceValue, undefined, searchString, pos, string)).
+  8. Else, let replacement be the result of applying GetSubstitution with ToString(replaceValue).
+  9. If searchString is the empty String "", the match occurs at position 0.
+  10. Return the string-concatenation of the preceding substring, replacement, and the following substring.
+
+String.prototype.concat ( arg1 )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let R be S.
+  4. Let nextString be ToString(arg1).
+  5. Set R to the string-concatenation of R and nextString.
+  6. Return R.
+
+String.prototype.trim ( )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let T be the String value that is a copy of S with both leading and trailing white space removed.
+  4. Return T.
+
+String.prototype.normalize ( form )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. If form is undefined, let f be "NFC"; else let f be ToString(form).
+  4. If f is not one of "NFC", "NFD", "NFKC", or "NFKD", throw a RangeError exception.
+  5. Return the String value that is the result of normalizing S into the normalization form named by f.
+
+String.prototype.big ( )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Return the string-concatenation of "<big>", S, and "</big>".
+
+String.prototype.toUpperCase ( )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Return a String where each code unit of S is mapped to its uppercase equivalent.
+
+String.prototype.toLowerCase ( )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Return a String where each code unit of S is mapped to its lowercase equivalent.
+
+Number.prototype.toFixed ( fractionDigits )
+  1. Let x be thisNumberValue(this value).
+  2. Let f be ToInteger(fractionDigits).
+  3. If f < 0 or f > 100, throw a RangeError exception.
+  4. If x is NaN, return the String "NaN".
+  5. If x >= 1e21, return ToString(x).
+  6. Return a String containing x represented in fixed-point notation with f digits after the decimal point.
+
+Number.prototype.toPrecision ( precision )
+  1. Let x be thisNumberValue(this value).
+  2. If precision is undefined, return ToString(x).
+  3. Let p be ToInteger(precision).
+  4. If p < 1 or p > 100, throw a RangeError exception.
+  5. Return a String containing x represented with p significant digits.
+
+Number.prototype.toString ( radix )
+  1. Let x be thisNumberValue(this value).
+  2. If radix is undefined, let radixNumber be 10; else let radixNumber be ToInteger(radix).
+  3. If radixNumber < 2 or radixNumber > 36, throw a RangeError exception.
+  4. If radixNumber = 10, return ToString(x).
+  5. Return the String representation of x in the specified radix.
+
+Number.isInteger ( number )
+  1. If Type(number) is not Number, return false.
+  2. If number is NaN, +Infinity, or -Infinity, return false.
+  3. Let integer be ToInteger(number).
+  4. If integer is not equal to number, return false.
+  5. Return true.
+
+parseInt ( string, radix )
+  1. Let inputString be ToString(string).
+  2. Let S be a substring of inputString with leading white space removed.
+  3. Let R be ToInt32(radix).
+  4. If R < 2 or R > 36, return NaN, unless R = 0.
+  5. If R = 16 or R = 0, the characters "0x" or "0X" at the start of S are skipped and R becomes 16.
+  6. Return the integer value represented by the longest prefix of S made of radix-R digits; if there is no such prefix, return NaN.
+
+parseFloat ( string )
+  1. Let inputString be ToString(string).
+  2. Let trimmedString be a substring of inputString with leading white space removed.
+  3. If neither trimmedString nor any prefix of trimmedString satisfies the syntax of a StrDecimalLiteral, return NaN.
+  4. Return the Number value for the longest prefix of trimmedString that satisfies the syntax of a StrDecimalLiteral.
+
+Object.defineProperty ( O, P, Attributes )
+  1. If Type(O) is not Object, throw a TypeError exception.
+  2. Let key be ToPropertyKey(P).
+  3. Let desc be ToPropertyDescriptor(Attributes).
+  4. If O is an Array object and key is "length", the length property is not configurable.
+  5. If desc.configurable is true and the existing property is not configurable, throw a TypeError exception.
+  6. Perform DefinePropertyOrThrow(O, key, desc).
+  7. Return O.
+
+Object.freeze ( O )
+  1. If Type(O) is not Object, return O.
+  2. Let status be SetIntegrityLevel(O, frozen).
+  3. If status is false, throw a TypeError exception.
+  4. Every own property of O becomes non-configurable, and every data property becomes non-writable.
+  5. Return O.
+
+Object.seal ( O )
+  1. If Type(O) is not Object, return O.
+  2. Let status be SetIntegrityLevel(O, sealed).
+  3. If status is false, throw a TypeError exception.
+  4. Every own property of O becomes non-configurable.
+  5. Return O.
+
+Object.keys ( O )
+  1. Let obj be ToObject(O).
+  2. Let nameList be EnumerableOwnPropertyNames(obj, key).
+  3. Return CreateArrayFromList(nameList).
+
+Object.assign ( target, source )
+  1. Let to be ToObject(target).
+  2. If source is undefined or null, return to.
+  3. Let from be ToObject(source).
+  4. For each own enumerable key of from, set the corresponding property of to.
+  5. Return to.
+
+Object.create ( O, Properties )
+  1. If Type(O) is neither Object nor Null, throw a TypeError exception.
+  2. Let obj be OrdinaryObjectCreate(O).
+  3. If Properties is not undefined, apply ObjectDefineProperties(obj, Properties).
+  4. Return obj.
+
+Object.getOwnPropertyNames ( O )
+  1. Let obj be ToObject(O).
+  2. Return CreateArrayFromList(the own property keys of obj, in ascending numeric index order followed by property creation order).
+
+Array ( len )
+  1. If len is not a Number, return an Array with len as its single element.
+  2. Let intLen be ToUint32(len).
+  3. If intLen is not equal to ToNumber(len), throw a RangeError exception.
+  4. Return an Array object with its length property set to intLen.
+
+Array.prototype.push ( element )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. Set the property at key ToString(len) of O to element.
+  4. Set the length property of O to len + 1.
+  5. Return the new length.
+
+Array.prototype.unshift ( element )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. Move each element of O up by one index.
+  4. Set the property at key "0" of O to element.
+  5. Set the length property of O to len + 1.
+  6. Return the new value of the length property of O.
+
+Array.prototype.splice ( start, deleteCount )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. Let relativeStart be ToInteger(start).
+  4. If relativeStart < 0, let actualStart be max(len + relativeStart, 0); else let actualStart be min(relativeStart, len).
+  5. Let dc be ToInteger(deleteCount).
+  6. Let actualDeleteCount be min(max(dc, 0), len - actualStart).
+  7. Remove actualDeleteCount elements of O starting at index actualStart.
+  8. Return an Array containing the removed elements.
+
+Array.prototype.indexOf ( searchElement, fromIndex )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. Let n be ToInteger(fromIndex).
+  4. If n >= len, return -1.
+  5. If n < 0, let k be max(len + n, 0); else let k be n.
+  6. Return the smallest index not below k whose element is strictly equal to searchElement, or -1.
+
+Array.prototype.includes ( searchElement, fromIndex )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. Let n be ToInteger(fromIndex).
+  4. If n < 0, let k be max(len + n, 0); else let k be n.
+  5. Return true if any element at index not below k is SameValueZero equal to searchElement; NaN is considered equal to NaN.
+  6. Otherwise return false.
+
+Array.prototype.join ( separator )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. If separator is undefined, let sep be ",".
+  4. Else, let sep be ToString(separator).
+  5. For each element, if the element is undefined or null, use the empty String ""; else use ToString of the element.
+  6. Return the String made by concatenating the element Strings separated by sep.
+
+Array.prototype.fill ( value, start, end )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. Let relativeStart be ToInteger(start).
+  4. If relativeStart < 0, let k be max(len + relativeStart, 0); else let k be min(relativeStart, len).
+  5. If end is undefined, let relativeEnd be len; else let relativeEnd be ToInteger(end).
+  6. If relativeEnd < 0, let final be max(len + relativeEnd, 0); else let final be min(relativeEnd, len).
+  7. Set every element of O at an index not below k and below final to value.
+  8. Return O.
+
+Array.prototype.flat ( depth )
+  1. Let O be ToObject(this value).
+  2. Let sourceLen be ToLength(Get(O, "length")).
+  3. If depth is undefined, let depthNum be 1; else let depthNum be ToInteger(depth).
+  4. Return a new Array with the elements of O flattened to depth depthNum.
+
+Array.prototype.reduce ( callbackfn, initialValue )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. If IsCallable(callbackfn) is false, throw a TypeError exception.
+  4. If len = 0 and initialValue is not present, throw a TypeError exception.
+  5. If initialValue is undefined and len = 0, throw a TypeError exception.
+  6. Accumulate the result of calling callbackfn over the elements of O.
+  7. Return the accumulated result.
+
+Array.prototype.sort ( comparefn )
+  1. Let O be ToObject(this value).
+  2. If comparefn is not undefined and IsCallable(comparefn) is false, throw a TypeError exception.
+  3. If comparefn is undefined, elements are compared by the relational comparison of their ToString values.
+  4. Sort the elements of O; undefined elements are moved to the end.
+  5. Return O.
+
+Array.prototype.slice ( start, end )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. Let relativeStart be ToInteger(start).
+  4. If relativeStart < 0, let k be max(len + relativeStart, 0); else let k be min(relativeStart, len).
+  5. If end is undefined, let relativeEnd be len; else let relativeEnd be ToInteger(end).
+  6. If relativeEnd < 0, let final be max(len + relativeEnd, 0); else let final be min(relativeEnd, len).
+  7. Return a new Array containing the elements of O from index k up to but not including final.
+
+Uint32Array ( length )
+  1. If length is undefined, return a new Uint32Array of length 0.
+  2. Let elementLength be ToIndex(length).
+  3. ToIndex converts length via ToInteger; a fractional Number such as 3.14 is converted to 3.
+  4. If elementLength < 0, throw a RangeError exception.
+  5. Return a new Uint32Array of length elementLength with all elements set to +0.
+
+Uint8Array ( length )
+  1. If length is undefined, return a new Uint8Array of length 0.
+  2. Let elementLength be ToIndex(length).
+  3. If elementLength < 0, throw a RangeError exception.
+  4. Return a new Uint8Array of length elementLength with all elements set to +0.
+
+%TypedArray%.prototype.set ( source, offset )
+  1. Let target be the this value; it must be a TypedArray object, or a TypeError exception is thrown.
+  2. Let targetOffset be ToInteger(offset).
+  3. If targetOffset < 0, throw a RangeError exception.
+  4. Let src be ToObject(source); a String value of source such as "123" is treated as an array-like of single code unit Strings.
+  5. Let srcLength be ToLength(Get(src, "length")).
+  6. If srcLength + targetOffset is greater than the length of target, throw a RangeError exception.
+  7. For each index k below srcLength, set target at targetOffset + k to ToNumber of the element of src at k.
+  8. Return undefined.
+
+%TypedArray%.prototype.fill ( value, start, end )
+  1. Let O be the this value; it must be a TypedArray object.
+  2. Let numValue be ToNumber(value).
+  3. Let len be the length of O.
+  4. Let relativeStart be ToInteger(start).
+  5. If end is undefined, let relativeEnd be len; else let relativeEnd be ToInteger(end).
+  6. Set every selected element of O to numValue converted to the element type of O.
+  7. Return O.
+
+DataView.prototype.getUint8 ( byteOffset )
+  1. Let view be the this value; it must be a DataView object, or a TypeError exception is thrown.
+  2. Let getIndex be ToIndex(byteOffset).
+  3. If getIndex < 0 or getIndex + 1 > the byte length of view, throw a RangeError exception.
+  4. Return the unsigned 8-bit integer stored at getIndex.
+
+DataView.prototype.setUint8 ( byteOffset, value )
+  1. Let view be the this value; it must be a DataView object, or a TypeError exception is thrown.
+  2. Let setIndex be ToIndex(byteOffset).
+  3. Let numValue be ToNumber(value).
+  4. If setIndex < 0 or setIndex + 1 > the byte length of view, throw a RangeError exception.
+  5. Store numValue modulo 256 as an unsigned 8-bit integer at setIndex.
+  6. Return undefined.
+
+JSON.stringify ( value, replacer, space )
+  1. If value is undefined, return undefined.
+  2. If value is a function, return undefined.
+  3. If value is NaN or +Infinity or -Infinity, the serialization is the String "null".
+  4. If space is a Number, let gap be min(10, ToInteger(space)) space characters.
+  5. Return the JSON text serialization of value.
+
+JSON.parse ( text, reviver )
+  1. Let jsonString be ToString(text).
+  2. If jsonString is not a valid JSON text as specified in ECMA-404, throw a SyntaxError exception.
+  3. A trailing comma before a closing bracket or brace, as in "[1, 2, ]", is not valid JSON text; such a text must cause a SyntaxError exception.
+  4. Return the ECMAScript value corresponding to jsonString.
+
+eval ( x )
+  1. If Type(x) is not String, return x.
+  2. Parse x as a Script; if parsing fails, throw a SyntaxError exception.
+  3. An IterationStatement such as "for ( Expression ; Expression ; Expression ) Statement" requires the Statement to be present; "for(var i = 0; i < 5; i++)" alone is a SyntaxError.
+  4. Evaluate the Script and return its completion value.
+  5. If the completion value is empty, return undefined.
+
+RegExp.prototype.test ( S )
+  1. Let R be the this value; it must be a RegExp object, or a TypeError exception is thrown.
+  2. Let string be ToString(S).
+  3. Let match be RegExpExec(R, string).
+  4. If match is not null, return true; else return false.
+
+RegExp.prototype.exec ( string )
+  1. Let R be the this value; it must be a RegExp object, or a TypeError exception is thrown.
+  2. Let S be ToString(string).
+  3. Let lastIndex be ToLength(Get(R, "lastIndex")).
+  4. If the global flag is false, let lastIndex be 0.
+  5. Attempt to match the pattern against S starting at lastIndex.
+  6. If the match fails and the global flag is true, perform Set(R, "lastIndex", 0, true).
+  7. If the match succeeds and the global flag is true, perform Set(R, "lastIndex", end, true).
+  8. Return the match result Array, or null.
+
+Array.prototype.pop ( )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. If len = 0, return undefined.
+  4. Remove and return the element of O at index len - 1.
+
+Array.prototype.shift ( )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. If len = 0, return undefined.
+  4. Remove and return the element of O at index 0, moving the remaining elements down.
+
+Array.prototype.concat ( arg )
+  1. Let O be ToObject(this value).
+  2. Let A be a new Array.
+  3. Append the elements of O to A.
+  4. If arg is an Array, append its elements to A; otherwise append arg itself.
+  5. Return A.
+
+Boolean ( value )
+  1. Let b be ToBoolean(value).
+  2. If NewTarget is undefined, return b.
+  3. Return a new Boolean object whose BooleanData is b.
+
+RegExp.prototype.compile ( pattern, flags )
+  The compile method of a RegExp object re-initialises the pattern and the
+  flags of the receiver in place. Its observable behaviour with respect to
+  the lastIndex property is specified in prose elsewhere in this document:
+  re-initialising a RegExp performs Set(R, "lastIndex", 0, true), and when
+  the lastIndex property has been made non-writable that Set operation must
+  throw a TypeError exception. Because this requirement is stated in
+  running prose rather than numbered algorithm steps, simple rule
+  extraction does not capture it.
+
+String.prototype.localeCompare ( that )
+  The localeCompare method returns a Number other than NaN that reflects
+  the locale-sensitive ordering of the receiver and the argument. The
+  actual return values are implementation-defined and depend on the host
+  environment's locale data; this clause intentionally places no numbered
+  algorithm on the comparison itself.
+
+Date.prototype.toLocaleString ( )
+  This function returns a String value whose contents are
+  implementation-defined and represent the Date in a convenient,
+  human-readable form appropriate to the host environment's current locale
+  conventions.
+
+Function.prototype.toString ( )
+  The returned String is implementation-defined, with the requirement that
+  it has the syntax of a FunctionDeclaration, FunctionExpression, or native
+  function placeholder, corresponding to the target function. The exact
+  character sequence is deliberately unspecified.
+
+Named function expressions ( )
+  The BindingIdentifier of a FunctionExpression is bound inside the
+  closure's own scope as an immutable binding: assignments to it in
+  non-strict code are silently ignored, and in strict code they throw a
+  TypeError exception. This requirement is specified as prose attached to
+  the FunctionExpression evaluation semantics rather than as numbered
+  steps, so rule extraction passes over it.
+
+Math.random ( )
+  Returns a Number value with positive sign, greater than or equal to 0 but
+  less than 1, chosen randomly or pseudo randomly with approximately
+  uniform distribution over that range, using an implementation-defined
+  algorithm or strategy.
+Array.prototype.map ( callbackfn, thisArg )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. If IsCallable(callbackfn) is false, throw a TypeError exception.
+  4. Let A be a new Array of length len.
+  5. For each index k below len, set A at k to Call(callbackfn, thisArg, element, k, O).
+  6. Return A.
+
+Array.prototype.filter ( callbackfn, thisArg )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. If IsCallable(callbackfn) is false, throw a TypeError exception.
+  4. Return a new Array containing the elements of O for which Call(callbackfn, thisArg, element, k, O) is true.
+
+Array.prototype.forEach ( callbackfn, thisArg )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. If IsCallable(callbackfn) is false, throw a TypeError exception.
+  4. For each index k below len, perform Call(callbackfn, thisArg, element, k, O).
+  5. Return undefined.
+
+Array.prototype.find ( predicate, thisArg )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. If IsCallable(predicate) is false, throw a TypeError exception.
+  4. Return the first element for which Call(predicate, thisArg, element, k, O) is true, or undefined.
+
+Array.prototype.findIndex ( predicate, thisArg )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. If IsCallable(predicate) is false, throw a TypeError exception.
+  4. Return the index of the first element for which the predicate holds, or -1.
+
+Array.prototype.every ( callbackfn, thisArg )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. If IsCallable(callbackfn) is false, throw a TypeError exception.
+  4. Return false on the first element for which the callback is falsy; otherwise return true.
+
+Array.prototype.some ( callbackfn, thisArg )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. If IsCallable(callbackfn) is false, throw a TypeError exception.
+  4. Return true on the first element for which the callback is truthy; otherwise return false.
+
+Array.prototype.reverse ( )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. Reverse the order of the elements of O in place.
+  4. Return O.
+
+Array.prototype.copyWithin ( target, start, end )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(Get(O, "length")).
+  3. Let relativeTarget be ToInteger(target).
+  4. Let relativeStart be ToInteger(start).
+  5. If end is undefined, let relativeEnd be len; else let relativeEnd be ToInteger(end).
+  6. Copy the selected range onto the target position, handling overlap as by a temporary copy.
+  7. Return O.
+
+String.prototype.match ( regexp )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. If regexp is not a RegExp object, construct one from ToString(regexp).
+  4. Return the match result Array of regexp against S, or null.
+
+String.prototype.search ( regexp )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Return the index of the first match of regexp within S, or -1.
+
+String.prototype.at ( index )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let relativeIndex be ToInteger(index).
+  4. If relativeIndex < 0, let k be len + relativeIndex; else let k be relativeIndex.
+  5. If k < 0 or k >= len, return undefined.
+  6. Return the code unit at index k within S.
+
+Math.max ( value1, value2 )
+  1. Let n1 be ToNumber(value1).
+  2. Let n2 be ToNumber(value2).
+  3. If n1 is NaN, return NaN.
+  4. If n2 is NaN, return NaN.
+  5. Return the largest of the arguments.
+
+Math.min ( value1, value2 )
+  1. Let n1 be ToNumber(value1).
+  2. Let n2 be ToNumber(value2).
+  3. If n1 is NaN, return NaN.
+  4. If n2 is NaN, return NaN.
+  5. Return the smallest of the arguments.
+
+Number ( value )
+  1. If value is not present, return +0.
+  2. Let n be ToNumber(value).
+  3. If NewTarget is undefined, return n.
+  4. Return a new Number object whose NumberData is n.
+|ecma}
+

@@ -1,0 +1,77 @@
+(* Plain-text table rendering for experiment reports.
+
+   The bench harness prints every reproduced paper table through this module
+   so that `bench/main.exe` output can be diffed across runs. *)
+
+type align = Left | Right
+
+type t = {
+  header : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ?aligns header =
+  let aligns =
+    match aligns with
+    | Some a -> a
+    | None -> List.map (fun _ -> Left) header
+  in
+  if List.length aligns <> List.length header then
+    invalid_arg "Table.create: aligns/header length mismatch";
+  { header; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.header
+  in
+  let line ch =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) ch) widths)
+    ^ "+"
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let w = List.nth widths i and a = List.nth t.aligns i in
+          " " ^ pad a w cell ^ " ")
+        row
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row t.header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.add_string buf (line '-');
+  Buffer.contents buf
+
+let print t = print_string (render t ^ "\n")

@@ -1,0 +1,16 @@
+(** Plain-text table rendering for experiment reports. The bench harness
+    prints every reproduced paper table through this module so that
+    [bench/main.exe] output diffs cleanly across runs. *)
+
+type align = Left | Right
+
+type t
+
+(** @raise Invalid_argument when [aligns] and [header] lengths differ. *)
+val create : ?aligns:align list -> string list -> t
+
+(** @raise Invalid_argument on arity mismatch with the header. *)
+val add_row : t -> string list -> unit
+
+val render : t -> string
+val print : t -> unit

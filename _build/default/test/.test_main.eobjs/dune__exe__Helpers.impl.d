@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Jsinterp List Printf Quirk Run String

@@ -1,0 +1,1 @@
+test/test_array_builtins.ml: Helpers List

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Comfort Engines Helpers Jsast Jsinterp Jsparse List Option Str_contains String

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Catalogue Engine Engines Helpers Jsinterp List Option Printf Quirk Registry Run

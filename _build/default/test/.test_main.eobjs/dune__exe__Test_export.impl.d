@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Comfort Engines Filename Helpers Jsinterp Jsparse List Option Quirk Str_contains

@@ -1,0 +1,1 @@
+test/test_feedback.ml: Alcotest Comfort Helpers Jsparse List

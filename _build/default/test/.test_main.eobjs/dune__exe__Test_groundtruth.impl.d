@@ -1,0 +1,1 @@
+test/test_groundtruth.ml: Alcotest Comfort Engines Helpers Jsinterp List Quirk Test_quirks

@@ -1,0 +1,1 @@
+test/test_listings.ml: Alcotest Engines Helpers Jsinterp Option Printf

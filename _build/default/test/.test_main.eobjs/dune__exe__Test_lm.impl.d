@@ -1,0 +1,1 @@
+test/test_lm.ml: Alcotest Comfort Cutil Helpers Jsinterp Jsparse Lazy List Lm Printf Str_contains String

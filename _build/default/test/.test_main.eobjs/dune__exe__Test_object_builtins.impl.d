@@ -1,0 +1,1 @@
+test/test_object_builtins.ml: Helpers List

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Float Helpers Jsast Jsparse List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Baselines Comfort Engines Helpers Jsast Jsinterp Jsparse List

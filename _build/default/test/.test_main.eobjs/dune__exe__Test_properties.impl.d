@@ -1,0 +1,1 @@
+test/test_properties.ml: Comfort Engines Jsast Jsinterp Jsparse List QCheck2 QCheck_alcotest String

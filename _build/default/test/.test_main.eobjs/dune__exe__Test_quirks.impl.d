@@ -1,0 +1,1 @@
+test/test_quirks.ml: Alcotest Engines Helpers Jsinterp List Printf Quirk Run

@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Array Helpers Jsinterp List Option QCheck2 QCheck_alcotest Regex String

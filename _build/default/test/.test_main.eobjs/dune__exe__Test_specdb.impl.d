@@ -1,0 +1,1 @@
+test/test_specdb.ml: Alcotest Db Helpers Lazy List Printf Spec_ast Specdb Str_contains String

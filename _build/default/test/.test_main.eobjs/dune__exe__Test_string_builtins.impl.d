@@ -1,0 +1,1 @@
+test/test_string_builtins.ml: Helpers List

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cutil Helpers List Str_contains

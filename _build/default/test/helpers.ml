@@ -1,0 +1,74 @@
+(* Shared helpers for the test suite. *)
+
+open Jsinterp
+
+let quirks_of (l : Quirk.t list) =
+  List.fold_left (fun s q -> Quirk.Set.add q s) Quirk.Set.empty l
+
+(* Run on the conforming reference engine and return printed output. *)
+let out ?(strict = false) src =
+  let r = Run.run ~strict src in
+  (match r.Run.r_parse_error with
+  | Some e -> Alcotest.failf "unexpected syntax error: %s in %s" e src
+  | None -> ());
+  (match r.Run.r_status with
+  | Run.Sts_normal -> ()
+  | s -> Alcotest.failf "unexpected status %s for %s" (Run.status_to_string s) src);
+  r.Run.r_output
+
+(* Run with a quirk set. *)
+let out_q ?(strict = false) quirks src =
+  (Run.run ~strict ~quirks:(quirks_of quirks) src).Run.r_output
+
+(* Name of the error an uncaught throw carries, or "none". *)
+let error_of ?(strict = false) ?(quirks = []) src =
+  match (Run.run ~strict ~quirks:(quirks_of quirks) src).Run.r_status with
+  | Run.Sts_uncaught (name, _) -> name
+  | Run.Sts_crash _ -> "crash"
+  | Run.Sts_timeout -> "timeout"
+  | Run.Sts_normal -> "none"
+
+let status ?(quirks = []) ?(strict = false) src =
+  Run.status_to_string
+    (Run.run ~strict ~quirks:(quirks_of quirks) src).Run.r_status
+
+(* Assert the program prints [expected] (trailing newline added). *)
+let check_out ?strict name src expected =
+  Alcotest.(check string) name (expected ^ "\n") (out ?strict src)
+
+(* Assert a snippet prints [expected]. The snippet is an expression, or
+   "stmt; stmt; expr" — everything up to the last top-level ';' runs as
+   statements and the final expression is printed. *)
+let check_expr name snippet expected =
+  (* find the last ';' at nesting depth 0, outside string literals *)
+  let last_top_semi =
+    let depth = ref 0 and in_str = ref None and found = ref None in
+    String.iteri
+      (fun i c ->
+        match !in_str with
+        | Some q -> if c = q then in_str := None
+        | None -> (
+            match c with
+            | '"' | '\'' -> in_str := Some c
+            | '(' | '{' | '[' -> incr depth
+            | ')' | '}' | ']' -> decr depth
+            | ';' when !depth = 0 -> found := Some i
+            | _ -> ()))
+      snippet;
+    !found
+  in
+  let src =
+    match last_top_semi with
+    | Some i ->
+        let stmts = String.sub snippet 0 (i + 1) in
+        let last = String.sub snippet (i + 1) (String.length snippet - i - 1) in
+        Printf.sprintf "%s\nprint(%s);" stmts (String.trim last)
+    | None -> Printf.sprintf "print(%s);" snippet
+  in
+  check_out name src expected
+
+(* Assert the program throws an error with the given name. *)
+let check_error ?strict name src kind =
+  Alcotest.(check string) name kind (error_of ?strict src)
+
+let case name f = Alcotest.test_case name `Quick f

@@ -1,0 +1,6 @@
+(* Tiny substring predicate used across test modules. *)
+
+let contains (haystack : string) (needle : string) : bool =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  m = 0 || go 0

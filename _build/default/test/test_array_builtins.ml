@@ -1,0 +1,96 @@
+(* Array.prototype conformance on the reference engine. *)
+
+open Helpers
+
+let tests =
+  [
+    ("length", {|[1, 2, 3].length|}, "3");
+    ("empty length", {|[].length|}, "0");
+    ("elision length", {|[1, , 3].length|}, "3");
+    ("index read", {|[10, 20][1]|}, "20");
+    ("oob read", {|[1][5]|}, "undefined");
+    ("push returns length", {|[1].push(2, 3)|}, "3");
+    ("pop", {|[1, 2, 3].pop()|}, "3");
+    ("pop empty", {|[].pop()|}, "undefined");
+    ("shift", {|[1, 2].shift()|}, "1");
+    ("unshift returns length", {|[2, 3].unshift(1)|}, "3");
+    ("slice", {|[1, 2, 3, 4].slice(1, 3)|}, "2,3");
+    ("slice negative", {|[1, 2, 3, 4].slice(-2)|}, "3,4");
+    ("slice copy", {|[1, 2].slice() + ""|}, "1,2");
+    ("splice removes", {|[1, 2, 3, 4].splice(1, 2)|}, "2,3");
+    ("splice inserts", {|var a = [1, 4]; a.splice(1, 0, 2, 3); a + ""|}, "1,2,3,4");
+    ("splice negative delcount clamps", {|var a = [1, 2, 3]; a.splice(0, -1); a + ""|}, "1,2,3");
+    ("splice negative start", {|var a = [1, 2, 3]; a.splice(-1, 1); a + ""|}, "1,2");
+    ("indexOf", {|[5, 6, 7].indexOf(6)|}, "1");
+    ("indexOf strict", {|[1, "1"].indexOf("1")|}, "1");
+    ("indexOf NaN never found", {|[NaN].indexOf(NaN)|}, "-1");
+    ("indexOf fromIndex", {|[1, 2, 1].indexOf(1, 1)|}, "2");
+    ("lastIndexOf", {|[1, 2, 1].lastIndexOf(1)|}, "2");
+    ("includes", {|[1, 2].includes(2)|}, "true");
+    ("includes NaN found", {|[NaN].includes(NaN)|}, "true");
+    ("includes miss", {|[1, 2].includes(3)|}, "false");
+    ("join", {|[1, 2, 3].join("-")|}, "1-2-3");
+    ("join default comma", {|[1, 2].join()|}, "1,2");
+    ("join null/undefined empty", {|[1, null, undefined, 2].join("-")|}, "1---2");
+    ("concat", {|[1].concat([2, 3], 4)|}, "1,2,3,4");
+    ("reverse in place", {|var a = [1, 2, 3]; a.reverse(); a + ""|}, "3,2,1");
+    ("sort lexicographic", {|[10, 9, 1].sort()|}, "1,10,9");
+    ("sort strings", {|["b", "a", "c"].sort()|}, "a,b,c");
+    ("sort comparator", {|[10, 9, 1].sort(function(a, b) { return a - b; })|}, "1,9,10");
+    ("sort undefined last", {|[3, undefined, 1].sort()|}, "1,3,");
+    ("sort returns this", {|var a = [2, 1]; a.sort() === a|}, "true");
+    ("map", {|[1, 2, 3].map(function(x) { return x * x; })|}, "1,4,9");
+    ("map index arg", {|["a", "b"].map(function(v, i) { return i + v; })|}, "0a,1b");
+    ("filter", {|[1, 2, 3, 4].filter(function(x) { return x % 2; })|}, "1,3");
+    ("forEach", {|var s = 0; [1, 2, 3].forEach(function(x) { s += x; }); s|}, "6");
+    ("reduce with seed", {|[1, 2, 3].reduce(function(a, b) { return a + b; }, 10)|}, "16");
+    ("reduce no seed", {|[1, 2, 3].reduce(function(a, b) { return a + b; })|}, "6");
+    ("every", {|[1, 2].every(function(x) { return x > 0; })|}, "true");
+    ("some", {|[1, 2].some(function(x) { return x > 1; })|}, "true");
+    ("find", {|[1, 8, 3].find(function(x) { return x > 5; })|}, "8");
+    ("find miss", {|[1].find(function(x) { return x > 5; })|}, "undefined");
+    ("findIndex", {|[1, 8, 3].findIndex(function(x) { return x > 5; })|}, "1");
+    ("fill", {|[1, 2, 3].fill(0)|}, "0,0,0");
+    ("fill range", {|[1, 2, 3, 4].fill(9, 1, 3)|}, "1,9,9,4");
+    ("flat default depth", {|[1, [2, [3]]].flat()|}, "1,2,3");
+    ("flat depth 2", {|[1, [2, [3, [4]]]].flat(2)|}, "1,2,3,4");
+    ("Array.isArray yes", {|Array.isArray([])|}, "true");
+    ("Array.isArray no", {|Array.isArray("no")|}, "false");
+    ("Array.of", {|Array.of(7, 8)|}, "7,8");
+    ("Array.from string", {|Array.from("ab")|}, "a,b");
+    ("new Array(n) length", {|new Array(4).length|}, "4");
+    ("new Array elements", {|new Array(1, 2, 3)|}, "1,2,3");
+    ("length assignment truncates", {|var a = [1, 2, 3]; a.length = 1; a + ""|}, "1");
+    ("length assignment extends", {|var a = [1]; a.length = 3; a.length|}, "3");
+    ("sparse write grows", {|var a = []; a[3] = 1; a.length|}, "4");
+    ("array in for-in", {|var ks = []; for (var k in [9, 8]) ks.push(k); ks + ""|}, "0,1");
+    ("nested arrays", {|[[1, 2], [3]][0][1]|}, "2");
+    ("at positive", {|[10, 20, 30].at(1)|}, "20");
+    ("at negative", {|[10, 20, 30].at(-1)|}, "30");
+    ("at out of range", {|[1].at(5)|}, "undefined");
+    ("copyWithin basic", {|[1, 2, 3, 4, 5].copyWithin(0, 3)|}, "4,5,3,4,5");
+    ("copyWithin range", {|[1, 2, 3, 4, 5].copyWithin(1, 3, 4)|}, "1,4,3,4,5");
+    ("copyWithin returns this", {|var a = [1, 2]; a.copyWithin(0, 1) === a|}, "true");
+    ("keys of array", {|[9, 8, 7].keys()|}, "0,1,2");
+  ]
+
+let error_tests () =
+  check_error "reduce empty no seed"
+    {|print([].reduce(function(a, b) { return a + b; }));|} "TypeError";
+  check_error "new Array negative" {|print(new Array(-1));|} "RangeError";
+  check_error "new Array fractional" {|print(new Array(1.5));|} "RangeError";
+  check_error "array length invalid" {|var a = []; a.length = -1; print(a);|} "RangeError"
+
+let mutation_tests () =
+  check_out "push then index" "var a = []; a.push(\"x\"); print(a[0]);" "x";
+  check_out "element write" "var a = [1, 2]; a[0] = 9; print(a);" "9,2";
+  check_out "array of arrays mutation"
+    "var m = [[0, 0], [0, 0]]; m[1][0] = 5; print(m);" "0,0,5,0";
+  check_out "delete element leaves hole"
+    "var a = [1, 2, 3]; delete a[1]; print(a.length); print(a[1]);" "3\nundefined"
+
+let suite =
+  List.map
+    (fun (name, expr, expected) -> case name (fun () -> check_expr name expr expected))
+    tests
+  @ [ case "error cases" error_tests; case "mutation" mutation_tests ]

@@ -1,0 +1,253 @@
+(* Core interpreter semantics: expressions, statements, control flow,
+   scoping, coercions, operators, strict mode. *)
+
+open Helpers
+
+let expr_tests =
+  [
+    (* literals and ToString *)
+    ("number int", "42", "42");
+    ("number float", "3.5", "3.5");
+    ("number negative zero prints 0", "-0", "0");
+    ("number huge", "1e21", "1e+21");
+    ("number tiny", "1.5e-7", "1.5e-7");
+    ("nan", "NaN", "NaN");
+    ("infinity", "Infinity", "Infinity");
+    ("neg infinity", "-Infinity", "-Infinity");
+    ("string", "\"hi\"", "hi");
+    ("bool true", "true", "true");
+    ("null", "null", "null");
+    ("undefined", "undefined", "undefined");
+    (* arithmetic *)
+    ("add", "1 + 2", "3");
+    ("add float", "0.1 + 0.2", "0.30000000000000004");
+    ("string concat", "\"a\" + 1", "a1");
+    ("concat left", "1 + \"a\"", "1a");
+    ("add null", "1 + null", "1");
+    ("add undefined", "1 + undefined", "NaN");
+    ("add bool", "true + 1", "2");
+    ("sub", "7 - 10", "-3");
+    ("sub string coerce", "\"7\" - \"2\"", "5");
+    ("mul", "6 * 7", "42");
+    ("div", "1 / 4", "0.25");
+    ("div zero", "1 / 0", "Infinity");
+    ("div neg zero", "1 / -0", "-Infinity");
+    ("mod", "7 % 3", "1");
+    ("mod negative dividend", "-5 % 3", "-2");
+    ("mod negative divisor", "5 % -3", "2");
+    ("exp", "2 ** 10", "1024");
+    ("exp right assoc", "2 ** 3 ** 2", "512");
+    (* comparisons *)
+    ("lt", "1 < 2", "true");
+    ("lt strings", "\"10\" < \"9\"", "true");
+    ("lt mixed", "\"10\" < 9", "false");
+    ("le", "2 <= 2", "true");
+    ("gt nan", "NaN > 1", "false");
+    ("ge nan", "NaN >= NaN", "false");
+    (* equality *)
+    ("eq coerce", "1 == \"1\"", "true");
+    ("eq null undefined", "null == undefined", "true");
+    ("eq null zero", "null == 0", "false");
+    ("eq nan", "NaN == NaN", "false");
+    ("strict eq", "1 === 1", "true");
+    ("strict neq types", "1 === \"1\"", "false");
+    ("strict eq zeros", "0 === -0", "true");
+    ("neq", "1 != 2", "true");
+    ("object identity", "({}) === ({})", "false");
+    ("bool eq number", "true == 1", "true");
+    (* bitwise *)
+    ("bitand", "12 & 10", "8");
+    ("bitor", "12 | 10", "14");
+    ("bitxor", "12 ^ 10", "6");
+    ("bitnot", "~5", "-6");
+    ("shl", "1 << 4", "16");
+    ("shl masked", "1 << 33", "2");
+    ("shr", "-16 >> 2", "-4");
+    ("ushr", "-1 >>> 0", "4294967295");
+    ("ushr shift", "-1 >>> 28", "15");
+    ("int32 wrap", "(2147483647 + 1) | 0", "-2147483648");
+    (* logical *)
+    ("and truthy", "1 && 2", "2");
+    ("and falsy", "0 && 2", "0");
+    ("or truthy", "1 || 2", "1");
+    ("or falsy", "0 || \"x\"", "x");
+    ("not", "!0", "true");
+    ("double not", "!!\"a\"", "true");
+    (* unary *)
+    ("unary plus string", "+\"3.5\"", "3.5");
+    ("unary plus bad", "+\"abc\"", "NaN");
+    ("unary minus", "-(5)", "-5");
+    ("typeof number", "typeof 1", "number");
+    ("typeof string", "typeof \"\"", "string");
+    ("typeof undefined", "typeof undefined", "undefined");
+    ("typeof null", "typeof null", "object");
+    ("typeof function", "typeof print", "function");
+    ("typeof object", "typeof {}", "object");
+    ("typeof undeclared", "typeof never_declared_xyz", "undefined");
+    ("void", "void 42", "undefined");
+    (* conditional / sequence *)
+    ("cond true", "1 ? \"y\" : \"n\"", "y");
+    ("cond false", "0 ? \"y\" : \"n\"", "n");
+    ("template", "`a${1 + 1}b`", "a2b");
+    (* string coercion of values *)
+    ("array tostring", "[1, 2, 3] + \"\"", "1,2,3");
+    ("empty array number", "+[]", "0");
+    ("object tostring", "({}) + \"\"", "[object Object]");
+    ("instanceof", "new TypeError(\"x\") instanceof TypeError", "true");
+    ("instanceof parent", "new TypeError(\"x\") instanceof Error", "true");
+    ("in operator", "\"a\" in {a: 1}", "true");
+    ("in missing", "\"b\" in {a: 1}", "false");
+  ]
+
+let stmt_tests () =
+  check_out "var and reassign" "var x = 1; x = x + 1; print(x);" "2";
+  check_out "multi declaration" "var a = 1, b = 2; print(a + b);" "3";
+  check_out "if else" "if (false) { print(1); } else { print(2); }" "2";
+  check_out "while" "var n = 0; while (n < 5) { n++; } print(n);" "5";
+  check_out "do while runs once" "var n = 9; do { n++; } while (false); print(n);" "10";
+  check_out "for loop" "var s = 0; for (var i = 1; i <= 4; i++) { s += i; } print(s);" "10";
+  check_out "for no init" "var i = 0; for (; i < 3; i++) {} print(i);" "3";
+  check_out "break" "for (var i = 0; i < 10; i++) { if (i === 3) break; } print(i);" "3";
+  check_out "continue"
+    "var s = 0; for (var i = 0; i < 5; i++) { if (i % 2 === 0) continue; s += i; } print(s);"
+    "4";
+  check_out "labeled break"
+    "outer: for (var i = 0; i < 3; i++) { for (var j = 0; j < 3; j++) { if (j === 1) break outer; } } print(i + \":\" + j);"
+    "0:1";
+  check_out "for in"
+    "var ks = []; for (var k in {x: 1, y: 2}) { ks.push(k); } print(ks.sort());" "x,y";
+  check_out "for of array" "var s = 0; for (var v of [1, 2, 3]) { s += v; } print(s);" "6";
+  check_out "for of string" "var out = \"\"; for (var c of \"ab\") { out += c + \".\"; } print(out);" "a.b.";
+  check_out "switch match"
+    "switch (2) { case 1: print(\"one\"); break; case 2: print(\"two\"); break; default: print(\"other\"); }"
+    "two";
+  check_out "switch fallthrough"
+    "var o = \"\"; switch (1) { case 1: o += \"a\"; case 2: o += \"b\"; break; case 3: o += \"c\"; } print(o);"
+    "ab";
+  check_out "switch default"
+    "switch (9) { case 1: print(\"one\"); break; default: print(\"dflt\"); }" "dflt";
+  check_out "switch strict matching"
+    "switch (\"1\") { case 1: print(\"num\"); break; default: print(\"no\"); }" "no";
+  check_out "throw catch"
+    "try { throw new RangeError(\"r\"); } catch (e) { print(e.name); }" "RangeError";
+  check_out "throw value" "try { throw 42; } catch (e) { print(e + 1); }" "43";
+  check_out "finally runs" "try { print(1); } finally { print(2); }" "1\n2";
+  check_out "finally after catch"
+    "try { throw 1; } catch (e) { print(\"c\"); } finally { print(\"f\"); }" "c\nf";
+  check_out "finally on return"
+    "function f() { try { return \"r\"; } finally { print(\"f\"); } } print(f());" "f\nr";
+  check_out "nested try"
+    "try { try { throw new TypeError(\"inner\"); } finally { print(\"in-f\"); } } catch (e) { print(e.message); }"
+    "in-f\ninner";
+  check_error "uncaught" "throw new TypeError(\"boom\");" "TypeError";
+  check_out "empty statement" ";;; print(\"ok\");" "ok"
+
+let function_tests () =
+  check_out "function decl hoisting" "print(f()); function f() { return \"hoisted\"; }" "hoisted";
+  check_out "var hoisting" "print(typeof x); var x = 1;" "undefined";
+  check_out "closure captures"
+    "function mk() { var c = 0; return function() { return ++c; }; } var t = mk(); t(); print(t());"
+    "2";
+  check_out "closures are independent"
+    "function mk() { var c = 0; return function() { return ++c; }; } var a = mk(); var b = mk(); a(); print(b());"
+    "1";
+  check_out "missing args are undefined" "function f(a, b) { return b; } print(f(1));" "undefined";
+  check_out "extra args ignored" "function f(a) { return a; } print(f(1, 2, 3));" "1";
+  check_out "arguments object" "function f() { return arguments.length; } print(f(1, 2, 3));" "3";
+  check_out "arguments values" "function f() { return arguments[1]; } print(f(\"a\", \"b\"));" "b";
+  check_out "recursion" "function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); } print(fib(12));" "144";
+  check_out "function expression" "var sq = function(x) { return x * x; }; print(sq(9));" "81";
+  check_out "named funcexpr self-reference"
+    "var f = function g(n) { return n <= 0 ? 0 : n + g(n - 1); }; print(f(3));" "6";
+  check_out "named funcexpr name not outside"
+    "var f = function g() { return 1; }; print(typeof g);" "undefined";
+  check_out "named funcexpr binding immutable"
+    "(function v1() { v1 = 20; print(typeof v1); }());" "function";
+  check_out "arrow function" "var add = (a, b) => { return a + b; }; print(add(2, 3));" "5";
+  check_out "arrow expression body" "var inc = x => x + 1; print(inc(41));" "42";
+  check_out "arrow captures this"
+    "var obj = {v: 7, get: function() { var f = () => this.v; return f(); }}; print(obj.get());"
+    "7";
+  check_out "method call this" "var o = {x: 3, m: function() { return this.x; }}; print(o.m());" "3";
+  check_out "call with this" "function f() { return this.tag; } print(f.call({tag: \"T\"}));" "T";
+  check_out "apply with array" "function f(a, b) { return a - b; } print(f.apply(null, [10, 4]));" "6";
+  check_out "bind" "function f(a, b) { return a + b; } var g = f.bind(null, 10); print(g(5));" "15";
+  check_out "new sets prototype"
+    "function T() { this.x = 1; } T.prototype.get = function() { return this.x; }; print(new T().get());"
+    "1";
+  check_out "new returns object override"
+    "function T() { return {x: 9}; } print(new T().x);" "9";
+  check_out "constructor instanceof" "function T() {} print(new T() instanceof T);" "true";
+  check_out "function length property" "function f(a, b, c) {} print(f.length);" "3";
+  check_out "function name property" "function myFn() {} print(myFn.name);" "myFn";
+  check_error "call non-function" "var x = 3; x();" "TypeError";
+  check_error "method of undefined" "var u; u.m();" "TypeError"
+
+let scope_tests () =
+  check_out "let block scoping" "var x = 1; { let x = 2; print(x); } print(x);" "2\n1";
+  check_out "const declaration" "const k = 5; print(k + 1);" "6";
+  check_out "global assignment sloppy" "function f() { implicitG = 7; } f(); print(implicitG);" "7";
+  check_error "undeclared read" "print(no_such_variable_here);" "ReferenceError";
+  check_out "shadowing param" "var x = \"outer\"; function f(x) { return x; } print(f(\"inner\"));" "inner";
+  check_out "var in loop leaks" "for (var i = 0; i < 3; i++) {} print(i);" "3";
+  check_out "this at toplevel is global" "print(this === globalThis);" "true"
+
+let strict_tests () =
+  Alcotest.(check string)
+    "strict undeclared assignment throws" "ReferenceError"
+    (error_of ~strict:true "function f() { undeclared_w = 1; } f();");
+  Alcotest.(check string)
+    "sloppy undeclared assignment ok" "none"
+    (error_of "function f() { undeclared_w2 = 1; } f();");
+  check_out "strict this undefined" ~strict:true
+    "function f() { return this === undefined; } print(f());" "true";
+  check_out "sloppy this global" "function f() { return this === globalThis; } print(f());" "true";
+  (* parse-level strict rules *)
+  (match Jsparse.Parser.parse_program "\"use strict\";\nfunction f(a, a) {}" with
+  | exception Jsparse.Parser.Syntax_error _ -> ()
+  | _ -> Alcotest.fail "duplicate params should be rejected in strict mode");
+  (match Jsparse.Parser.parse_program "\"use strict\";\nvar x = 1; delete x;" with
+  | exception Jsparse.Parser.Syntax_error _ -> ()
+  | _ -> Alcotest.fail "delete of unqualified name should be rejected in strict mode");
+  (* function-level "use strict" *)
+  Alcotest.(check string)
+    "function-level strict" "ReferenceError"
+    (error_of "function f() { \"use strict\"; zz_undeclared = 1; } f();")
+
+let object_semantics_tests () =
+  check_out "property access" "var o = {a: 1}; print(o.a);" "1";
+  check_out "computed access" "var o = {a: 1}; print(o[\"a\"]);" "1";
+  check_out "missing property" "print(({}).missing);" "undefined";
+  check_out "property add" "var o = {}; o.x = 5; print(o.x);" "5";
+  check_out "numeric keys coerce" "var o = {}; o[1] = \"a\"; print(o[\"1\"]);" "a";
+  check_out "nested objects" "var o = {a: {b: {c: 42}}}; print(o.a.b.c);" "42";
+  check_out "delete property" "var o = {a: 1}; delete o.a; print(o.a);" "undefined";
+  check_out "delete result" "var o = {a: 1}; print(delete o.a);" "true";
+  check_out "prototype chain via constructor"
+    "function A() {} A.prototype.greet = \"hi\"; print(new A().greet);" "hi";
+  check_out "property shadowing"
+    "function A() {} A.prototype.x = 1; var a = new A(); a.x = 2; print(a.x);" "2";
+  check_out "object literal shorthand" "var a = 1; var o = {a}; print(o.a);" "1";
+  check_out "computed property name" "var k = \"ke\"; var o = {[k + \"y\"]: 9}; print(o.key);" "9";
+  check_out "update operators" "var x = 5; print(x++); print(x); print(++x); print(--x);" "5\n6\n7\n6";
+  check_out "compound assignment" "var x = 8; x += 2; x *= 3; x -= 10; x /= 4; print(x);" "5";
+  check_out "member compound" "var o = {n: 1}; o.n += 9; print(o.n);" "10";
+  check_out "seq expression" "var x = (1, 2, 3); print(x);" "3"
+
+let timeout_tests () =
+  Alcotest.(check string) "infinite loop runs out of fuel" "timeout"
+    (status "while (true) {}");
+  Alcotest.(check string) "deep recursion raises RangeError"
+    "uncaught RangeError: Maximum call stack size exceeded"
+    (status "function f() { return f(); } f();")
+
+let suite =
+  List.map (fun (name, expr, expected) -> case name (fun () -> check_expr name expr expected)) expr_tests
+  @ [
+      case "statements" stmt_tests;
+      case "functions" function_tests;
+      case "scoping" scope_tests;
+      case "strict mode" strict_tests;
+      case "objects" object_semantics_tests;
+      case "timeouts" timeout_tests;
+    ]

@@ -1,0 +1,145 @@
+(* The paper's §5.2 bug listings, asserted byte-for-byte: the engine
+   version the paper names produces the buggy observable behaviour, and the
+   conforming reference produces the specified one. *)
+
+open Helpers
+
+type expect =
+  | Out of string             (* normal termination with this output *)
+  | Err of string             (* uncaught error with this name *)
+  | Crash
+  | Timeout
+
+let run_on engine version src =
+  let cfg = Option.get (Engines.Registry.find_config ~engine ~version) in
+  let tb = { Engines.Engine.tb_config = cfg; tb_mode = Engines.Engine.Normal } in
+  Engines.Engine.run ~fuel:2_000_000 tb src
+
+let classify (r : Jsinterp.Run.result) : expect =
+  if not r.Jsinterp.Run.r_parsed then Err "SyntaxError"
+  else
+    match r.Jsinterp.Run.r_status with
+    | Jsinterp.Run.Sts_normal -> Out r.Jsinterp.Run.r_output
+    | Jsinterp.Run.Sts_uncaught (name, _) -> Err name
+    | Jsinterp.Run.Sts_crash _ -> Crash
+    | Jsinterp.Run.Sts_timeout -> Timeout
+
+let expect_to_string = function
+  | Out s -> Printf.sprintf "output %S" s
+  | Err n -> "uncaught " ^ n
+  | Crash -> "crash"
+  | Timeout -> "timeout"
+
+let check_listing name engine version src ~buggy ~conforming =
+  case name (fun () ->
+      let b = classify (run_on engine version src) in
+      let c = classify (Engines.Engine.run_reference ~fuel:2_000_000 src) in
+      if b <> buggy then
+        Alcotest.failf "%s: buggy engine gave %s, expected %s" name
+          (expect_to_string b) (expect_to_string buggy);
+      if c <> conforming then
+        Alcotest.failf "%s: reference gave %s, expected %s" name
+          (expect_to_string c) (expect_to_string conforming))
+
+let suite =
+  Engines.Registry.
+    [
+      check_listing "Figure 2: Rhino substr" Rhino "1.7.12"
+        {|function foo(str, start, len) { var ret = str.substr(start, len); return ret; }
+var s = "Name: Albert";
+var pre = "Name: ";
+var len = undefined;
+var name = foo(s, pre.length, len);
+print(name);|}
+        ~buggy:(Out "\n") ~conforming:(Out "Albert\n");
+      check_listing "Listing 1: V8 defineProperty length" V8 "8.5-d891c59"
+        {|var foo = function() {
+  var arrobj = [0, 1];
+  Object.defineProperty(arrobj, "length", { value: 1, configurable: true });
+};
+foo();
+print("compiled and ran");|}
+        ~buggy:(Out "compiled and ran\n") ~conforming:(Err "TypeError");
+      check_listing "Listing 2: Hermes quadratic fill" Hermes "0.1.1"
+        {|var foo = function(size) {
+  var array = new Array(size);
+  while (size--) { array[size] = 0; }
+};
+foo(90486);
+print("done");|}
+        ~buggy:Timeout ~conforming:(Out "done\n");
+      check_listing "Listing 3: SpiderMonkey Uint32Array" SpiderMonkey "52.9"
+        {|var foo = function(length) { var array = new Uint32Array(length); print(array.length); };
+var parameter = 3.14;
+foo(parameter);|}
+        ~buggy:(Err "TypeError") ~conforming:(Out "3\n");
+      check_listing "Listing 4: Rhino toFixed" Rhino "1.7.12"
+        {|var foo = function(num) { var p = num.toFixed(-2); print(p); };
+var parameter = -634619;
+foo(parameter);|}
+        ~buggy:(Out "-634619\n") ~conforming:(Err "RangeError");
+      check_listing "Listing 5: JSC TypedArray.set" JSC "246135"
+        {|var foo = function() { var e = '123'; A = new Uint8Array(5); A.set(e); print(A); };
+foo();|}
+        ~buggy:(Err "TypeError") ~conforming:(Out "1,2,3,0,0\n");
+      check_listing "Listing 5 also hits Graaljs" Graaljs "20.1.0"
+        {|var A = new Uint8Array(5); A.set('123'); print(A);|}
+        ~buggy:(Err "TypeError") ~conforming:(Out "1,2,3,0,0\n");
+      check_listing "Listing 6: QuickJS bool property" QuickJS "2020-04-12"
+        {|var foo = function() {
+  var property = true;
+  var obj = [1,2,5];
+  obj[property] = 10;
+  print(obj);
+  print(obj[property]);
+};
+foo();|}
+        ~buggy:(Out "1,2,5,10\nundefined\n") ~conforming:(Out "1,2,5\n10\n");
+      check_listing "Listing 7: ChakraCore eval for" ChakraCore "1.11.19"
+        {|eval("for(var i = 0; i < 5; i++)");
+print("no SyntaxError");|}
+        ~buggy:(Out "no SyntaxError\n") ~conforming:(Err "SyntaxError");
+      check_listing "Listing 8: JerryScript split" JerryScript "2.3.0"
+        {|var foo = function() { var a = "anA".split(/^A/); print(a); };
+foo();|}
+        ~buggy:(Out "an\n") ~conforming:(Out "anA\n");
+      check_listing "Listing 9: QuickJS normalize crash" QuickJS "2020-04-12"
+        {|var foo = function(str){ str.normalize(true); };
+var parameter = "";
+foo(parameter);|}
+        ~buggy:Crash ~conforming:(Err "RangeError");
+      check_listing "Listing 10: Rhino big.call(null)" Rhino "1.7.12"
+        {|var v1 = String.prototype.big.call(null);
+print(v1);|}
+        ~buggy:(Out "<big>null</big>\n") ~conforming:(Err "TypeError");
+      check_listing "Listing 11: Rhino seal(new String)" Rhino "1.7.12"
+        {|function main() { var v2 = new String(2477); var v4 = Object.seal(v2); }
+main();
+print("survived");|}
+        ~buggy:Crash ~conforming:(Out "survived\n");
+      check_listing "Listing 12: Rhino lastIndex" Rhino "1.7.12"
+        {|var regexp5 = /a/g;
+Object.defineProperty(regexp5, "lastIndex", { writable: false });
+regexp5.compile("b");
+print("no TypeError");|}
+        ~buggy:(Out "no TypeError\n") ~conforming:(Err "TypeError");
+      check_listing "Listing 12 also hits JerryScript" JerryScript "2.3.0"
+        {|var re = /a/g;
+Object.defineProperty(re, "lastIndex", { writable: false });
+re.compile("b");
+print("no TypeError");|}
+        ~buggy:(Out "no TypeError\n") ~conforming:(Err "TypeError");
+      check_listing "Listing 13: Hermes funcexpr binding" Hermes "0.6.0"
+        {|(function v1() {
+  v1 = 20;
+  print(v1 !== 20);
+  print(typeof v1);
+}());|}
+        ~buggy:(Out "false\nnumber\n") ~conforming:(Out "true\nfunction\n");
+      check_listing "Listing 13 also hits Rhino" Rhino "1.7.12"
+        {|(function v1() {
+  v1 = 20;
+  print(typeof v1);
+}());|}
+        ~buggy:(Out "number\n") ~conforming:(Out "function\n");
+    ]

@@ -1,0 +1,134 @@
+(* The language-model substrate: BPE tokenizer, n-gram model, generation. *)
+
+open Helpers
+
+let bpe_roundtrip () =
+  let t = Lm.Bpe.learn ~n_merges:100 Lm.Js_corpus.full_text in
+  List.iter
+    (fun text ->
+      let ids = Lm.Bpe.encode t text in
+      Alcotest.(check string) ("roundtrip " ^ String.escaped text) text
+        (Lm.Bpe.decode t ids))
+    [
+      "var x = 1;";
+      "function foo(a, b) { return a + b; }";
+      "print(\"hello\");";
+      "for (var i = 0; i < 10; i++) {}";
+      "x === y && a !== b";
+    ]
+
+let bpe_merges_keywords () =
+  let t = Lm.Bpe.learn ~n_merges:200 Lm.Js_corpus.full_text in
+  (* common keywords should encode to few tokens, rare identifiers to more *)
+  let len s = List.length (Lm.Bpe.encode t s) in
+  Alcotest.(check bool) "function is compact" true (len "function" <= 3);
+  Alcotest.(check bool) "return is compact" true (len "return" <= 3);
+  Alcotest.(check bool) "rare identifier splits more" true
+    (len "zqxjkvwpy" > len "return")
+
+let pretokenizer () =
+  let toks = Lm.Bpe.pre_tokenize "var x = 1;\nprint(x);" in
+  Alcotest.(check bool) "keeps words" true (List.mem "var" toks);
+  Alcotest.(check bool) "keeps operators" true (List.mem "=" toks);
+  Alcotest.(check bool) "collapses newlines" true (List.mem "\n" toks);
+  Alcotest.(check string) "reassembles" "var x = 1;\nprint(x);"
+    (String.concat "" toks)
+
+let ngram_determinism () =
+  let gen seed =
+    let m = Lazy.force Lm.Model.comfort in
+    let rng = Cutil.Rng.create seed in
+    Lm.Model.generate m rng ~prefix:"var a = function(x) {" ~k:10 ~max_tokens:300
+      ~stop:Comfort.Generator.braces_matched
+  in
+  Alcotest.(check string) "same seed, same program" (gen 5) (gen 5);
+  (* different seeds should usually differ (not a hard guarantee; check a
+     few seeds until one differs) *)
+  let base = gen 5 in
+  Alcotest.(check bool) "different seeds diverge" true
+    (List.exists (fun s -> gen s <> base) [ 6; 7; 8; 9 ])
+
+let ngram_candidates () =
+  let m = Lazy.force Lm.Model.comfort in
+  let ids = Lm.Model.encode m "var " in
+  let history = Lm.Ngram.initial_history m.Lm.Model.model ids in
+  match Lm.Ngram.candidates m.Lm.Model.model history ~k:10 with
+  | [] -> Alcotest.fail "no candidates after 'var '"
+  | cands ->
+      Alcotest.(check bool) "at most k candidates" true (List.length cands <= 10);
+      (* counts are sorted descending *)
+      let counts = List.map snd cands in
+      Alcotest.(check (list int)) "sorted by count" (List.sort (fun a b -> compare b a) counts) counts
+
+let generation_quality () =
+  let g = Comfort.Generator.create ~seed:123 () in
+  let rate = Comfort.Generator.validity_rate g ~n:150 in
+  Alcotest.(check bool)
+    (Printf.sprintf "comfort validity %.0f%% >= 50%%" (100.0 *. rate))
+    true (rate >= 0.5);
+  let dm = Lazy.force Lm.Model.deepsmith in
+  let gd = Comfort.Generator.create ~seed:123 ~model:dm () in
+  let rate_d = Comfort.Generator.validity_rate gd ~n:150 in
+  Alcotest.(check bool)
+    (Printf.sprintf "deepsmith validity %.0f%% below comfort" (100.0 *. rate_d))
+    true
+    (rate_d < rate)
+
+let corpus_is_parseable () =
+  List.iteri
+    (fun i src ->
+      match Jsparse.Parser.parse_program src with
+      | _ -> ()
+      | exception Jsparse.Parser.Syntax_error (msg, line) ->
+          Alcotest.failf "training program %d invalid (line %d: %s)" i line msg)
+    Lm.Js_corpus.programs;
+  Alcotest.(check bool) "corpus is sizeable" true
+    (List.length Lm.Js_corpus.programs >= 100)
+
+let corpus_runs_clean () =
+  (* every training program executes on the reference engine and prints
+     something, with no uncaught error *)
+  List.iteri
+    (fun i src ->
+      let r = Jsinterp.Run.run ~fuel:500_000 src in
+      (match r.Jsinterp.Run.r_status with
+      | Jsinterp.Run.Sts_normal -> ()
+      | s ->
+          Alcotest.failf "training program %d ended with %s:\n%s" i
+            (Jsinterp.Run.status_to_string s) src);
+      if r.Jsinterp.Run.r_output = "" then
+        Alcotest.failf "training program %d prints nothing" i)
+    Lm.Js_corpus.programs
+
+let corpus_avoids_baseline_apis () =
+  (* §5.3.2: Comfort's training corpus must not contain the API patterns the
+     baseline fuzzers are credited with *)
+  List.iter
+    (fun pattern ->
+      List.iteri
+        (fun i src ->
+          if Str_contains.contains src pattern then
+            Alcotest.failf "corpus program %d contains forbidden pattern %s" i pattern)
+        Lm.Js_corpus.programs)
+    [ "big.call"; "Object.seal(new String"; "\"lastIndex\"" ]
+
+let generation_terminates () =
+  let g = Comfort.Generator.create ~seed:77 () in
+  for _ = 1 to 30 do
+    let src = Comfort.Generator.sample_program g in
+    Alcotest.(check bool) "bounded size" true (String.length src < 60_000)
+  done
+
+let suite =
+  [
+    case "bpe round-trip" bpe_roundtrip;
+    case "bpe merges common words" bpe_merges_keywords;
+    case "pre-tokenizer" pretokenizer;
+    case "deterministic sampling" ngram_determinism;
+    case "top-k candidates" ngram_candidates;
+    case "validity: comfort > deepsmith" generation_quality;
+    case "training corpus parses" corpus_is_parseable;
+    case "training corpus runs clean" corpus_runs_clean;
+    case "corpus avoids baseline-only APIs" corpus_avoids_baseline_apis;
+    case "generation terminates" generation_terminates;
+  ]

@@ -1,0 +1,188 @@
+(* End-to-end fuzzing campaigns and the baseline fuzzers. These use small
+   budgets; the full-scale runs live in bench/main.ml. *)
+
+open Helpers
+
+let comfort_campaign_finds_bugs () =
+  let fz = Comfort.Campaign.comfort_fuzzer ~seed:11 () in
+  let res = Comfort.Campaign.run ~budget:600 fz in
+  Alcotest.(check int) "budget honoured" 600 res.Comfort.Campaign.cp_cases_run;
+  Alcotest.(check bool) "finds at least 3 unique bugs" true
+    (List.length res.Comfort.Campaign.cp_discoveries >= 3);
+  Alcotest.(check int) "no unattributed deviations" 0
+    res.Comfort.Campaign.cp_unattributed;
+  (* discoveries are unique (engine, quirk) pairs *)
+  let keys =
+    List.map
+      (fun d -> (d.Comfort.Campaign.disc_engine, d.Comfort.Campaign.disc_quirk))
+      res.Comfort.Campaign.cp_discoveries
+  in
+  Alcotest.(check int) "no duplicate discoveries"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  (* every discovered quirk is genuinely present in the engine's registry *)
+  List.iter
+    (fun (d : Comfort.Campaign.discovery) ->
+      Alcotest.(check bool) "discovery matches ground truth" true
+        (List.exists
+           (fun (e, q) ->
+             e = d.Comfort.Campaign.disc_engine
+             && Jsinterp.Quirk.equal q d.Comfort.Campaign.disc_quirk)
+           Engines.Registry.all_bugs))
+    res.Comfort.Campaign.cp_discoveries;
+  (* the timeline is monotone and ends at the discovery count *)
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as tl) -> a <= b && monotone tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "timeline monotone" true
+    (monotone res.Comfort.Campaign.cp_timeline)
+
+let campaign_determinism () =
+  let run () =
+    let fz = Comfort.Campaign.comfort_fuzzer ~seed:42 () in
+    let res = Comfort.Campaign.run ~budget:200 fz in
+    List.map
+      (fun d ->
+        ( Engines.Registry.engine_name d.Comfort.Campaign.disc_engine,
+          Jsinterp.Quirk.to_string d.Comfort.Campaign.disc_quirk ))
+      res.Comfort.Campaign.cp_discoveries
+  in
+  Alcotest.(check (list (pair string string))) "same seed, same bugs" (run ()) (run ())
+
+let datagen_ablation () =
+  (* DESIGN ablation 3 in miniature: spec guidance finds bugs that the
+     unguided generator misses at the same budget *)
+  let with_dg =
+    Comfort.Campaign.run ~budget:500 (Comfort.Campaign.comfort_fuzzer ~seed:9 ())
+  in
+  let without_dg =
+    Comfort.Campaign.run ~budget:500
+      (Comfort.Campaign.comfort_fuzzer ~seed:9 ~with_datagen:false ())
+  in
+  Alcotest.(check bool) "datagen >= no-datagen" true
+    (List.length with_dg.Comfort.Campaign.cp_discoveries
+    >= List.length without_dg.Comfort.Campaign.cp_discoveries)
+
+let baseline_interfaces () =
+  List.iter
+    (fun fz ->
+      let cases = fz.Comfort.Campaign.fz_batch 25 in
+      Alcotest.(check int)
+        (fz.Comfort.Campaign.fz_name ^ " batch size")
+        25 (List.length cases);
+      (* provenance is tagged with the fuzzer *)
+      List.iter
+        (fun (tc : Comfort.Testcase.t) ->
+          match tc.Comfort.Testcase.tc_provenance with
+          | Comfort.Testcase.P_fuzzer n ->
+              Alcotest.(check string) "provenance name" fz.Comfort.Campaign.fz_name n
+          | _ -> Alcotest.fail "baseline case without fuzzer provenance")
+        cases)
+    (Baselines.Fuzzers.all ())
+
+let mutation_fuzzers_emit_valid_js () =
+  (* AST-level mutators always print syntactically valid programs *)
+  List.iter
+    (fun fz ->
+      let cases = fz.Comfort.Campaign.fz_batch 40 in
+      let valid =
+        List.length
+          (List.filter (fun c -> c.Comfort.Testcase.tc_syntax_valid) cases)
+      in
+      Alcotest.(check bool)
+        (fz.Comfort.Campaign.fz_name ^ " validity high")
+        true
+        (valid >= 38))
+    [ Baselines.Fuzzers.die (); Baselines.Fuzzers.codealchemist (); Baselines.Fuzzers.montage () ]
+
+let codealchemist_def_before_use () =
+  let fz = Baselines.Fuzzers.codealchemist ~seed:5 () in
+  let cases = fz.Comfort.Campaign.fz_batch 30 in
+  List.iter
+    (fun (tc : Comfort.Testcase.t) ->
+      match Jsparse.Parser.parse_program tc.Comfort.Testcase.tc_source with
+      | p ->
+          Alcotest.(check (list string)) "no free identifiers" []
+            (Jsast.Visit.free_idents p)
+      | exception Jsparse.Parser.Syntax_error _ -> ())
+    cases
+
+let baselines_find_their_signature_bugs () =
+  (* §5.3.2: each baseline's seed corpus reaches its signature bug *)
+  let found fz quirk budget =
+    let res = Comfort.Campaign.run ~budget fz in
+    List.exists
+      (fun d -> Jsinterp.Quirk.equal d.Comfort.Campaign.disc_quirk quirk)
+      res.Comfort.Campaign.cp_discoveries
+  in
+  Alcotest.(check bool) "Fuzzilli finds the seal crash" true
+    (found (Baselines.Fuzzers.fuzzilli ~seed:2 ()) Jsinterp.Quirk.Q_seal_string_object_crash 250);
+  Alcotest.(check bool) "CodeAlchemist finds big.call(null)" true
+    (found
+       (Baselines.Fuzzers.codealchemist ~seed:3 ())
+       Jsinterp.Quirk.Q_string_big_null_no_typeerror 250);
+  Alcotest.(check bool) "DIE finds the lastIndex bug" true
+    (found (Baselines.Fuzzers.die ~seed:4 ()) Jsinterp.Quirk.Q_regexp_lastindex_nonwritable_silent 250);
+  Alcotest.(check bool) "Montage finds the funcexpr binding bug" true
+    (found
+       (Baselines.Fuzzers.montage ~seed:5 ())
+       Jsinterp.Quirk.Q_named_funcexpr_binding_mutable 250)
+
+let comfort_misses_baseline_only_bugs () =
+  (* §5.3.2: Comfort's corpus cannot reach String.prototype.big *)
+  let res = Comfort.Campaign.run ~budget:800 (Comfort.Campaign.comfort_fuzzer ~seed:13 ()) in
+  Alcotest.(check bool) "Comfort does not find big.call(null)" false
+    (List.exists
+       (fun d ->
+         Jsinterp.Quirk.equal d.Comfort.Campaign.disc_quirk
+           Jsinterp.Quirk.Q_string_big_null_no_typeerror)
+       res.Comfort.Campaign.cp_discoveries)
+
+let metrics_shapes () =
+  let q = Comfort.Metrics.measure (Comfort.Campaign.comfort_fuzzer ~seed:21 ()) ~n:80 in
+  Alcotest.(check bool) "validity in (0, 1]" true
+    (q.Comfort.Metrics.q_validity > 0.0 && q.Comfort.Metrics.q_validity <= 1.0);
+  Alcotest.(check bool) "coverages within [0,1]" true
+    (List.for_all
+       (fun v -> v >= 0.0 && v <= 1.0)
+       [
+         q.Comfort.Metrics.q_stmt_cov; q.Comfort.Metrics.q_branch_cov;
+         q.Comfort.Metrics.q_func_cov;
+       ])
+
+let report_tables () =
+  let res = Comfort.Campaign.run ~budget:600 (Comfort.Campaign.comfort_fuzzer ~seed:11 ()) in
+  let t2 = Comfort.Report.table2 res in
+  Alcotest.(check int) "table2 has ten engine rows" 10 (List.length t2);
+  let total_found = List.fold_left (fun acc (_, s, _, _, _) -> acc + s) 0 t2 in
+  Alcotest.(check int) "table2 total = discoveries" (List.length res.Comfort.Campaign.cp_discoveries) total_found;
+  (* verified <= found, fixed <= verified per row *)
+  List.iter
+    (fun (name, s, v, f, _) ->
+      Alcotest.(check bool) (name ^ " verified<=found") true (v <= s);
+      Alcotest.(check bool) (name ^ " fixed<=verified") true (f <= v))
+    t2;
+  let t4 = Comfort.Report.table4 res in
+  Alcotest.(check int) "table4 has two categories" 2 (List.length t4);
+  let t4_total = List.fold_left (fun acc (_, s, _, _, _) -> acc + s) 0 t4 in
+  Alcotest.(check int) "table4 partitions discoveries" total_found t4_total;
+  let f7 = Comfort.Report.fig7 res in
+  Alcotest.(check int) "fig7 six components" 6 (List.length f7);
+  let t3 = Comfort.Report.table3 res in
+  let t3_total = List.fold_left (fun acc (_, _, s, _, _, _) -> acc + s) 0 t3 in
+  Alcotest.(check int) "table3 partitions discoveries" total_found t3_total
+
+let suite =
+  [
+    case "comfort campaign end-to-end" comfort_campaign_finds_bugs;
+    case "campaign determinism" campaign_determinism;
+    case "datagen ablation" datagen_ablation;
+    case "baseline fuzzer interfaces" baseline_interfaces;
+    case "mutators emit valid JS" mutation_fuzzers_emit_valid_js;
+    case "codealchemist def-before-use" codealchemist_def_before_use;
+    case "baselines find signature bugs" baselines_find_their_signature_bugs;
+    case "comfort misses corpus-gap bugs" comfort_misses_baseline_only_bugs;
+    case "quality metrics" metrics_shapes;
+    case "report tables" report_tables;
+  ]

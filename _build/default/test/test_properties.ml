@@ -1,0 +1,104 @@
+(* Cross-cutting QCheck properties over the whole pipeline. *)
+
+
+(* deterministic program source generator: LM samples keyed by seed *)
+let gen_source =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let g = Comfort.Generator.create ~seed:(abs seed + 1) () in
+        Comfort.Generator.sample_program g)
+      int)
+
+let interpreter_deterministic =
+  QCheck2.Test.make ~count:60 ~name:"interpreter is deterministic" gen_source
+    (fun src ->
+      let r1 = Jsinterp.Run.run ~fuel:200_000 src in
+      let r2 = Jsinterp.Run.run ~fuel:200_000 src in
+      Comfort.Difftest.signature_of_result r1
+      = Comfort.Difftest.signature_of_result r2
+      && r1.Jsinterp.Run.r_fuel_used = r2.Jsinterp.Run.r_fuel_used)
+
+let reference_never_fires =
+  QCheck2.Test.make ~count:60 ~name:"reference engine fires no quirks"
+    gen_source (fun src ->
+      let r = Jsinterp.Run.run ~fuel:200_000 src in
+      Jsinterp.Quirk.Set.is_empty r.Jsinterp.Run.r_fired)
+
+let quirkless_testbeds_agree =
+  (* ten engines that all carry zero bugs can never deviate from each other *)
+  let clean_testbeds =
+    List.map
+      (fun e ->
+        let cfg = Engines.Registry.latest e in
+        {
+          Engines.Engine.tb_config =
+            { cfg with Engines.Registry.cfg_quirks = Jsinterp.Quirk.Set.empty };
+          tb_mode = Engines.Engine.Normal;
+        })
+      Engines.Registry.all_engines
+  in
+  QCheck2.Test.make ~count:40 ~name:"quirk-free engines never deviate"
+    gen_source (fun src ->
+      let tc = Comfort.Testcase.make src in
+      let report = Comfort.Difftest.run_case clean_testbeds tc in
+      report.Comfort.Difftest.cr_deviations = [])
+
+let datagen_mutants_parse =
+  QCheck2.Test.make ~count:40 ~name:"datagen mutants always parse" gen_source
+    (fun src ->
+      let dg = Comfort.Datagen.create ~seed:5 () in
+      List.for_all
+        (fun (m : Comfort.Datagen.mutant) ->
+          Jsparse.Parser.is_valid m.Comfort.Datagen.m_source)
+        (Comfort.Datagen.mutants_of_program dg src))
+
+let fuel_monotone =
+  (* more fuel can only move a timeout towards completion, never the
+     reverse; the final non-timeout signature is stable *)
+  QCheck2.Test.make ~count:40 ~name:"fuel is monotone" gen_source (fun src ->
+      let r_small = Jsinterp.Run.run ~fuel:20_000 src in
+      let r_big = Jsinterp.Run.run ~fuel:2_000_000 src in
+      match (r_small.Jsinterp.Run.r_status, r_big.Jsinterp.Run.r_status) with
+      | Jsinterp.Run.Sts_timeout, _ -> true
+      | s1, s2 -> s1 = s2)
+
+let reducer_output_still_valid =
+  QCheck2.Test.make ~count:25 ~name:"reducer preserves syntactic validity"
+    gen_source (fun src ->
+      if not (Jsparse.Parser.is_valid src) then true
+      else
+        (* reduce under a trivial predicate that accepts smaller parseable
+           programs printing anything *)
+        let reduced =
+          Comfort.Reducer.reduce
+            ~still_triggers:(fun s -> Jsparse.Parser.is_valid s)
+            src
+        in
+        Jsparse.Parser.is_valid reduced
+        && String.length reduced <= String.length src)
+
+let printer_preserves_behavior =
+  (* parse -> print -> parse -> run gives the same observable result *)
+  QCheck2.Test.make ~count:60 ~name:"pretty-printing preserves behaviour"
+    gen_source (fun src ->
+      match Jsparse.Parser.parse_program src with
+      | exception Jsparse.Parser.Syntax_error _ -> true
+      | p ->
+          let src2 = Jsast.Printer.program_to_string p in
+          let r1 = Jsinterp.Run.run ~fuel:200_000 src in
+          let r2 = Jsinterp.Run.run ~fuel:200_000 src2 in
+          Comfort.Difftest.signature_of_result r1
+          = Comfort.Difftest.signature_of_result r2)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      interpreter_deterministic;
+      reference_never_fires;
+      quirkless_testbeds_agree;
+      datagen_mutants_parse;
+      fuel_monotone;
+      reducer_output_still_valid;
+      printer_preserves_behavior;
+    ]

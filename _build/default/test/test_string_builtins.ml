@@ -1,0 +1,117 @@
+(* String.prototype conformance on the reference engine. *)
+
+open Helpers
+
+let tests =
+  [
+    (* substr — the Figure 1 algorithm *)
+    ("substr basic", {|"abcdef".substr(2, 3)|}, "cde");
+    ("substr undefined length", {|"abcdef".substr(2, undefined)|}, "cdef");
+    ("substr omitted length", {|"abcdef".substr(2)|}, "cdef");
+    ("substr negative start", {|"abcdef".substr(-2)|}, "ef");
+    ("substr negative beyond", {|"abc".substr(-10)|}, "abc");
+    ("substr zero length", {|"abc".substr(1, 0)|}, "");
+    ("substr negative length", {|"abc".substr(1, -1)|}, "");
+    ("substr NaN start", {|"abc".substr(NaN)|}, "abc");
+    ("substr infinity length", {|"abc".substr(1, Infinity)|}, "bc");
+    ("substr on number via wrapper", {|(12345).toString().substr(1, 2)|}, "23");
+    (* substring *)
+    ("substring basic", {|"abcdef".substring(1, 4)|}, "bcd");
+    ("substring swapped", {|"abcdef".substring(4, 1)|}, "bcd");
+    ("substring negative clamps", {|"abcdef".substring(-3, 2)|}, "ab");
+    ("substring undefined end", {|"abcdef".substring(3)|}, "def");
+    (* slice *)
+    ("slice basic", {|"abcdef".slice(1, 3)|}, "bc");
+    ("slice negative", {|"abcdef".slice(-3, -1)|}, "de");
+    ("slice crossing", {|"abcdef".slice(4, 2)|}, "");
+    (* charAt / charCodeAt *)
+    ("charAt", {|"abc".charAt(1)|}, "b");
+    ("charAt negative", {|"abc".charAt(-1)|}, "");
+    ("charAt out of range", {|"abc".charAt(10)|}, "");
+    ("charAt coerces", {|"abc".charAt("1")|}, "b");
+    ("charCodeAt", {|"A".charCodeAt(0)|}, "65");
+    ("charCodeAt oob", {|"A".charCodeAt(5)|}, "NaN");
+    (* indexOf family *)
+    ("indexOf", {|"banana".indexOf("an")|}, "1");
+    ("indexOf from", {|"banana".indexOf("an", 2)|}, "3");
+    ("indexOf missing", {|"banana".indexOf("x")|}, "-1");
+    ("indexOf empty", {|"abc".indexOf("")|}, "0");
+    ("lastIndexOf", {|"banana".lastIndexOf("an")|}, "3");
+    ("lastIndexOf NaN position searches all", {|"banana".lastIndexOf("an", NaN)|}, "3");
+    ("includes", {|"haystack".includes("ys")|}, "true");
+    ("includes position", {|"aaa".includes("a", 5)|}, "false");
+    ("startsWith", {|"filename.txt".startsWith("file")|}, "true");
+    ("startsWith position", {|"abcdef".startsWith("cd", 2)|}, "true");
+    ("endsWith", {|"filename.txt".endsWith(".txt")|}, "true");
+    ("endsWith endPosition", {|"abcdef".endsWith("cd", 4)|}, "true");
+    (* case / trim / pad / repeat *)
+    ("toUpperCase", {|"MiXeD1".toUpperCase()|}, "MIXED1");
+    ("toLowerCase", {|"MiXeD1".toLowerCase()|}, "mixed1");
+    ("trim", {|"  pad  ".trim()|}, "pad");
+    ("trim tabs and newlines", {|"\t x \n".trim()|}, "x");
+    ("repeat", {|"ab".repeat(3)|}, "ababab");
+    ("repeat zero", {|"ab".repeat(0)|}, "");
+    ("padStart", {|"7".padStart(3, "0")|}, "007");
+    ("padStart default space", {|"7".padStart(2)|}, " 7");
+    ("padStart already long", {|"abcdef".padStart(3, "x")|}, "abcdef");
+    ("padEnd", {|"7".padEnd(3, ".")|}, "7..");
+    ("padEnd multi-char filler", {|"x".padEnd(6, "ab")|}, "xababa");
+    (* concat *)
+    ("concat", {|"a".concat("b", 1, null)|}, "ab1null");
+    (* split *)
+    ("split basic", {|"a,b,c".split(",")|}, "a,b,c");
+    ("split limit", {|"a,b,c".split(",", 2).length|}, "2");
+    ("split empty separator", {|"abc".split("")|}, "a,b,c");
+    ("split no separator", {|"abc".split()|}, "abc");
+    ("split missing separator", {|"abc".split("-")|}, "abc");
+    ("split regexp", {|"a1b22c".split(/\d+/)|}, "a,b,c");
+    ("split anchored no match", {|"anA".split(/^A/)|}, "anA");
+    ("split anchored match", {|"Abc".split(/^A/).length|}, "2");
+    (* replace *)
+    ("replace string", {|"good day".replace("good", "bad")|}, "bad day");
+    ("replace only first", {|"aaa".replace("a", "b")|}, "baa");
+    ("replace regexp global", {|"x1y2".replace(/\d/g, "#")|}, "x#y#");
+    ("replace $& group", {|"abc".replace("b", "[$&]")|}, "a[b]c");
+    ("replace $1 capture", {|"john smith".replace(/(\w+) (\w+)/, "$2 $1")|}, "smith john");
+    ("replace function", {|"abc".replace("b", function(m) { return m.toUpperCase(); })|}, "aBc");
+    ("replace function offset", {|"abc".replace("b", function(m, off) { return "" + off; })|}, "a1c");
+    ("replace undefined search", {|"x undefined y".replace(undefined, "Z")|}, "x Z y");
+    ("replace empty pattern", {|"abc".replace("", "-")|}, "-abc");
+    ("replace dollar-dollar", {|"a".replace("a", "$$")|}, "$");
+    (* match / search *)
+    ("match", {|"order 66".match(/\d+/)[0]|}, "66");
+    ("match global", {|"a1b2c3".match(/\d/g)|}, "1,2,3");
+    ("match miss", {|"abc".match(/\d/)|}, "null");
+    ("search", {|"abc123".search(/\d/)|}, "3");
+    ("search miss", {|"abc".search(/\d/)|}, "-1");
+    (* normalize / big / at / fromCharCode *)
+    ("normalize identity", {|"abc".normalize()|}, "abc");
+    ("normalize NFD", {|"abc".normalize("NFD")|}, "abc");
+    ("big", {|"x".big()|}, "<big>x</big>");
+    ("codePointAt", {|"A".codePointAt(0)|}, "65");
+    ("codePointAt oob", {|"A".codePointAt(5)|}, "undefined");
+    ("at positive", {|"abc".at(1)|}, "b");
+    ("at negative", {|"abc".at(-1)|}, "c");
+    ("fromCharCode", {|String.fromCharCode(72, 105)|}, "Hi");
+    (* String conversion *)
+    ("String()", {|String(123)|}, "123");
+    ("String(null)", {|String(null)|}, "null");
+    ("new String is object", {|typeof new String("x")|}, "object");
+    ("wrapper length", {|new String("abcd").length|}, "4");
+    ("string index access", {|"abc"[1]|}, "b");
+    ("string length", {|"hello".length|}, "5");
+  ]
+
+let error_tests () =
+  check_error "repeat negative" {|print("x".repeat(-1));|} "RangeError";
+  check_error "repeat infinity" {|print("x".repeat(Infinity));|} "RangeError";
+  check_error "normalize bad form" {|print("a".normalize("XXX"));|} "RangeError";
+  check_error "normalize boolean form" {|print("a".normalize(true));|} "RangeError";
+  check_error "big on null" {|print(String.prototype.big.call(null));|} "TypeError";
+  check_error "charAt on undefined" {|var u; print(String.prototype.charAt.call(u, 0));|} "TypeError"
+
+let suite =
+  List.map
+    (fun (name, expr, expected) -> case name (fun () -> check_expr name expr expected))
+    tests
+  @ [ case "error cases" error_tests ]
