@@ -7,6 +7,8 @@
      comfort difftest FILE                 differential-test one file
      comfort fuzz --budget N [--fuzzer F --feedback]
                                            run a fuzzing campaign
+     comfort analyze FILE | --generate N   static analysis: scope, early
+                                           errors, lint, screening verdict
      comfort export --budget N [--dir D]   fuzz and emit Test262-style tests
      comfort reduce FILE --engine E --version V
                                            reduce a bug-exposing test case
@@ -183,6 +185,11 @@ let fuzz budget fuzzer_name seed feedback =
     res.Comfort.Campaign.cp_fuzzer res.Comfort.Campaign.cp_cases_run
     (List.length res.Comfort.Campaign.cp_discoveries)
     res.Comfort.Campaign.cp_filtered_repeats;
+  Printf.printf "screened out: %d (repaired %d)\n"
+    res.Comfort.Campaign.cp_screened_out res.Comfort.Campaign.cp_repaired;
+  List.iter
+    (fun (reason, n) -> Printf.printf "  %-35s %d\n" reason n)
+    res.Comfort.Campaign.cp_screen_reasons;
   List.iter
     (fun (d : Comfort.Campaign.discovery) ->
       Printf.printf "  [case %4d] %-13s %-10s %s\n" d.Comfort.Campaign.disc_at
@@ -206,6 +213,66 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against the simulated engines")
     Term.(const fuzz $ budget $ fuzzer $ seed $ feedback)
+
+(* --- analyze --- *)
+
+let print_analysis label src =
+  (match label with Some l -> Printf.printf "// %s\n" l | None -> ());
+  match Analysis.screen ~strict:false src with
+  | Error msg -> Printf.printf "syntax error: %s\n" msg
+  | Ok (verdict, diag) ->
+      if diag.Analysis.d_free <> [] then
+        Printf.printf "free variables: %s\n"
+          (String.concat ", " diag.Analysis.d_free);
+      List.iter
+        (fun (e : Analysis.Early_errors.error) ->
+          Printf.printf "early error [%s]: %s\n"
+            (Analysis.Early_errors.rule_to_string e.Analysis.Early_errors.ee_rule)
+            e.Analysis.Early_errors.ee_msg)
+        diag.Analysis.d_errors;
+      List.iter
+        (fun (e : Analysis.Early_errors.error) ->
+          Printf.printf "strict-only [%s]: %s\n"
+            (Analysis.Early_errors.rule_to_string e.Analysis.Early_errors.ee_rule)
+            e.Analysis.Early_errors.ee_msg)
+        diag.Analysis.d_strict_only;
+      List.iter
+        (fun (f : Analysis.Lint.finding) ->
+          Printf.printf "lint: %s\n"
+            (match f with
+            | Analysis.Lint.Nondeterministic api -> "nondeterministic " ^ api
+            | Analysis.Lint.No_observable_output -> "no observable output"))
+        diag.Analysis.d_lint;
+      Printf.printf "verdict: %s\n" (Analysis.verdict_to_string verdict)
+
+let analyze file generate seed =
+  match (file, generate) with
+  | Some f, _ -> print_analysis None (read_file f)
+  | None, n when n > 0 ->
+      let g = Comfort.Generator.create ~seed () in
+      List.iteri
+        (fun i (tc : Comfort.Testcase.t) ->
+          if i > 0 then print_newline ();
+          print_analysis
+            (Some (Printf.sprintf "sample %d" (i + 1)))
+            tc.Comfort.Testcase.tc_source)
+        (Comfort.Generator.generate g ~n)
+  | None, _ ->
+      prerr_endline "pass a FILE or --generate N";
+      exit 1
+
+let analyze_cmd =
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let generate =
+    Arg.(value & opt int 0 & info [ "generate" ]
+           ~doc:"Analyze $(docv) freshly generated programs instead of a file."
+           ~docv:"N")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static analysis of a JS program: scope, early errors, lint, verdict")
+    Term.(const analyze $ file $ generate $ seed)
 
 (* --- export --- *)
 
@@ -340,5 +407,5 @@ let () =
        (Cmd.group (Cmd.info "comfort" ~doc)
           [
             generate_cmd; mutate_cmd; run_cmd; difftest_cmd; fuzz_cmd;
-            export_cmd; reduce_cmd; spec_cmd; engines_cmd;
+            analyze_cmd; export_cmd; reduce_cmd; spec_cmd; engines_cmd;
           ]))

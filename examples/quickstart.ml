@@ -3,9 +3,10 @@
      dune exec examples/quickstart.exe
 
    1. sample a JS test program from the language model;
-   2. apply ECMA-262-guided test-data generation (Algorithm 1);
-   3. differential-test each case across the ten simulated engines;
-   4. report any deviation together with the ground-truth bug it hit. *)
+   2. screen it with the static-analysis pass (scope, early errors, lint);
+   3. apply ECMA-262-guided test-data generation (Algorithm 1);
+   4. differential-test each case across the ten simulated engines;
+   5. report any deviation together with the ground-truth bug it hit. *)
 
 let () =
   print_endline "=== 1. generate a test program (GPT-2 substitute) ===";
@@ -13,7 +14,24 @@ let () =
   let tc = List.hd (Comfort.Generator.generate gen ~n:1) in
   print_endline tc.Comfort.Testcase.tc_source;
 
-  print_endline "=== 2. ECMA-262-guided test data (Algorithm 1) ===";
+  print_endline "=== 2. static-analysis screen ===";
+  let tc =
+    match Comfort.Campaign.screen_case tc with
+    | Comfort.Campaign.S_kept tc ->
+        print_endline "verdict: keep\n";
+        tc
+    | Comfort.Campaign.S_repaired tc ->
+        Printf.printf "verdict: repaired (free variables bound)\n\n%s\n"
+          tc.Comfort.Testcase.tc_source;
+        tc
+    | Comfort.Campaign.S_dropped reason ->
+        (* in the campaign driver a dropped case is replaced by a fresh
+           draw; here we just keep going with the original *)
+        Printf.printf "verdict: drop (%s) — campaign would redraw\n\n" reason;
+        tc
+  in
+
+  print_endline "=== 3. ECMA-262-guided test data (Algorithm 1) ===";
   let dg = Comfort.Datagen.create ~seed:5 () in
   let mutants = Comfort.Datagen.mutate dg tc in
   Printf.printf "%d mutated test cases; first one:\n\n" (List.length mutants);
@@ -21,7 +39,7 @@ let () =
   | m :: _ -> print_endline m.Comfort.Testcase.tc_source
   | [] -> print_endline "(no API call sites found in this sample)");
 
-  print_endline "=== 3. differential testing across ten engines ===";
+  print_endline "=== 4. differential testing across ten engines ===";
   let testbeds = Engines.Engine.latest_testbeds () in
   let deviations = ref 0 in
   List.iter

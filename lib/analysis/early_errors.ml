@@ -1,0 +1,197 @@
+(* ECMA-262 early errors (a practical slice).
+
+   Scope-level violations (redeclaration, const assignment, TDZ) come from
+   {!Scope.resolve}; this module adds the control-flow placement rules
+   (break/continue/return/labels), which need syntactic context rather
+   than a binding table, and the strict-mode restrictions. *)
+
+open Jsast
+open Ast
+
+type rule =
+  | R_duplicate_lexical
+  | R_const_assign
+  | R_tdz
+  | R_break_outside
+  | R_continue_outside
+  | R_unknown_label
+  | R_return_outside
+  | R_strict_dup_params
+  | R_strict_delete
+
+type error = { ee_rule : rule; ee_msg : string }
+
+let rule_to_string = function
+  | R_duplicate_lexical -> "duplicate-lexical-declaration"
+  | R_const_assign -> "assignment-to-const"
+  | R_tdz -> "use-before-declaration"
+  | R_break_outside -> "break-outside-loop"
+  | R_continue_outside -> "continue-outside-loop"
+  | R_unknown_label -> "unknown-label"
+  | R_return_outside -> "return-outside-function"
+  | R_strict_dup_params -> "strict-duplicate-params"
+  | R_strict_delete -> "strict-delete-unqualified"
+
+let of_scope_issue (i : Scope.issue) : error =
+  match i with
+  | Scope.Duplicate_decl n ->
+      { ee_rule = R_duplicate_lexical; ee_msg = Scope.issue_to_string i ^ " — " ^ n ^ " redeclared in the same scope" }
+  | Scope.Const_assign _ ->
+      { ee_rule = R_const_assign; ee_msg = Scope.issue_to_string i }
+  | Scope.Tdz_use _ -> { ee_rule = R_tdz; ee_msg = Scope.issue_to_string i }
+
+(* --- placement of break / continue / return / labels --- *)
+
+type ctx = {
+  c_in_function : bool;
+  c_in_loop : bool;
+  c_in_switch : bool;
+  c_labels : (string * bool) list;  (* label, labels-an-iteration-statement *)
+}
+
+let top_ctx =
+  { c_in_function = false; c_in_loop = false; c_in_switch = false; c_labels = [] }
+
+let func_ctx = { top_ctx with c_in_function = true }
+
+let is_iteration (s : stmt) =
+  match s.s with
+  | While _ | Do_while _ | For _ | For_in _ | For_of _ -> true
+  | _ -> false
+
+let placement_errors (p : program) : error list =
+  let errs = ref [] in
+  let err rule msg = errs := { ee_rule = rule; ee_msg = msg } :: !errs in
+  let rec stmt (c : ctx) (s : stmt) : unit =
+    match s.s with
+    | Expr_stmt x | Throw x -> expr x
+    | Var_decl (_, decls) ->
+        List.iter (fun (_, i) -> Option.iter expr i) decls
+    | Func_decl f -> func f
+    | Return _ ->
+        if not c.c_in_function then
+          err R_return_outside "return outside a function body"
+    | If (cd, a, b) ->
+        expr cd;
+        stmt c a;
+        Option.iter (stmt c) b
+    | Block body -> List.iter (stmt c) body
+    | For (init, cond, upd, body) ->
+        (match init with
+        | Some (FI_decl (_, decls)) ->
+            List.iter (fun (_, i) -> Option.iter expr i) decls
+        | Some (FI_expr x) -> expr x
+        | None -> ());
+        Option.iter expr cond;
+        Option.iter expr upd;
+        stmt { c with c_in_loop = true } body
+    | For_in (_, _, obj, body) | For_of (_, _, obj, body) ->
+        expr obj;
+        stmt { c with c_in_loop = true } body
+    | While (cd, body) ->
+        expr cd;
+        stmt { c with c_in_loop = true } body
+    | Do_while (body, cd) ->
+        stmt { c with c_in_loop = true } body;
+        expr cd
+    | Break None ->
+        if not (c.c_in_loop || c.c_in_switch) then
+          err R_break_outside "break outside a loop or switch"
+    | Break (Some l) ->
+        if not (List.mem_assoc l c.c_labels) then
+          err R_unknown_label ("break to undefined label '" ^ l ^ "'")
+    | Continue None ->
+        if not c.c_in_loop then
+          err R_continue_outside "continue outside a loop"
+    | Continue (Some l) -> (
+        match List.assoc_opt l c.c_labels with
+        | Some true -> ()
+        | Some false ->
+            err R_unknown_label
+              ("continue to label '" ^ l ^ "' which does not label a loop")
+        | None -> err R_unknown_label ("continue to undefined label '" ^ l ^ "'"))
+    | Try (b, h, f) ->
+        List.iter (stmt c) b;
+        Option.iter (fun (_, hb) -> List.iter (stmt c) hb) h;
+        Option.iter (List.iter (stmt c)) f
+    | Switch (d, cases) ->
+        expr d;
+        List.iter
+          (fun (ce, body) ->
+            Option.iter expr ce;
+            List.iter (stmt { c with c_in_switch = true }) body)
+          cases
+    | Labeled (l, body) ->
+        (* the label is in scope inside the labeled statement; continue is
+           only legal towards a label on an iteration statement *)
+        let rec target (s : stmt) =
+          match s.s with Labeled (_, inner) -> target inner | _ -> s
+        in
+        stmt { c with c_labels = (l, is_iteration (target body)) :: c.c_labels } body
+    | Empty | Debugger -> ()
+  and expr (x : expr) : unit =
+    match x.e with
+    | Lit _ | Ident _ | This -> ()
+    | Array_lit elems -> List.iter (Option.iter expr) elems
+    | Object_lit props ->
+        List.iter
+          (fun (pn, v) ->
+            (match pn with PN_computed k -> expr k | _ -> ());
+            expr v)
+          props
+    | Func f | Arrow f -> func f
+    | Unary (_, a) | Update (_, _, a) -> expr a
+    | Binary (_, a, b) | Logical (_, a, b) | Assign (_, a, b) | Seq (a, b) ->
+        expr a;
+        expr b
+    | Cond (a, b, cc) ->
+        expr a;
+        expr b;
+        expr cc
+    | Call (f, args) | New (f, args) ->
+        expr f;
+        List.iter expr args
+    | Member (o, Pfield _) -> expr o
+    | Member (o, Pindex i) ->
+        expr o;
+        expr i
+    | Template parts ->
+        List.iter (function Tstr _ -> () | Tsub s -> expr s) parts
+  and func (f : func) : unit = List.iter (stmt func_ctx) f.body in
+  List.iter (stmt top_ctx) p.prog_body;
+  List.rev !errs
+
+(* --- strict-mode restrictions --- *)
+
+let dup_params (params : string list) : string option =
+  let rec go seen = function
+    | [] -> None
+    | p :: rest -> if List.mem p seen then Some p else go (p :: seen) rest
+  in
+  go [] params
+
+let strict_errors (p : program) : error list =
+  let errs = ref [] in
+  let err rule msg = errs := { ee_rule = rule; ee_msg = msg } :: !errs in
+  let check_params (f : func) =
+    match dup_params f.params with
+    | Some name ->
+        err R_strict_dup_params
+          ("duplicate parameter '" ^ name ^ "' in strict code")
+    | None -> ()
+  in
+  Visit.iter_program
+    ~fe:(fun x ->
+      match x.e with
+      | Func f | Arrow f -> check_params f
+      | Unary (Udelete, { e = Ident n; _ }) ->
+          err R_strict_delete ("delete of unqualified name '" ^ n ^ "'")
+      | _ -> ())
+    ~fs:(fun s -> match s.s with Func_decl f -> check_params f | _ -> ())
+    p;
+  List.rev !errs
+
+let check ?strict (p : program) : error list =
+  let strict = Option.value strict ~default:p.prog_strict in
+  let scoped = List.map of_scope_issue (Scope.resolve p).Scope.res_issues in
+  scoped @ placement_errors p @ (if strict then strict_errors p else [])

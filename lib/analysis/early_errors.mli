@@ -1,0 +1,33 @@
+(** A useful slice of ECMA-262 early errors.
+
+    These are programs the reference parser accepts but a conforming
+    engine must reject (or that are guaranteed dead on arrival): lexical
+    redeclarations, assignment to [const], TDZ uses, [break]/[continue]
+    outside an iteration statement, [return] outside a function, unknown
+    labels, and — when the code is strict — duplicate parameters and
+    [delete] of an unqualified name.
+
+    Strict-only rules are applied only when [strict] holds: in sloppy
+    code those constructs are legal, and under a strict testbed they are
+    rejected by conforming front ends at parse time — that disagreement is
+    differential signal (the seeded strict-parser quirks), not dead
+    weight, so the screening pass must not eat it. *)
+
+type rule =
+  | R_duplicate_lexical
+  | R_const_assign
+  | R_tdz
+  | R_break_outside        (** [break] outside loop or switch *)
+  | R_continue_outside     (** [continue] outside a loop *)
+  | R_unknown_label        (** break/continue to an unbound or non-loop label *)
+  | R_return_outside
+  | R_strict_dup_params
+  | R_strict_delete        (** [delete x] on an unqualified name *)
+
+type error = { ee_rule : rule; ee_msg : string }
+
+val rule_to_string : rule -> string
+
+(** [check ?strict p] — [strict] defaults to the program's own
+    ["use strict"] prologue. *)
+val check : ?strict:bool -> Jsast.Ast.program -> error list

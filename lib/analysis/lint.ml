@@ -1,0 +1,41 @@
+(* Determinism and triviality lint; see the interface for the rationale. *)
+
+open Jsast
+open Ast
+
+type finding =
+  | Nondeterministic of string
+  | No_observable_output
+
+let finding_to_string = function
+  | Nondeterministic api -> "nondeterministic call to " ^ api
+  | No_observable_output -> "no observable output"
+
+(* Wall-clock or RNG reads that make output run-dependent. [new Date(v)]
+   with arguments is a fixed instant and stays allowed. *)
+let nondet_api (x : expr) : string option =
+  match x.e with
+  | Call (f, _) -> (
+      match Visit.callee_path f with
+      | Some [ "Math"; "random" ] -> Some "Math.random"
+      | Some [ "Date"; "now" ] -> Some "Date.now"
+      | Some [ "Date" ] -> Some "Date()"
+      | _ -> None)
+  | New ({ e = Ident "Date"; _ }, []) -> Some "new Date()"
+  | _ -> None
+
+let lint (p : program) : finding list =
+  let nondet = ref [] in
+  let has_call = ref false in
+  let has_throw = ref false in
+  Visit.iter_program
+    ~fe:(fun x ->
+      (match x.e with Call _ | New _ -> has_call := true | _ -> ());
+      match nondet_api x with
+      | Some api when not (List.mem api !nondet) -> nondet := api :: !nondet
+      | _ -> ())
+    ~fs:(fun s -> match s.s with Throw _ -> has_throw := true | _ -> ())
+    p;
+  let findings = List.rev_map (fun api -> Nondeterministic api) !nondet in
+  if (not !has_call) && not !has_throw then findings @ [ No_observable_output ]
+  else findings

@@ -1,0 +1,23 @@
+(** Determinism and triviality lint.
+
+    Differential testing votes on observable behaviour, so two classes of
+    program are dead weight before any engine runs:
+
+    - nondeterministic programs ([Math.random], wall-clock [Date] reads):
+      testbeds can legitimately disagree, poisoning the majority vote;
+    - programs with no observable effect: nothing is printed and nothing
+      can throw, so every testbed produces the empty signature and no
+      conformance deviation can surface.
+
+    The observability test is a conservative syntactic approximation: a
+    program is flagged only when it contains no call (nothing can reach
+    [print], the harness's only output channel, and no API can throw) and
+    no [throw] statement. *)
+
+type finding =
+  | Nondeterministic of string  (** offending API, e.g. ["Math.random"] *)
+  | No_observable_output
+
+val finding_to_string : finding -> string
+
+val lint : Jsast.Ast.program -> finding list

@@ -55,7 +55,7 @@ let naive_driver (rng : Rng.t) (p : Ast.program) : Ast.program =
   in
   (* bind leftover free identifiers so the program can execute *)
   let p = { p with Ast.prog_body = p.Ast.prog_body @ driver } in
-  match Visit.free_idents p with
+  match Analysis.Scope.free_variables p with
   | [] -> p
   | free ->
       let decls = List.map (fun n -> B.var n (rand_lit ())) free in
@@ -176,7 +176,7 @@ let bricks_of_seeds () : brick list =
               {
                 b_stmt = st;
                 b_defs = Visit.declared_names mini;
-                b_uses = Visit.free_idents mini;
+                b_uses = Analysis.Scope.free_variables mini;
               })
             p.Ast.prog_body)
     (Seeds.common @ Seeds.codealchemist_extra)

@@ -42,6 +42,9 @@ type result = {
   cp_filtered_repeats : int;   (** deviations suppressed by the Fig. 6 tree *)
   cp_unattributed : int;       (** deviations with no fired quirk (noise) *)
   cp_timeline : (int * int) list;  (** (cases run, cumulative unique bugs) *)
+  cp_screened_out : int;       (** cases dropped by the static-analysis screen *)
+  cp_screen_reasons : (string * int) list;  (** drop reason -> count *)
+  cp_repaired : int;           (** cases kept after free-variable repair *)
 }
 
 (* --- the Comfort fuzzer: LM generation + Algorithm 1 mutants --- *)
@@ -75,28 +78,67 @@ let comfort_fuzzer ?(seed = 7) ?(with_datagen = true) () : fuzzer =
       Some (fun n -> List.init n (fun _ -> Generator.sample_program raw_gen));
     fz_batch =
       (fun n ->
+        (* [Generator.generate] can legally return [] (its attempt cap);
+           bound the refill retries so an exhausted generator fails loudly
+           instead of spinning forever *)
+        let stalls = ref 0 in
         while Queue.length queue < n do
-          refill (n - Queue.length queue)
+          let before = Queue.length queue in
+          refill (n - before);
+          if Queue.length queue = before then begin
+            incr stalls;
+            if !stalls >= 20 then
+              failwith
+                "Campaign.comfort_fuzzer: generator produced no test cases \
+                 after 20 consecutive attempts"
+          end
+          else stalls := 0
         done;
         List.init n (fun _ -> Queue.pop queue));
   }
 
+(* --- semantic screening (the §3.2 "filter" step, upgraded to the full
+   static-analysis pass: scope resolution, early errors, determinism
+   lint) --- *)
+
+type screened =
+  | S_kept of Testcase.t
+  | S_repaired of Testcase.t  (** free variables bound by the repair step *)
+  | S_dropped of string       (** drop reason, for the reason histogram *)
+
+let screen_case (tc : Testcase.t) : screened =
+  (* syntactically invalid cases are deliberate (the generator keeps a
+     fraction to exercise the parsers) and carry differential signal of
+     their own — the semantic screen only judges parseable programs *)
+  if not tc.Testcase.tc_syntax_valid then S_kept tc
+  else
+    match Jsparse.Parser.parse_program tc.Testcase.tc_source with
+    | exception Jsparse.Parser.Syntax_error _ -> S_kept tc
+    | p -> (
+        match fst (Analysis.screen_program p) with
+        | Analysis.Keep -> S_kept tc
+        | Analysis.Repair _ ->
+            let src = Jsast.Printer.program_to_string (Analysis.bind_free p) in
+            S_repaired
+              (Testcase.make ~provenance:tc.Testcase.tc_provenance src)
+        | Analysis.Drop reason -> S_dropped reason)
+
 (* --- campaign --- *)
 
-let api_of_deviation (dev : Difftest.deviation) (tc : Testcase.t) :
-    string option =
+let api_of_deviation (dev : Difftest.deviation) (tc : Testcase.t)
+    ~(ast : Jsast.Ast.program option Lazy.t) : string option =
   match Quirk.Set.choose_opt dev.Difftest.d_fired with
   | Some q -> Some (Engines.Catalogue.find q).Engines.Catalogue.api
   | None -> (
       match tc.Testcase.tc_provenance with
       | Testcase.P_ecma_mutated api -> Some api
       | _ -> (
-          match Jsparse.Parser.parse_program tc.Testcase.tc_source with
-          | p -> (
+          match Lazy.force ast with
+          | Some p -> (
               match Jsast.Visit.call_sites p with
               | cs :: _ -> Some cs.Jsast.Visit.cs_callee
               | [] -> None)
-          | exception Jsparse.Parser.Syntax_error _ -> None))
+          | None -> None))
 
 (* Causal attribution: a fired quirk is credited with a deviation only if
    disabling that quirk alone changes the deviating engine's behaviour on
@@ -125,7 +167,8 @@ let default_testbeds () =
   @ Engines.Engine.latest_testbeds ~mode:Engines.Engine.Strict ()
 
 let run ?(testbeds = default_testbeds ()) ?(budget = 200)
-    ?(fuel = Difftest.default_fuel) ?(reduce = false) (fz : fuzzer) : result =
+    ?(fuel = Difftest.default_fuel) ?(reduce = false) ?(screen = true)
+    (fz : fuzzer) : result =
   let by_mode =
     [
       List.filter (fun tb -> tb.Engines.Engine.tb_mode = Engines.Engine.Normal) testbeds;
@@ -140,9 +183,52 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
   let discoveries = ref [] in
   let unattributed = ref 0 in
   let timeline = ref [] in
-  let cases = fz.fz_batch budget in
+  let screened_out = ref 0 in
+  let repaired = ref 0 in
+  let reasons : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let drop reason =
+    incr screened_out;
+    Hashtbl.replace reasons reason
+      (1 + Option.value (Hashtbl.find_opt reasons reason) ~default:0)
+  in
+  (* gather [budget] screen-surviving cases, drawing replacements for the
+     dropped ones so the execution budget is spent in full; a stall
+     counter bounds the extra draws in case the fuzzer only produces
+     droppable programs *)
+  let cases =
+    if not screen then fz.fz_batch budget
+    else begin
+      let kept = ref [] in
+      let n_kept = ref 0 in
+      let stalls = ref 0 in
+      while !n_kept < budget && !stalls < 3 do
+        let want = budget - !n_kept in
+        let progressed = ref false in
+        List.iter
+          (fun tc ->
+            if !n_kept < budget then
+              match screen_case tc with
+              | S_kept tc ->
+                  kept := tc :: !kept; incr n_kept; progressed := true
+              | S_repaired tc ->
+                  kept := tc :: !kept; incr n_kept; incr repaired;
+                  progressed := true
+              | S_dropped reason -> drop reason)
+          (fz.fz_batch want);
+        if !progressed then stalls := 0 else incr stalls
+      done;
+      List.rev !kept
+    end
+  in
   List.iteri
     (fun idx tc ->
+      (* one parse per case, shared by every deviation it produces *)
+      let ast =
+        lazy
+          (match Jsparse.Parser.parse_program tc.Testcase.tc_source with
+          | p -> Some p
+          | exception Jsparse.Parser.Syntax_error _ -> None)
+      in
       List.iter
         (fun tbs ->
           let report = Difftest.run_case ~fuel tbs tc in
@@ -150,14 +236,18 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
             (fun (dev : Difftest.deviation) ->
               let tb = dev.Difftest.d_testbed in
               let engine = tb.Engines.Engine.tb_config.Engines.Registry.cfg_engine in
-              let api = api_of_deviation dev tc in
-              (* developer-facing dedup: the Fig. 6 tree *)
-              let verdict =
+              let api = api_of_deviation dev tc ~ast in
+              (* developer-facing dedup: the Fig. 6 tree. A repeat of a
+                 known (engine, api, behaviour) leaf cannot yield a new
+                 discovery, so the expensive causal re-execution is
+                 skipped for it *)
+              match
                 Bugfilter.classify filter
                   ~engine:(Engines.Registry.engine_name engine)
                   ~api ~behavior:dev.Difftest.d_behavior
-              in
-              ignore verdict;
+              with
+              | `Seen_before -> ()
+              | `New_bug ->
               if Quirk.Set.is_empty dev.Difftest.d_fired then incr unattributed
               else
                 let causal =
@@ -210,4 +300,9 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
     cp_filtered_repeats = Bugfilter.filtered_count filter;
     cp_unattributed = !unattributed;
     cp_timeline = List.rev !timeline;
+    cp_screened_out = !screened_out;
+    cp_screen_reasons =
+      Hashtbl.fold (fun r n acc -> (r, n) :: acc) reasons []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    cp_repaired = !repaired;
   }

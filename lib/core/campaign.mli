@@ -35,6 +35,9 @@ type result = {
   cp_filtered_repeats : int;          (** suppressed by the Fig. 6 tree *)
   cp_unattributed : int;              (** deviations with no causal quirk *)
   cp_timeline : (int * int) list;     (** (cases run, cumulative bugs) *)
+  cp_screened_out : int;              (** dropped by the static-analysis screen *)
+  cp_screen_reasons : (string * int) list;  (** drop reason -> count, sorted *)
+  cp_repaired : int;                  (** kept after free-variable repair *)
 }
 
 (** The Comfort fuzzer: LM program generation plus Algorithm 1 mutants.
@@ -51,11 +54,28 @@ val default_testbeds : unit -> Engines.Engine.testbed list
                      [Engines.Engine.all_testbeds] for the paper's full
                      102-testbed setup
     @param budget    number of test cases to execute
-    @param reduce    reduce the first exposing case of each discovery *)
+    @param reduce    reduce the first exposing case of each discovery
+    @param screen    run the {!Analysis} static screen on every candidate
+                     case (default [true]): dropped programs never reach
+                     differential testing and replacements are drawn so
+                     the budget is still spent in full; [false] is the
+                     screening ablation *)
 val run :
   ?testbeds:Engines.Engine.testbed list ->
   ?budget:int ->
   ?fuel:int ->
   ?reduce:bool ->
+  ?screen:bool ->
   fuzzer ->
   result
+
+(** Outcome of screening one candidate test case. *)
+type screened =
+  | S_kept of Testcase.t
+  | S_repaired of Testcase.t  (** free variables bound by the repair step *)
+  | S_dropped of string       (** drop reason *)
+
+(** Apply the static-analysis screen to one test case. Syntactically
+    invalid cases pass through untouched: they are deliberate
+    parser-exercise inputs with differential signal of their own. *)
+val screen_case : Testcase.t -> screened

@@ -74,9 +74,11 @@ let create ?(seed = 2) ?(db = Lazy.force Specdb.Db.standard)
    (the model glues fragments from different training programs). Binding
    those names to synthesized values is part of "embedding test data into
    the JS code by assigning values to variables" (§3.3) and is what makes a
-   generated function body actually executable. *)
+   generated function body actually executable. The scope resolver yields
+   exactly the unbound names, so a parameter shadowing a global no longer
+   suppresses the binding the call site needs. *)
 let bind_free_vars (t : t) (p : Ast.program) : Ast.program =
-  match Visit.free_idents p with
+  match Analysis.Scope.free_variables p with
   | [] -> p
   | free ->
       (* prefer a type-appropriate value when the call sites reveal how the

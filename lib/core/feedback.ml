@@ -122,6 +122,20 @@ let run_rounds ?(testbeds = Campaign.default_testbeds ()) ?(rounds = 4)
                 acc.Campaign.cp_filtered_repeats + res.Campaign.cp_filtered_repeats;
               cp_unattributed =
                 acc.Campaign.cp_unattributed + res.Campaign.cp_unattributed;
+              cp_screened_out =
+                acc.Campaign.cp_screened_out + res.Campaign.cp_screened_out;
+              cp_screen_reasons =
+                (let tbl = Hashtbl.create 8 in
+                 List.iter
+                   (fun (r, n) ->
+                     Hashtbl.replace tbl r
+                       (n + Option.value (Hashtbl.find_opt tbl r) ~default:0))
+                   (acc.Campaign.cp_screen_reasons
+                   @ res.Campaign.cp_screen_reasons);
+                 Hashtbl.fold (fun r n l -> (r, n) :: l) tbl []
+                 |> List.sort (fun (a, _) (b, _) -> compare a b));
+              cp_repaired =
+                acc.Campaign.cp_repaired + res.Campaign.cp_repaired;
             })
   done;
   Option.get !merged

@@ -64,6 +64,43 @@ let measure ?(fuel = 200_000) (fz : Campaign.fuzzer) ~(n : int) : quality =
         (fun c -> c.Jsinterp.Coverage.func_total);
   }
 
+(* Screening statistics: how the static-analysis pass judges a fuzzer's
+   output. Unlike the campaign driver this draws no replacements, so the
+   fractions are per-emitted-case. *)
+type screening = {
+  sc_fuzzer : string;
+  sc_samples : int;
+  sc_kept : int;
+  sc_repaired : int;  (** kept, after free-variable repair *)
+  sc_dropped : int;
+  sc_reasons : (string * int) list;  (** drop reason -> count, sorted *)
+}
+
+let screen_stats (fz : Campaign.fuzzer) ~(n : int) : screening =
+  let cases = fz.Campaign.fz_batch n in
+  let kept = ref 0 and repaired = ref 0 and dropped = ref 0 in
+  let reasons : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun tc ->
+      match Campaign.screen_case tc with
+      | Campaign.S_kept _ -> incr kept
+      | Campaign.S_repaired _ -> incr repaired
+      | Campaign.S_dropped reason ->
+          incr dropped;
+          Hashtbl.replace reasons reason
+            (1 + Option.value (Hashtbl.find_opt reasons reason) ~default:0))
+    cases;
+  {
+    sc_fuzzer = fz.Campaign.fz_name;
+    sc_samples = List.length cases;
+    sc_kept = !kept;
+    sc_repaired = !repaired;
+    sc_dropped = !dropped;
+    sc_reasons =
+      Hashtbl.fold (fun r c acc -> (r, c) :: acc) reasons []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+  }
+
 (* Share of valid generated programs that still raise a runtime exception
    (the paper reports ~18% for Comfort). *)
 let runtime_exception_rate (fz : Campaign.fuzzer) ~(n : int) : float =

@@ -13,6 +13,20 @@ type quality = {
     valid case on the reference engine with instrumentation. *)
 val measure : ?fuel:int -> Campaign.fuzzer -> n:int -> quality
 
+(** How the static-analysis screen judges a fuzzer's output. *)
+type screening = {
+  sc_fuzzer : string;
+  sc_samples : int;
+  sc_kept : int;       (** passed the screen untouched *)
+  sc_repaired : int;   (** kept after free-variable repair *)
+  sc_dropped : int;
+  sc_reasons : (string * int) list;  (** drop reason -> count, sorted *)
+}
+
+(** Screen [n] cases from the fuzzer (no replacement draws: fractions are
+    per emitted case). *)
+val screen_stats : Campaign.fuzzer -> n:int -> screening
+
 (** Share of valid generated cases that raise a runtime exception (the
     paper reports ~18% for Comfort). *)
 val runtime_exception_rate : Campaign.fuzzer -> n:int -> float

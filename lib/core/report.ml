@@ -141,5 +141,15 @@ let fig7 (c : Campaign.result) : (string * int * int) list =
         List.length (List.filter is_fixed quirks) ))
     components
 
+(* Screening summary: what the static-analysis pass filtered before
+   differential testing, as (label, count) rows — total dropped and
+   repaired first, then the per-reason histogram. *)
+let screening_summary (c : Campaign.result) : (string * int) list =
+  ("screened out", c.Campaign.cp_screened_out)
+  :: ("repaired", c.Campaign.cp_repaired)
+  :: List.map
+       (fun (reason, n) -> ("drop:" ^ reason, n))
+       c.Campaign.cp_screen_reasons
+
 (* Ground-truth totals, for "found X of Y seeded bugs" summaries. *)
 let ground_truth_total () = List.length Registry.all_bugs

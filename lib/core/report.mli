@@ -21,5 +21,9 @@ val table5 : Campaign.result -> (string * int * int * int) list
 (** Figure 7 rows: compiler component, found, fixed. *)
 val fig7 : Campaign.result -> (string * int * int) list
 
+(** Screening summary rows: total screened-out and repaired counts,
+    followed by the per-reason drop histogram (["drop:<reason>"]). *)
+val screening_summary : Campaign.result -> (string * int) list
+
 (** Size of the seeded ground-truth bug population. *)
 val ground_truth_total : unit -> int

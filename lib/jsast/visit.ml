@@ -194,50 +194,9 @@ let declared_names (p : program) : string list =
     p;
   List.rev !acc
 
-(* Free identifiers referenced but never declared at any scope of the
-   program. Approximate (no scope analysis) but sufficient for the semantic
-   checks the generator applies. *)
-let referenced_idents (p : program) : string list =
-  let tbl = Hashtbl.create 16 in
-  iter_program
-    ~fe:(fun x ->
-      match x.e with
-      | Ident n -> Hashtbl.replace tbl n ()
-      | Func f | Arrow f ->
-          List.iter (fun p -> Hashtbl.replace tbl p ()) f.params
-      | _ -> ())
-    p;
-  Hashtbl.fold (fun k () acc -> k :: acc) tbl []
-
-(* Names bound anywhere in the program: declarations, parameters, function
-   names, catch parameters, loop binders. A scope-insensitive
-   over-approximation of bound names — safe for deciding which identifiers
-   need a synthesized binding. *)
-let bound_names (p : program) : string list =
-  let tbl = Hashtbl.create 16 in
-  let add n = Hashtbl.replace tbl n () in
-  iter_program
-    ~fe:(fun x ->
-      match x.e with
-      | Func f | Arrow f ->
-          Option.iter add f.fname;
-          List.iter add f.params
-      | _ -> ())
-    ~fs:(fun st ->
-      match st.s with
-      | Var_decl (_, decls) -> List.iter (fun (n, _) -> add n) decls
-      | Func_decl f ->
-          Option.iter add f.fname;
-          List.iter add f.params
-      | For (Some (FI_decl (_, decls)), _, _, _) ->
-          List.iter (fun (n, _) -> add n) decls
-      | For_in (_, n, _, _) | For_of (_, n, _, _) -> add n
-      | Try (_, Some (param, _), _) -> add param
-      | _ -> ())
-    p;
-  Hashtbl.fold (fun k () acc -> k :: acc) tbl []
-
-(* Global names every engine realm provides; not "free" when referenced. *)
+(* Global names every engine realm provides; not "free" when referenced.
+   Free-variable discovery itself lives in [Analysis.Scope], which resolves
+   the scope tree precisely (hoisting, block scoping, TDZ). *)
 let builtin_globals : string list =
   [
     "print"; "undefined"; "NaN"; "Infinity"; "globalThis"; "this"; "arguments";
@@ -248,21 +207,3 @@ let builtin_globals : string list =
     "Int8Array"; "Uint16Array"; "Int16Array"; "Uint32Array"; "Int32Array";
     "Float32Array"; "Float64Array"; "DataView";
   ]
-
-(* Identifiers that are referenced, unbound, and not builtin globals. *)
-let free_idents (p : program) : string list =
-  let bound = bound_names p in
-  let refs = ref [] in
-  let seen = Hashtbl.create 16 in
-  iter_program
-    ~fe:(fun x ->
-      match x.e with
-      | Ident n
-        when (not (Hashtbl.mem seen n))
-             && (not (List.mem n bound))
-             && not (List.mem n builtin_globals) ->
-          Hashtbl.replace seen n ();
-          refs := n :: !refs
-      | _ -> ())
-    p;
-  List.rev !refs

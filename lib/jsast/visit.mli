@@ -50,15 +50,6 @@ val call_sites : Ast.program -> call_site list
     binders). *)
 val declared_names : Ast.program -> string list
 
-val referenced_idents : Ast.program -> string list
-
-(** Scope-insensitive over-approximation of bound names (declarations,
-    parameters, catch params, loop binders). *)
-val bound_names : Ast.program -> string list
-
-(** Global names every engine realm provides. *)
+(** Global names every engine realm provides. Free-variable discovery is
+    scope-aware and lives in [Analysis.Scope]. *)
 val builtin_globals : string list
-
-(** Identifiers referenced, unbound, and not builtin — the names the
-    test-data generator must bind for the program to execute. *)
-val free_idents : Ast.program -> string list

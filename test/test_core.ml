@@ -22,11 +22,11 @@ let call_site_extraction () =
 
 let free_ident_analysis () =
   let p = parse {|var a = 1; function f(x) { return x + b + Math.abs(c); } print(f(a));|} in
-  let free = List.sort compare (Jsast.Visit.free_idents p) in
+  let free = List.sort compare (Analysis.Scope.free_variables p) in
   Alcotest.(check (list string)) "free identifiers" [ "b"; "c" ] free;
   let p2 = parse {|try { foo(); } catch (err) { print(err); }|} in
   Alcotest.(check (list string)) "catch param bound" [ "foo" ]
-    (Jsast.Visit.free_idents p2)
+    (Analysis.Scope.free_variables p2)
 
 let static_counts () =
   let p = parse {|function f(x) { if (x) { return 1; } return 2; }
@@ -102,7 +102,7 @@ let datagen_free_var_binding () =
     (fun (m : Comfort.Datagen.mutant) ->
       let p = parse m.Comfort.Datagen.m_source in
       Alcotest.(check (list string)) "no free identifiers remain" []
-        (Jsast.Visit.free_idents p))
+        (Analysis.Scope.free_variables p))
     ms
 
 let datagen_observation_harness () =

@@ -13,6 +13,7 @@ let () =
       ("specdb", Test_specdb.suite);
       ("engines", Test_engines.suite);
       ("lm", Test_lm.suite);
+      ("analysis", Test_analysis.suite);
       ("core", Test_core.suite);
       ("pipeline", Test_pipeline.suite);
       ("util", Test_util.suite);

@@ -104,7 +104,7 @@ let codealchemist_def_before_use () =
       match Jsparse.Parser.parse_program tc.Comfort.Testcase.tc_source with
       | p ->
           Alcotest.(check (list string)) "no free identifiers" []
-            (Jsast.Visit.free_idents p)
+            (Analysis.Scope.free_variables p)
       | exception Jsparse.Parser.Syntax_error _ -> ())
     cases
 
