@@ -5,8 +5,13 @@
    down to minutes of laptop time; set COMFORT_BENCH_SCALE to an integer
    multiplier to run longer campaigns (default 1).
 
+   Set COMFORT_JOBS=N to run every campaign in here on N worker domains;
+   results are identical at any job count. `campaign` measures the 1-job
+   vs N-job throughput directly and writes BENCH_campaign.json.
+
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe table2     # one experiment
+     dune exec bench/main.exe campaign   # executor throughput + JSON
      dune exec bench/main.exe micro      # Bechamel micro-benchmarks
 
    See EXPERIMENTS.md for the recorded paper-vs-measured comparison. *)
@@ -524,6 +529,71 @@ let ablate () =
     (List.length fb_res.Comfort.Campaign.cp_discoveries)
     (Comfort.Feedback.bank_size fb)
 
+(* ---------- campaign throughput (parallel executor) ---------- *)
+
+(* End-to-end campaign wall-clock at 1 job vs N jobs, against the full
+   102-testbed setup. Verifies on the way that the parallel run found the
+   same discoveries (the executor's ordering guarantee), then emits the
+   numbers as machine-readable BENCH_campaign.json for CI and EXPERIMENTS.md. *)
+let campaign_bench () =
+  header "Campaign throughput: parallel executor + front-end cache";
+  let budget = 400 * scale in
+  let testbeds = Engines.Engine.all_testbeds in
+  let njobs =
+    let env = Comfort.Executor.default_jobs () in
+    if env > 1 then env else min 4 (Domain.recommended_domain_count ())
+  in
+  let measure jobs =
+    let fz = Comfort.Campaign.comfort_fuzzer ~seed:11 () in
+    let t0 = Unix.gettimeofday () in
+    let res = Comfort.Campaign.run ~testbeds ~budget ~jobs fz in
+    let dt = Unix.gettimeofday () -. t0 in
+    Printf.printf
+      "  jobs=%d: %.2fs wall, %.1f cases/s, %d unique bugs, %d repeats filtered\n%!"
+      jobs dt
+      (Float.of_int res.Comfort.Campaign.cp_cases_run /. dt)
+      (List.length res.Comfort.Campaign.cp_discoveries)
+      res.Comfort.Campaign.cp_filtered_repeats;
+    (res, dt)
+  in
+  Printf.printf "budget=%d cases, %d testbeds\n%!" budget
+    (List.length testbeds);
+  let seq, seq_dt = measure 1 in
+  let par, par_dt = measure njobs in
+  let key d = (d.Comfort.Campaign.disc_engine, d.Comfort.Campaign.disc_quirk) in
+  let same =
+    List.map key seq.Comfort.Campaign.cp_discoveries
+    = List.map key par.Comfort.Campaign.cp_discoveries
+    && seq.Comfort.Campaign.cp_timeline = par.Comfort.Campaign.cp_timeline
+  in
+  Printf.printf "speedup at %d jobs: %.2fx; results identical: %b\n" njobs
+    (seq_dt /. par_dt) same;
+  let json =
+    Printf.sprintf
+      {|{
+  "budget": %d,
+  "testbeds": %d,
+  "runs": [
+    { "jobs": 1, "wall_s": %.3f, "cases_per_s": %.1f, "discoveries": %d },
+    { "jobs": %d, "wall_s": %.3f, "cases_per_s": %.1f, "discoveries": %d }
+  ],
+  "speedup": %.2f,
+  "identical_results": %b
+}
+|}
+      budget (List.length testbeds) seq_dt
+      (Float.of_int seq.Comfort.Campaign.cp_cases_run /. seq_dt)
+      (List.length seq.Comfort.Campaign.cp_discoveries)
+      njobs par_dt
+      (Float.of_int par.Comfort.Campaign.cp_cases_run /. par_dt)
+      (List.length par.Comfort.Campaign.cp_discoveries)
+      (seq_dt /. par_dt) same
+  in
+  let oc = open_out "BENCH_campaign.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "wrote BENCH_campaign.json"
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -586,6 +656,7 @@ let all () =
   fig8 ();
   fig9 ();
   ablate ();
+  campaign_bench ();
   micro ()
 
 let () =
@@ -602,11 +673,12 @@ let () =
   | "listings" -> listings ()
   | "spec" -> spec ()
   | "ablate" -> ablate ()
+  | "campaign" -> campaign_bench ()
   | "micro" -> micro ()
   | "all" -> all ()
   | other ->
       Printf.eprintf
-        "unknown experiment %s (try: table1..5, fig7..9, listings, spec, ablate, micro, all)\n"
+        "unknown experiment %s (try: table1..5, fig7..9, listings, spec, ablate, campaign, micro, all)\n"
         other;
       exit 1);
   Printf.printf "\n[done in %.1fs]\n" (Unix.gettimeofday () -. t0)

@@ -24,6 +24,19 @@ let read_file path =
   close_in ic;
   s
 
+(* [--jobs 0] (the default) defers to COMFORT_JOBS, else sequential.
+   Campaign results are byte-identical at any job count. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the differential sweep. 0 reads \
+           $(b,COMFORT_JOBS) from the environment (default 1). Results \
+           are identical at any job count.")
+
+let resolve_jobs n = if n <= 0 then Comfort.Executor.default_jobs () else n
+
 let engine_conv =
   let parse s =
     match
@@ -162,7 +175,8 @@ let difftest_cmd =
 
 (* --- fuzz --- *)
 
-let fuzz budget fuzzer_name seed feedback =
+let fuzz budget fuzzer_name seed feedback jobs =
+  let jobs = resolve_jobs jobs in
   let fz =
     match String.lowercase_ascii fuzzer_name with
     | "comfort" -> Comfort.Campaign.comfort_fuzzer ~seed ()
@@ -178,8 +192,10 @@ let fuzz budget fuzzer_name seed feedback =
   let res =
     if feedback then
       let t = Comfort.Feedback.create fz in
-      Comfort.Feedback.run_rounds ~rounds:4 ~budget_per_round:(max 1 (budget / 4)) t
-    else Comfort.Campaign.run ~budget fz
+      Comfort.Feedback.run_rounds ~rounds:4
+        ~budget_per_round:(max 1 (budget / 4))
+        ~jobs t
+    else Comfort.Campaign.run ~budget ~jobs fz
   in
   Printf.printf "fuzzer: %s\ncases: %d\nunique bugs: %d\nrepeats filtered: %d\n"
     res.Comfort.Campaign.cp_fuzzer res.Comfort.Campaign.cp_cases_run
@@ -212,7 +228,7 @@ let fuzz_cmd =
            ~doc:"Mutate bug-exposing cases between rounds (the §5.5 extension).")
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against the simulated engines")
-    Term.(const fuzz $ budget $ fuzzer $ seed $ feedback)
+    Term.(const fuzz $ budget $ fuzzer $ seed $ feedback $ jobs_arg)
 
 (* --- analyze --- *)
 
@@ -276,9 +292,9 @@ let analyze_cmd =
 
 (* --- export --- *)
 
-let export budget seed dir =
+let export budget seed dir jobs =
   let fz = Comfort.Campaign.comfort_fuzzer ~seed () in
-  let res = Comfort.Campaign.run ~budget fz in
+  let res = Comfort.Campaign.run ~budget ~jobs:(resolve_jobs jobs) fz in
   let files = Comfort.Test262_export.export res in
   (match dir with
   | None ->
@@ -309,11 +325,11 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Fuzz, then render discoveries as Test262-style conformance tests")
-    Term.(const export $ budget $ seed $ dir)
+    Term.(const export $ budget $ seed $ dir $ jobs_arg)
 
 (* --- reduce --- *)
 
-let reduce file engine version =
+let reduce file engine version jobs =
   let src = read_file file in
   let cfg =
     match version with
@@ -343,7 +359,7 @@ let reduce file engine version =
           }
         in
         let reduced =
-          Comfort.Reducer.reduce
+          Comfort.Reducer.reduce ~jobs:(resolve_jobs jobs)
             ~still_triggers:(Comfort.Reducer.still_triggers_deviation tb dev)
             src
         in
@@ -359,7 +375,7 @@ let reduce_cmd =
     Arg.(value & opt (some string) None & info [ "version" ] ~doc:"Engine version.")
   in
   Cmd.v (Cmd.info "reduce" ~doc:"Reduce a bug-exposing test case")
-    Term.(const reduce $ file $ engine $ version)
+    Term.(const reduce $ file $ engine $ version $ jobs_arg)
 
 (* --- spec --- *)
 

@@ -144,23 +144,30 @@ let api_of_deviation (dev : Difftest.deviation) (tc : Testcase.t)
    disabling that quirk alone changes the deviating engine's behaviour on
    the test case. This keeps incidental quirk firings (a deviant path that
    executed but produced the same observable output) from inflating the
-   bug count. *)
-let causal_quirks (tb : Engines.Engine.testbed) (src : string)
+   bug count. The per-quirk re-executions are independent, so [jobs > 1]
+   probes them in parallel; the returned order is identical either way. *)
+let causal_quirks ?(jobs = 1) (tb : Engines.Engine.testbed) (src : string)
     (dev : Difftest.deviation) ~fuel : Quirk.t list =
   let cfg = tb.Engines.Engine.tb_config in
   let base_sig = dev.Difftest.d_actual in
-  Quirk.Set.fold
-    (fun q acc ->
-      let quirks = Quirk.Set.remove q cfg.Engines.Registry.cfg_quirks in
-      let r =
-        Run.run ~quirks
-          ~parse_opts:(Engines.Registry.parse_opts_of_config cfg)
-          ~strict:(tb.Engines.Engine.tb_mode = Engines.Engine.Strict)
-          ~fuel src
-      in
-      let s = Difftest.signature_to_string (Difftest.signature_of_result r) in
-      if s <> base_sig then q :: acc else acc)
-    dev.Difftest.d_fired []
+  let changes q =
+    let quirks = Quirk.Set.remove q cfg.Engines.Registry.cfg_quirks in
+    let r =
+      Run.run ~quirks
+        ~parse_opts:(Engines.Registry.parse_opts_of_config cfg)
+        ~strict:(tb.Engines.Engine.tb_mode = Engines.Engine.Strict)
+        ~fuel src
+    in
+    Difftest.signature_to_string (Difftest.signature_of_result r) <> base_sig
+  in
+  let probed =
+    Executor.map ~jobs
+      (fun q -> (q, changes q))
+      (Quirk.Set.elements dev.Difftest.d_fired)
+  in
+  (* descending quirk order, as the original Set.fold/prepend produced *)
+  List.rev
+    (List.filter_map (fun (q, causal) -> if causal then Some q else None) probed)
 
 let default_testbeds () =
   Engines.Engine.latest_testbeds ~mode:Engines.Engine.Normal ()
@@ -168,7 +175,7 @@ let default_testbeds () =
 
 let run ?(testbeds = default_testbeds ()) ?(budget = 200)
     ?(fuel = Difftest.default_fuel) ?(reduce = false) ?(screen = true)
-    (fz : fuzzer) : result =
+    ?(jobs = Executor.default_jobs ()) (fz : fuzzer) : result =
   let by_mode =
     [
       List.filter (fun tb -> tb.Engines.Engine.tb_mode = Engines.Engine.Normal) testbeds;
@@ -220,8 +227,13 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
       List.rev !kept
     end
   in
-  List.iteri
-    (fun idx tc ->
+  (* The per-case differential sweep — the dominant cost — runs on the
+     worker pool; every stateful stage below (Fig. 6 tree, dedup, causal
+     attribution, reduction, timeline) runs on this domain, in submission
+     order, so the outcome is byte-identical at any job count. Workers
+     only read the immutable test case and build their own realms; the
+     shared lazies (spec db, LM) were forced when the fuzzer was built. *)
+  let consume idx tc (reports : Difftest.case_report list) =
       (* one parse per case, shared by every deviation it produces *)
       let ast =
         lazy
@@ -230,8 +242,7 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
           | exception Jsparse.Parser.Syntax_error _ -> None)
       in
       List.iter
-        (fun tbs ->
-          let report = Difftest.run_case ~fuel tbs tc in
+        (fun (report : Difftest.case_report) ->
           List.iter
             (fun (dev : Difftest.deviation) ->
               let tb = dev.Difftest.d_testbed in
@@ -251,7 +262,7 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
               if Quirk.Set.is_empty dev.Difftest.d_fired then incr unattributed
               else
                 let causal =
-                  causal_quirks tb tc.Testcase.tc_source dev ~fuel
+                  causal_quirks ~jobs tb tc.Testcase.tc_source dev ~fuel
                 in
                 if causal = [] then incr unattributed
                 else
@@ -262,7 +273,7 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
                       let reduced =
                         if reduce then
                           Some
-                            (Reducer.reduce
+                            (Reducer.reduce ~jobs
                                ~still_triggers:
                                  (Reducer.still_triggers_deviation tb dev)
                                tc.Testcase.tc_source)
@@ -290,9 +301,13 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
                     end)
                   causal)
             report.Difftest.cr_deviations)
-        by_mode;
-      timeline := (idx + 1, Hashtbl.length seen) :: !timeline)
-    cases;
+        reports;
+      timeline := (idx + 1, Hashtbl.length seen) :: !timeline
+  in
+  Executor.with_pool ~jobs (fun pool ->
+      Executor.run_ordered pool
+        (fun tc -> List.map (fun tbs -> Difftest.run_case ~fuel tbs tc) by_mode)
+        cases ~consume);
   {
     cp_fuzzer = fz.fz_name;
     cp_cases_run = List.length cases;

@@ -59,13 +59,18 @@ val default_testbeds : unit -> Engines.Engine.testbed list
                      case (default [true]): dropped programs never reach
                      differential testing and replacements are drawn so
                      the budget is still spent in full; [false] is the
-                     screening ablation *)
+                     screening ablation
+    @param jobs      worker domains for the per-case differential sweep
+                     (default [COMFORT_JOBS], else 1). Results are consumed
+                     in submission order, so discoveries, the filter tree,
+                     and the timeline are byte-identical at any job count *)
 val run :
   ?testbeds:Engines.Engine.testbed list ->
   ?budget:int ->
   ?fuel:int ->
   ?reduce:bool ->
   ?screen:bool ->
+  ?jobs:int ->
   fuzzer ->
   result
 

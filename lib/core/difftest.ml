@@ -86,76 +86,94 @@ let default_fuel = 300_000
 
 (* The 2t rule (§3.4): an engine that terminated but consumed more than
    twice the slowest of the other engines — with a floor to avoid noise —
-   is flagged as a timeout. *)
+   is flagged as a timeout. Each run excludes only itself from the "other
+   engines" pool, by position: excluding by fuel value would also drop
+   unrelated engines that happened to burn the same amount, letting two
+   equally-slow engines each hide the other and both be falsely flagged. *)
 let apply_2t_rule (results : (Engines.Engine.testbed * Run.result) list) :
-    (Engines.Engine.testbed * signature) list =
+    (Engines.Engine.testbed * Run.result * signature) list =
+  (* (position, fuel) of every normally-terminated run *)
   let fuels =
     List.filter_map
-      (fun (_, (r : Run.result)) ->
+      (fun (i, (_, (r : Run.result))) ->
         if r.Run.r_parsed && r.Run.r_status = Run.Sts_normal then
-          Some r.Run.r_fuel_used
+          Some (i, r.Run.r_fuel_used)
         else None)
-      results
+      (List.mapi (fun i x -> (i, x)) results)
   in
-  List.map
-    (fun (tb, (r : Run.result)) ->
+  List.mapi
+    (fun i (tb, (r : Run.result)) ->
       let sig_ = signature_of_result r in
-      let others = List.filter (fun f -> f <> r.Run.r_fuel_used) fuels in
+      let others = List.filter_map
+          (fun (j, f) -> if j = i then None else Some f)
+          fuels
+      in
       let t = List.fold_left max 0 others in
       let slow =
         sig_ <> Sig_timeout && others <> []
         && r.Run.r_fuel_used > max (2 * t) 20_000
       in
-      (tb, if slow then Sig_timeout else sig_))
+      (tb, r, if slow then Sig_timeout else sig_))
     results
 
 let run_case ?(fuel = default_fuel) (testbeds : Engines.Engine.testbed list)
     (tc : Testcase.t) : case_report =
+  (* one front-end cache per case: edition gating and the per-group parse
+     are shared across the whole testbed sweep *)
+  let fc = Engines.Engine.Frontend.cache tc.Testcase.tc_source in
   (* edition gating: skip engines whose front end cannot express the
      program when the standard front end can *)
   let applicable =
     List.filter
       (fun (tb : Engines.Engine.testbed) ->
-        Engines.Engine.supports tb.Engines.Engine.tb_config tc.Testcase.tc_source)
+        Engines.Engine.Frontend.supports fc tb.Engines.Engine.tb_config)
       testbeds
   in
   let results =
-    List.map (fun tb -> (tb, Engines.Engine.run ~fuel tb tc.Testcase.tc_source)) applicable
+    List.map
+      (fun tb ->
+        ( tb,
+          Engines.Engine.run ~fuel
+            ~frontend:(Engines.Engine.Frontend.frontend fc tb)
+            tb tc.Testcase.tc_source ))
+      applicable
   in
-  let sigs = apply_2t_rule results in
+  let runs = apply_2t_rule results in
+  let tested = List.length runs in
   let all_parse_failed =
-    sigs <> [] && List.for_all (fun (_, s) -> s = Sig_parse_fail) sigs
+    runs <> [] && List.for_all (fun (_, _, s) -> s = Sig_parse_fail) runs
   in
   let all_timeout =
-    sigs <> [] && List.for_all (fun (_, s) -> s = Sig_timeout) sigs
+    runs <> [] && List.for_all (fun (_, _, s) -> s = Sig_timeout) runs
   in
-  if all_parse_failed || all_timeout || List.length sigs < 3 then
+  if all_parse_failed || all_timeout || tested < 3 then
     {
       cr_case = tc;
       cr_deviations = [];
       cr_all_parse_failed = all_parse_failed;
       cr_all_timeout = all_timeout;
-      cr_tested = List.length sigs;
+      cr_tested = tested;
     }
   else begin
-    (* majority vote over signatures *)
-    let groups : (signature * int) list =
-      List.fold_left
-        (fun acc (_, s) ->
-          match List.assoc_opt s acc with
-          | Some n -> (s, n + 1) :: List.remove_assoc s acc
-          | None -> (s, 1) :: acc)
-        [] sigs
-    in
+    (* majority vote over signatures: one counting pass, then one
+       deterministic scan in testbed order (first-seen wins ties) *)
+    let counts : (signature, int) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (_, _, s) ->
+        Hashtbl.replace counts s
+          (1 + Option.value (Hashtbl.find_opt counts s) ~default:0))
+      runs;
     let majority_sig, majority_n =
       List.fold_left
-        (fun (bs, bn) (s, n) -> if n > bn then (s, n) else (bs, bn))
-        (Sig_parse_fail, 0) groups
+        (fun (bs, bn) (_, _, s) ->
+          let n = Hashtbl.find counts s in
+          if n > bn then (s, n) else (bs, bn))
+        (Sig_parse_fail, 0) runs
     in
-    let have_majority = 2 * majority_n > List.length sigs in
+    let have_majority = 2 * majority_n > tested in
     let deviations =
       List.filter_map
-        (fun ((tb : Engines.Engine.testbed), s) ->
+        (fun ((tb : Engines.Engine.testbed), (r : Run.result), s) ->
           let is_anomaly =
             match s with
             | Sig_crash | Sig_timeout -> true (* always of interest *)
@@ -163,11 +181,6 @@ let run_case ?(fuel = default_fuel) (testbeds : Engines.Engine.testbed list)
           in
           if not is_anomaly then None
           else
-            let fired =
-              match List.assoc_opt tb results with
-              | Some r -> r.Run.r_fired
-              | None -> Quirk.Set.empty
-            in
             Some
               {
                 d_testbed = tb;
@@ -175,15 +188,15 @@ let run_case ?(fuel = default_fuel) (testbeds : Engines.Engine.testbed list)
                 d_expected = signature_to_string majority_sig;
                 d_actual = signature_to_string s;
                 d_behavior = behavior_label s majority_sig;
-                d_fired = fired;
+                d_fired = r.Run.r_fired;
               })
-        sigs
+        runs
     in
     {
       cr_case = tc;
       cr_deviations = deviations;
       cr_all_parse_failed = false;
       cr_all_timeout = false;
-      cr_tested = List.length sigs;
+      cr_tested = tested;
     }
   end

@@ -47,6 +47,15 @@ val kind_of : signature -> signature -> deviation_kind
 (** Execution budget per testbed (fuel units standing in for wall-clock). *)
 val default_fuel : int
 
+(** The §3.4 2t rule: a run that terminated normally but burned more than
+    twice the slowest {e other} run (floor 20k fuel) is reclassified as a
+    timeout. Exclusion of "self" from the comparison pool is by position,
+    never by fuel value, so two equally-slow engines cannot hide each
+    other. Exposed for the test suite. *)
+val apply_2t_rule :
+  (Engines.Engine.testbed * Jsinterp.Run.result) list ->
+  (Engines.Engine.testbed * Jsinterp.Run.result * signature) list
+
 (** Run one test case across the given testbeds and vote. *)
 val run_case :
   ?fuel:int -> Engines.Engine.testbed list -> Testcase.t -> case_report

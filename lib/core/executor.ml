@@ -1,0 +1,174 @@
+(* Parallel campaign executor: a fixed-size Domain-based worker pool.
+
+   The paper's campaigns run 250k test cases against 102 testbeds; the
+   per-case differential sweep dominates the cost and is embarrassingly
+   parallel, so [run_ordered] fans it out across OCaml 5 domains while the
+   caller consumes completed results strictly in submission order. In-order
+   consumption is what keeps the campaign driver's stateful stages — the
+   Fig. 6 filter tree, (engine, quirk) dedup, the Fig. 8 timeline —
+   byte-identical to a sequential run at any job count.
+
+   Domain-safety contract for submitted work: a job must only touch state
+   it owns (each engine run builds a fresh realm; per-case caches live in
+   the worker that owns the case). The few process-wide counters the jobs
+   reach (AST node ids, object ids, the parse counter) are atomics. Jobs
+   must not force shared lazies — the campaign forces the spec database
+   and the LM before any job is submitted.
+
+   The pool holds [jobs] worker domains pulling thunks from one queue; the
+   submitting domain never blocks inside a worker's critical section. With
+   [jobs <= 1] no domain is ever spawned and every entry point degrades to
+   the plain sequential loop, so `--jobs 1` is exactly the old behaviour. *)
+
+type task = Task of (unit -> unit) | Quit
+
+type t = {
+  jobs : int;
+  queue : task Queue.t;
+  lock : Mutex.t;
+  has_task : Condition.t;
+  workers : unit Domain.t array;  (* empty when jobs <= 1 *)
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "COMFORT_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+let jobs (t : t) = t.jobs
+
+let create ?(jobs = default_jobs ()) () : t =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      has_task = Condition.create ();
+      workers = [||];
+    }
+  in
+  if jobs <= 1 then t
+  else begin
+    let worker () =
+      let rec loop () =
+        Mutex.lock t.lock;
+        while Queue.is_empty t.queue do
+          Condition.wait t.has_task t.lock
+        done;
+        let task = Queue.pop t.queue in
+        Mutex.unlock t.lock;
+        match task with
+        | Quit -> ()
+        | Task f ->
+            f ();
+            loop ()
+      in
+      loop ()
+    in
+    (* the workers share [t]'s queue/lock through the closure; only the
+       array field differs between the two records *)
+    { t with workers = Array.init jobs (fun _ -> Domain.spawn worker) }
+  end
+
+let submit (t : t) (f : unit -> unit) : unit =
+  Mutex.lock t.lock;
+  Queue.add (Task f) t.queue;
+  Condition.signal t.has_task;
+  Mutex.unlock t.lock
+
+let shutdown (t : t) : unit =
+  if Array.length t.workers > 0 then begin
+    Mutex.lock t.lock;
+    Array.iter (fun _ -> Queue.add Quit t.queue) t.workers;
+    Condition.broadcast t.has_task;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers
+  end
+
+let with_pool ?jobs (f : t -> 'a) : 'a =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Fan [f] over [xs] with bounded in-flight work; [consume i x (f x)] runs
+   on the calling domain in submission order (i = 0, 1, 2, ...). The
+   window is a ring of result slots: job [i] lands in slot [i mod window],
+   and slot [i mod window] is guaranteed free when job [i] is submitted
+   because job [i - window] was consumed first. Worker exceptions are
+   re-raised at the job's consumption point, preserving order. *)
+let run_ordered (t : t) ?window (f : 'a -> 'b) (xs : 'a list)
+    ~(consume : int -> 'a -> 'b -> unit) : unit =
+  if t.jobs <= 1 then List.iteri (fun i x -> consume i x (f x)) xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    if n > 0 then begin
+      let window =
+        let w = match window with Some w -> w | None -> 4 * t.jobs in
+        max t.jobs (min w n)
+      in
+      let slots : ('b, exn) Stdlib.result option array =
+        Array.make window None
+      in
+      let slot_done = Condition.create () in
+      let submit_job i =
+        submit t (fun () ->
+            let r = try Ok (f arr.(i)) with e -> Error e in
+            Mutex.lock t.lock;
+            slots.(i mod window) <- Some r;
+            Condition.broadcast slot_done;
+            Mutex.unlock t.lock)
+      in
+      for i = 0 to min window n - 1 do
+        submit_job i
+      done;
+      for i = 0 to n - 1 do
+        Mutex.lock t.lock;
+        while Option.is_none slots.(i mod window) do
+          Condition.wait slot_done t.lock
+        done;
+        let r = Option.get slots.(i mod window) in
+        slots.(i mod window) <- None;
+        Mutex.unlock t.lock;
+        (* refill the freed slot before consuming so workers stay busy
+           while the driver runs its (potentially slow) stateful stage *)
+        if i + window < n then submit_job (i + window);
+        match r with Ok y -> consume i arr.(i) y | Error e -> raise e
+      done
+    end
+  end
+
+(* Order-preserving parallel map over a short list, on ephemeral domains.
+   Used for the small inner fan-outs (causal re-execution per quirk, the
+   reducer's candidate probes) where a persistent pool isn't worth its
+   coordination. Work is claimed by atomic counter, results land in
+   per-index slots, and the join gives the happens-before edge that makes
+   reading them back race-free. *)
+let map ?(jobs = 1) (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let n = List.length xs in
+  let jobs = min (max 1 jobs) n in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let out : ('b, exn) Stdlib.result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          out.(i) <- Some (try Ok (f arr.(i)) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let ds = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join ds;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok y) -> y
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         out)
+  end

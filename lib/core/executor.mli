@@ -1,0 +1,56 @@
+(** Parallel campaign executor: a fixed-size Domain-based worker pool.
+
+    {!run_ordered} fans per-item work (the campaign's per-case 102-testbed
+    sweep) across OCaml 5 domains in a bounded window while the caller
+    consumes completed results strictly in submission order — which keeps
+    every stateful driver stage (Fig. 6 filter tree, dedup, Fig. 8
+    timeline) byte-identical to a sequential run at any job count.
+
+    Submitted work must only touch state it owns: each engine run builds a
+    fresh realm, per-case caches stay inside the worker that owns the
+    case, and the process-wide id counters the jobs reach are atomics.
+    Shared lazies (spec database, language model) must be forced before
+    work is submitted.
+
+    With [jobs <= 1] no domain is spawned and everything degrades to the
+    plain sequential loop. *)
+
+type t
+
+(** [COMFORT_JOBS] from the environment, else 1 (sequential). *)
+val default_jobs : unit -> int
+
+(** Spawn a pool of [jobs] worker domains (default {!default_jobs}).
+    Must be {!shutdown}; prefer {!with_pool}. *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** Run a queued thunk on some worker (callers normally want
+    {!run_ordered}). *)
+val submit : t -> (unit -> unit) -> unit
+
+(** Drain pending work, stop and join every worker. Idempotent only for
+    [jobs <= 1] pools; call exactly once otherwise. *)
+val shutdown : t -> unit
+
+(** [with_pool ?jobs f] = [create], [f], guaranteed [shutdown]. *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+
+(** [run_ordered t f xs ~consume] computes [f x] for every element on the
+    pool, keeping at most [window] (default [4 * jobs]) items in flight,
+    and calls [consume i x (f x)] on the calling domain in strict
+    submission order. A worker exception is re-raised at that item's
+    consumption point. *)
+val run_ordered :
+  t ->
+  ?window:int ->
+  ('a -> 'b) ->
+  'a list ->
+  consume:(int -> 'a -> 'b -> unit) ->
+  unit
+
+(** Order-preserving parallel map on ephemeral domains, for small inner
+    fan-outs (causal re-execution, reducer candidate probes). [jobs <= 1]
+    (the default) is exactly [List.map]. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -28,5 +28,6 @@ val run_rounds :
   ?rounds:int ->
   ?budget_per_round:int ->
   ?fuel:int ->
+  ?jobs:int ->
   t ->
   Campaign.result

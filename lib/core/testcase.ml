@@ -23,12 +23,13 @@ type t = {
   tc_syntax_valid : bool;  (** verdict of the JSHint-substitute check *)
 }
 
-let counter = ref 0
+(* Atomic so ids stay distinct if cases are ever minted off the main
+   domain (e.g. a parallel screening stage). *)
+let counter = Atomic.make 0
 
 let make ?(provenance = P_generated) (source : string) : t =
-  incr counter;
   {
-    tc_id = !counter;
+    tc_id = Atomic.fetch_and_add counter 1 + 1;
     tc_source = source;
     tc_provenance = provenance;
     tc_syntax_valid = Jsparse.Parser.is_valid source;

@@ -28,13 +28,13 @@ let latest_testbeds ?(mode = Normal) () : testbed list =
     (fun e -> { tb_config = Registry.latest e; tb_mode = mode })
     Registry.all_engines
 
-let run ?(fuel = Run.default_fuel) ?(coverage = false) (tb : testbed)
-    (src : string) : Run.result =
+let run ?(fuel = Run.default_fuel) ?(coverage = false) ?frontend
+    (tb : testbed) (src : string) : Run.result =
   Run.run
     ~quirks:tb.tb_config.Registry.cfg_quirks
     ~parse_opts:(Registry.parse_opts_of_config tb.tb_config)
     ~strict:(tb.tb_mode = Strict)
-    ~fuel ~coverage src
+    ~fuel ~coverage ?frontend src
 
 (* A reference run: the standard-conforming engine with no quirks. Used by
    the reducer and by examples as the "expected" behaviour. *)
@@ -54,3 +54,69 @@ let supports (c : Registry.config) (src : string) : bool =
       (* distinguish "ES edition too old" from genuinely bad syntax: if the
          default front end accepts it, the rejection is a feature gap *)
       not (Jsparse.Parser.is_valid src)
+
+(* The per-case front-end cache. Differential testing sweeps one source
+   across many testbeds, and most of the 51 configs share the same
+   effective front end; without a cache each testbed costs up to three
+   parses (edition gating parses once or twice, the run itself once more).
+   A [Frontend.cache] is built once per test case and shares:
+
+   - the [supports] verdict, per base front-end profile ([supports]
+     ignores quirk-level options, so only the ES5/standard split matters);
+   - the syntactic-validity check backing [supports]'s feature-gap probe;
+   - the parsed program plus sunk parse-stage quirks, per distinct
+     [(Registry.parse_key, mode)] group — [Run.run ~frontend] then skips
+     its own parse and re-filters the quirks per engine.
+
+   A cache is a plain mutable value tied to one source string. It is NOT
+   domain-safe: the campaign executor builds one cache per case inside the
+   worker that owns that case, and nothing else is sound. *)
+module Frontend = struct
+  type cache = {
+    fc_src : string;
+    fc_valid : bool Lazy.t;
+    fc_supports : (bool, bool) Hashtbl.t;
+        (* keyed by "is the ES5 profile?" — all [supports] depends on *)
+    fc_groups : (Registry.parse_key * bool, Run.frontend) Hashtbl.t;
+        (* keyed by (effective front end, strict mode) *)
+  }
+
+  let cache (src : string) : cache =
+    {
+      fc_src = src;
+      fc_valid = lazy (Jsparse.Parser.is_valid src);
+      fc_supports = Hashtbl.create 2;
+      fc_groups = Hashtbl.create 8;
+    }
+
+  let supports (fc : cache) (c : Registry.config) : bool =
+    let key = c.Registry.cfg_es = Registry.ES5 in
+    match Hashtbl.find_opt fc.fc_supports key with
+    | Some b -> b
+    | None ->
+        let b =
+          match
+            Jsparse.Parser.parse_program
+              ~opts:(Registry.parse_opts_of_config c) fc.fc_src
+          with
+          | _ -> true
+          | exception Jsparse.Parser.Syntax_error _ ->
+              not (Lazy.force fc.fc_valid)
+        in
+        Hashtbl.replace fc.fc_supports key b;
+        b
+
+  let frontend (fc : cache) (tb : testbed) : Run.frontend =
+    let cfg = tb.tb_config in
+    let key = (Registry.parse_key cfg, tb.tb_mode = Strict) in
+    match Hashtbl.find_opt fc.fc_groups key with
+    | Some fe -> fe
+    | None ->
+        let fe =
+          Run.parse_frontend ~quirks:cfg.Registry.cfg_quirks
+            ~parse_opts:(Registry.parse_opts_of_config cfg)
+            ~strict:(tb.tb_mode = Strict) fc.fc_src
+        in
+        Hashtbl.replace fc.fc_groups key fe;
+        fe
+end

@@ -16,8 +16,15 @@ val all_testbeds : testbed list
 (** The newest version of each engine (default campaign target set). *)
 val latest_testbeds : ?mode:mode -> unit -> testbed list
 
-(** Execute a source program on a testbed. *)
-val run : ?fuel:int -> ?coverage:bool -> testbed -> string -> Jsinterp.Run.result
+(** Execute a source program on a testbed. [frontend] reuses a pre-parsed
+    front end (see {!Frontend}), skipping this run's own parse. *)
+val run :
+  ?fuel:int ->
+  ?coverage:bool ->
+  ?frontend:Jsinterp.Run.frontend ->
+  testbed ->
+  string ->
+  Jsinterp.Run.result
 
 (** The standard-conforming engine with no quirks — the oracle used by the
     reducer and examples. *)
@@ -27,3 +34,23 @@ val run_reference : ?fuel:int -> ?strict:bool -> string -> Jsinterp.Run.result
     honour the paper's rule of only testing engines against programs within
     their supported ECMAScript edition (§2.2). *)
 val supports : Registry.config -> string -> bool
+
+(** Per-test-case front-end cache. Built once per source, it shares the
+    {!supports} verdict per base front-end profile and one parse per
+    distinct [(Registry.parse_key, mode)] group across a testbed sweep,
+    cutting the front-end cost from 2–3 parses per testbed to one per
+    group. A cache is mutable and single-domain: the campaign executor
+    builds one inside the worker that owns the case. *)
+module Frontend : sig
+  type cache
+
+  val cache : string -> cache
+
+  (** Memoised {!Engine.supports}: same verdict, at most one parse per
+      base front-end profile (plus one validity probe) per case. *)
+  val supports : cache -> Registry.config -> bool
+
+  (** The shared front end for this testbed's parse group, parsing on
+      first use. Pass to [run ~frontend]. *)
+  val frontend : cache -> testbed -> Jsinterp.Run.frontend
+end

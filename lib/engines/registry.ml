@@ -326,3 +326,28 @@ let parse_opts_of_config (c : config) : Jsparse.Parser.options =
   match c.cfg_es with
   | ES5 -> Jsparse.Parser.es5_options
   | ES2015 | ES2019 | ES2020 -> Jsparse.Parser.default_options
+
+(* The effective front end of a config is fully determined by its base
+   option set (ES5 vs standard — see [parse_opts_of_config]) plus the
+   three parser-level quirks that [Run.parse_opts_of] folds in. [parse_key]
+   projects exactly those inputs into a flat record of booleans, giving a
+   comparable and hashable cache key: two configs with equal keys parse any
+   source identically and sink the same parse-stage quirks, so one parse
+   can serve both. The parser's [quirk_sink] closure makes the options
+   record itself unusable as a key. *)
+
+type parse_key = {
+  pk_es5 : bool;               (** base front end is the ES5.1 profile *)
+  pk_for_missing_body : bool;  (** [Q_eval_for_missing_body_accepted] *)
+  pk_dup_params : bool;        (** [Q_strict_dup_params_accepted] *)
+  pk_delete_unqualified : bool;(** [Q_strict_delete_unqualified_accepted] *)
+}
+
+let parse_key (c : config) : parse_key =
+  let mem q = Quirk.Set.mem q c.cfg_quirks in
+  {
+    pk_es5 = (c.cfg_es = ES5);
+    pk_for_missing_body = mem Quirk.Q_eval_for_missing_body_accepted;
+    pk_dup_params = mem Quirk.Q_strict_dup_params_accepted;
+    pk_delete_unqualified = mem Quirk.Q_strict_delete_unqualified_accepted;
+  }

@@ -62,3 +62,18 @@ val earliest_version : engine -> Jsinterp.Quirk.t -> string option
 
 (** Front-end options implementing the version's supported ES edition. *)
 val parse_opts_of_config : config -> Jsparse.Parser.options
+
+(** A comparable, hashable projection of a config's {e effective} front
+    end: the base option profile (ES5 vs standard) plus the three
+    parser-level quirks {!Jsinterp.Run.parse_opts_of} folds in. Two
+    configs with equal keys parse any source identically and sink the
+    same parse-stage quirks, so the campaign's front-end cache shares one
+    parse between them. *)
+type parse_key = {
+  pk_es5 : bool;
+  pk_for_missing_body : bool;
+  pk_dup_params : bool;
+  pk_delete_unqualified : bool;
+}
+
+val parse_key : config -> parse_key

@@ -5,18 +5,18 @@
    node in a program carries a distinct id for coverage accounting. Ids only
    need to be unique within one program; a global counter is the simplest
    way to guarantee that and keeps construction allocation-free besides the
-   node itself. *)
+   node itself. The counter is atomic because the campaign executor parses
+   concurrently from several domains: a plain ref could lose increments and
+   hand the same id to two nodes of one program. *)
 
 open Ast
 
-let counter = ref 0
+let counter = Atomic.make 0
 
-let fresh () =
-  incr counter;
-  !counter
+let fresh () = Atomic.fetch_and_add counter 1 + 1
 
 (* Reset only from tests that assert on concrete ids. *)
-let reset_ids () = counter := 0
+let reset_ids () = Atomic.set counter 0
 
 let e (desc : expr_desc) : expr = { eid = fresh (); e = desc }
 let s (desc : stmt_desc) : stmt = { sid = fresh (); s = desc }

@@ -98,36 +98,70 @@ let bind_globals ctx =
   Hashtbl.replace ctx.Value.global_scope.Value.bindings "this"
     (ref (Value.Obj ctx.Value.global))
 
-let run ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_options)
-    ?(strict = false) ?(fuel = default_fuel) ?(coverage = false) (src : string) :
-    result =
+(* --- front end, separable from execution ---
+
+   A [frontend] is the outcome of one parse: the program (or the syntax
+   error) plus every parse-stage quirk the front end sank, unfiltered.
+   Testbeds whose effective parse options and mode coincide can share one
+   [frontend] — [run ?frontend] then skips its own parse and intersects
+   the sunk quirks with the caller's quirk set, which is exactly the
+   filtering the inline parse would have done. *)
+
+type frontend = {
+  fe_program : (Jsast.Ast.program, string * int) Stdlib.result;
+      (** parsed program, or (message, line) of the syntax error *)
+  fe_fired : Quirk.Set.t;
+      (** parse-stage quirks sunk by the front end, unfiltered; callers
+          intersect with their own quirk set *)
+}
+
+let parse_frontend ?(quirks = Quirk.Set.empty)
+    ?(parse_opts = Jsparse.Parser.default_options) ?(strict = false)
+    (src : string) : frontend =
   let parse_opts = parse_opts_of ~base:parse_opts quirks in
-  let ctx = make_ctx ~quirks ~parse_opts ~fuel ~coverage () in
-  bind_globals ctx;
-  let parse_fired = ref Quirk.Set.empty in
+  let fired = ref Quirk.Set.empty in
   let opts =
     {
       parse_opts with
       Jsparse.Parser.quirk_sink =
         (fun name ->
           match Quirk.of_string name with
-          | Some q when Quirk.Set.mem q quirks ->
-              parse_fired := Quirk.Set.add q !parse_fired
-          | _ -> ());
+          | Some q -> fired := Quirk.Set.add q !fired
+          | None -> ());
     }
   in
   match Jsparse.Parser.parse_program ~opts ~force_strict:strict src with
+  | prog -> { fe_program = Ok prog; fe_fired = !fired }
   | exception Jsparse.Parser.Syntax_error (msg, line) ->
+      { fe_program = Error (msg, line); fe_fired = !fired }
+
+let run ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_options)
+    ?(strict = false) ?(fuel = default_fuel) ?(coverage = false) ?frontend
+    (src : string) : result =
+  let fe =
+    match frontend with
+    | Some fe -> fe
+    | None -> parse_frontend ~quirks ~parse_opts ~strict src
+  in
+  (* the pre-parsed front end sank quirks unfiltered; keep only this
+     engine's *)
+  let parse_fired = Quirk.Set.inter fe.fe_fired quirks in
+  match fe.fe_program with
+  | Error (msg, line) ->
       {
         r_parsed = false;
         r_parse_error = Some (Printf.sprintf "line %d: %s" line msg);
         r_status = Sts_normal;
         r_output = "";
         r_fuel_used = 0;
-        r_fired = !parse_fired;
+        r_fired = parse_fired;
         r_coverage = None;
       }
-  | prog ->
+  | Ok prog ->
+      let parse_opts = parse_opts_of ~base:parse_opts quirks in
+      let ctx = make_ctx ~quirks ~parse_opts ~fuel ~coverage () in
+      bind_globals ctx;
+      (* copy, never mutate: [prog] may be shared across testbeds *)
       let prog =
         if strict && not prog.Jsast.Ast.prog_strict then
           { prog with Jsast.Ast.prog_strict = true }
@@ -164,7 +198,7 @@ let run ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_option
         r_status = status;
         r_output = Buffer.contents ctx.Value.out;
         r_fuel_used = ctx.Value.fuel_cap - ctx.Value.fuel;
-        r_fired = Quirk.Set.union !parse_fired ctx.Value.fired;
+        r_fired = Quirk.Set.union parse_fired ctx.Value.fired;
         r_coverage =
           Option.map (fun c -> Coverage.summarize c prog) ctx.Value.coverage;
       }

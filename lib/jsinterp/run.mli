@@ -30,17 +30,42 @@ val default_fuel : int
 val parse_opts_of :
   base:Jsparse.Parser.options -> Quirk.Set.t -> Jsparse.Parser.options
 
+(** The outcome of one front-end pass, separable from execution so that
+    testbeds whose effective parse options and mode coincide can share a
+    single parse (the campaign's per-case front-end cache). *)
+type frontend = {
+  fe_program : (Jsast.Ast.program, string * int) Stdlib.result;
+      (** parsed program, or (message, line) of the syntax error *)
+  fe_fired : Quirk.Set.t;
+      (** parse-stage quirks sunk by the front end, {e unfiltered};
+          {!run} intersects them with the executing engine's quirk set *)
+}
+
+(** Parse once with the effective options derived from [parse_opts] and
+    [quirks]. The result may be passed to {!run} for any engine whose
+    effective options and mode are identical. *)
+val parse_frontend :
+  ?quirks:Quirk.Set.t ->
+  ?parse_opts:Jsparse.Parser.options ->
+  ?strict:bool ->
+  string ->
+  frontend
+
 (** Execute a program.
     @param quirks     the engine's bug set (empty = conforming reference)
     @param parse_opts front-end profile (ES edition gates)
     @param strict     run as a strict-mode testbed
-    @param coverage   record statement/branch/function coverage *)
+    @param coverage   record statement/branch/function coverage
+    @param frontend   a pre-parsed front end to reuse (skips this run's
+                      own parse); must have been produced with the same
+                      effective options and strictness *)
 val run :
   ?quirks:Quirk.Set.t ->
   ?parse_opts:Jsparse.Parser.options ->
   ?strict:bool ->
   ?fuel:int ->
   ?coverage:bool ->
+  ?frontend:frontend ->
   string ->
   result
 

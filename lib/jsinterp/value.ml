@@ -120,12 +120,12 @@ exception Engine_crash of string
 (* Execution budget exhausted; classified as a timeout by the harness. *)
 exception Out_of_fuel
 
-let obj_counter = ref 0
+(* Atomic: objects are allocated concurrently by campaign worker domains. *)
+let obj_counter = Atomic.make 0
 
 let make_obj ?(oclass = "Object") ?(proto = Null) () =
-  incr obj_counter;
   {
-    oid = !obj_counter;
+    oid = Atomic.fetch_and_add obj_counter 1 + 1;
     oclass;
     proto;
     props = [];

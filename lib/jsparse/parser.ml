@@ -148,8 +148,17 @@ let check_params st params =
       params
   end
 
+(* Cumulative front-end invocation count, across all domains. The campaign
+   executor's parse cache is sized against this: tests snapshot it around a
+   [Difftest.run_case] call to assert one parse per distinct front-end
+   group rather than two or three per testbed. *)
+let parses = Atomic.make 0
+
+let parse_count () = Atomic.get parses
+
 let rec parse_program ?(opts = default_options) ?(force_strict = false)
     (src : string) : Ast.program =
+  Atomic.incr parses;
   let lexed =
     try Lexer.tokenize src
     with Lexer.Error (msg, line) -> raise (Syntax_error (msg, line))

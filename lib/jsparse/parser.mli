@@ -44,3 +44,9 @@ val parse_program : ?opts:options -> ?force_strict:bool -> string -> Jsast.Ast.p
 val check_syntax : string -> (Jsast.Ast.program, string * int) result
 
 val is_valid : string -> bool
+
+(** Cumulative number of {!parse_program} invocations across all domains
+    ([check_syntax]/[is_valid] parse too). Snapshot before/after an
+    operation to measure how many front-end passes it cost — the
+    campaign's per-case parse cache is tested against this counter. *)
+val parse_count : unit -> int

@@ -1,0 +1,281 @@
+(* The parallel campaign executor and the per-case front-end cache.
+
+   Three properties matter and each gets direct coverage here:
+
+   - ordering: [run_ordered] consumes results in submission order and
+     [map] preserves list order, so a campaign's stateful driver stages
+     see exactly the sequential event stream;
+   - determinism: a campaign at [~jobs:4] produces byte-identical
+     discoveries, timeline and filter counts to [~jobs:1];
+   - the front-end cache: one parse per distinct (parse options, mode)
+     group per case, and cached runs equal uncached runs field by field. *)
+
+open Helpers
+module Executor = Comfort.Executor
+module Engine = Engines.Engine
+module Run = Jsinterp.Run
+
+(* --- Executor.map --- *)
+
+let map_matches_list_map () =
+  let xs = List.init 50 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "jobs=1" (List.map f xs) (Executor.map ~jobs:1 f xs);
+  Alcotest.(check (list int)) "jobs=4" (List.map f xs) (Executor.map ~jobs:4 f xs);
+  Alcotest.(check (list int)) "more jobs than items" (List.map f [ 1; 2 ])
+    (Executor.map ~jobs:8 f [ 1; 2 ]);
+  Alcotest.(check (list int)) "empty" [] (Executor.map ~jobs:4 f [])
+
+let map_propagates_exceptions () =
+  Alcotest.check_raises "worker exception re-raised" Exit (fun () ->
+      ignore
+        (Executor.map ~jobs:3
+           (fun x -> if x = 7 then raise Exit else x)
+           (List.init 10 (fun i -> i))))
+
+(* --- Executor.run_ordered --- *)
+
+let run_ordered_in_submission_order () =
+  Executor.with_pool ~jobs:4 (fun pool ->
+      let seen = ref [] in
+      let xs = List.init 40 (fun i -> i) in
+      Executor.run_ordered pool
+        (fun x -> x * 2)
+        xs
+        ~consume:(fun i x y ->
+          Alcotest.(check int) "result is f x" (x * 2) y;
+          seen := i :: !seen);
+      Alcotest.(check (list int)) "indices in submission order"
+        (List.init 40 (fun i -> i))
+        (List.rev !seen))
+
+let run_ordered_small_window () =
+  Executor.with_pool ~jobs:3 (fun pool ->
+      let seen = ref [] in
+      Executor.run_ordered pool ~window:3
+        (fun x -> x + 100)
+        (List.init 20 (fun i -> i))
+        ~consume:(fun i _ y ->
+          Alcotest.(check int) "value" (i + 100) y;
+          seen := i :: !seen);
+      Alcotest.(check int) "all consumed" 20 (List.length !seen))
+
+let run_ordered_exception_at_consumption_point () =
+  Executor.with_pool ~jobs:4 (fun pool ->
+      let consumed = ref 0 in
+      (try
+         Executor.run_ordered pool
+           (fun x -> if x = 5 then raise Exit else x)
+           (List.init 10 (fun i -> i))
+           ~consume:(fun _ _ _ -> incr consumed);
+         Alcotest.fail "expected Exit"
+       with Exit -> ());
+      Alcotest.(check int) "items before the failing one were consumed" 5
+        !consumed)
+
+let sequential_pool_spawns_no_domains () =
+  (* jobs=1 must be the plain loop: same domain, strict order *)
+  Executor.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs clamped" 1 (Executor.jobs pool);
+      let self = Domain.self () in
+      Executor.run_ordered pool
+        (fun x ->
+          Alcotest.(check bool) "f runs on the calling domain" true
+            (Domain.self () = self);
+          x)
+        [ 1; 2; 3 ]
+        ~consume:(fun _ x y -> Alcotest.(check int) "identity" x y))
+
+(* --- campaign determinism across job counts --- *)
+
+(* Everything observable about a discovery except the global test-case id,
+   which is an allocation counter and not meaningful across campaigns. *)
+let disc_key (d : Comfort.Campaign.discovery) =
+  ( Engines.Registry.engine_name d.Comfort.Campaign.disc_engine,
+    Jsinterp.Quirk.to_string d.Comfort.Campaign.disc_quirk,
+    d.Comfort.Campaign.disc_at,
+    d.Comfort.Campaign.disc_behavior,
+    d.Comfort.Campaign.disc_version,
+    Engine.mode_to_string d.Comfort.Campaign.disc_mode,
+    d.Comfort.Campaign.disc_case.Comfort.Testcase.tc_source )
+
+let campaign_is_jobs_invariant () =
+  let campaign jobs =
+    Comfort.Campaign.run ~budget:120 ~jobs
+      (Comfort.Campaign.comfort_fuzzer ~seed:17 ())
+  in
+  let seq = campaign 1 in
+  let par = campaign 4 in
+  Alcotest.(check int) "cases run" seq.Comfort.Campaign.cp_cases_run
+    par.Comfort.Campaign.cp_cases_run;
+  Alcotest.(check bool) "same discoveries in the same order" true
+    (List.map disc_key seq.Comfort.Campaign.cp_discoveries
+    = List.map disc_key par.Comfort.Campaign.cp_discoveries);
+  Alcotest.(check bool) "same timeline" true
+    (seq.Comfort.Campaign.cp_timeline = par.Comfort.Campaign.cp_timeline);
+  Alcotest.(check int) "same filtered repeats"
+    seq.Comfort.Campaign.cp_filtered_repeats
+    par.Comfort.Campaign.cp_filtered_repeats;
+  Alcotest.(check int) "same unattributed" seq.Comfort.Campaign.cp_unattributed
+    par.Comfort.Campaign.cp_unattributed
+
+(* --- front-end cache --- *)
+
+let parse_cache_one_parse_per_group () =
+  let src = "print(1 + 1);" in
+  let testbeds = Engine.all_testbeds in
+  let groups =
+    List.sort_uniq compare
+      (List.map
+         (fun (tb : Engine.testbed) ->
+           ( Engines.Registry.parse_key tb.Engine.tb_config,
+             tb.Engine.tb_mode = Engine.Strict ))
+         testbeds)
+  in
+  let profiles =
+    List.sort_uniq compare
+      (List.map
+         (fun (tb : Engine.testbed) ->
+           tb.Engine.tb_config.Engines.Registry.cfg_es = Engines.Registry.ES5)
+         testbeds)
+  in
+  let tc = Comfort.Testcase.make src in
+  let before = Jsparse.Parser.parse_count () in
+  let report = Comfort.Difftest.run_case testbeds tc in
+  let parses = Jsparse.Parser.parse_count () - before in
+  Alcotest.(check int) "every testbed ran" (List.length testbeds)
+    report.Comfort.Difftest.cr_tested;
+  (* exactly one parse per distinct (parse options, mode) group, plus one
+     edition-gating parse per base profile — far below one per testbed *)
+  Alcotest.(check int) "one parse per front-end group"
+    (List.length groups + List.length profiles)
+    parses;
+  Alcotest.(check bool) "well below one parse per testbed" true
+    (parses * 3 < List.length testbeds)
+
+let cached_run_equals_direct_run () =
+  (* sources chosen to exercise every cache dimension: plain code, a
+     parse-quirk trigger (for-without-body), and a strict-only early
+     error (duplicate params) that splits the strict/sloppy groups *)
+  let sources =
+    [
+      "print(1 + 1);";
+      "for (var i = 0; i < 3; i++)";
+      "function f(a, a) { return a; } print(f(1, 2));";
+      "var o = {}; print(delete o);";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let fc = Engine.Frontend.cache src in
+      List.iter
+        (fun (tb : Engine.testbed) ->
+          let direct = Engine.run ~fuel:100_000 tb src in
+          let cached =
+            Engine.run ~fuel:100_000
+              ~frontend:(Engine.Frontend.frontend fc tb)
+              tb src
+          in
+          let id = Engine.testbed_id tb in
+          Alcotest.(check bool) (id ^ " parsed") direct.Run.r_parsed
+            cached.Run.r_parsed;
+          Alcotest.(check (option string)) (id ^ " parse error")
+            direct.Run.r_parse_error cached.Run.r_parse_error;
+          Alcotest.(check string) (id ^ " status")
+            (Run.status_to_string direct.Run.r_status)
+            (Run.status_to_string cached.Run.r_status);
+          Alcotest.(check string) (id ^ " output") direct.Run.r_output
+            cached.Run.r_output;
+          Alcotest.(check (list string)) (id ^ " fired quirks")
+            (List.map Jsinterp.Quirk.to_string
+               (Jsinterp.Quirk.Set.elements direct.Run.r_fired))
+            (List.map Jsinterp.Quirk.to_string
+               (Jsinterp.Quirk.Set.elements cached.Run.r_fired)))
+        Engine.all_testbeds)
+    sources
+
+let supports_verdict_cached () =
+  (* an ES2017-only construct: ES5 front ends reject, standard accepts *)
+  let src = "var f = async function() {};" in
+  let fc = Engine.Frontend.cache src in
+  List.iter
+    (fun (tb : Engine.testbed) ->
+      Alcotest.(check bool)
+        (Engine.testbed_id tb ^ " supports matches uncached")
+        (Engine.supports tb.Engine.tb_config src)
+        (Engine.Frontend.supports fc tb.Engine.tb_config))
+    Engine.all_testbeds
+
+(* --- the 2t rule's self-exclusion fix --- *)
+
+let result ~fuel : Run.result =
+  {
+    Run.r_parsed = true;
+    r_parse_error = None;
+    r_status = Run.Sts_normal;
+    r_output = "x\n";
+    r_fuel_used = fuel;
+    r_fired = Jsinterp.Quirk.Set.empty;
+    r_coverage = None;
+  }
+
+let two_equally_slow_engines_not_flagged () =
+  (* two engines burn the same high fuel, one is fast. Excluding "other
+     engines" by fuel value made each slow run drop the other slow run
+     too, so both were falsely flagged; excluding by position keeps each
+     one's twin in the comparison pool *)
+  match Engine.all_testbeds with
+  | a :: b :: c :: _ ->
+      let runs =
+        Comfort.Difftest.apply_2t_rule
+          [
+            (a, result ~fuel:100_000);
+            (b, result ~fuel:100_000);
+            (c, result ~fuel:1_000);
+          ]
+      in
+      List.iter
+        (fun (_, _, s) ->
+          Alcotest.(check bool) "no run flagged as timeout" false
+            (s = Comfort.Difftest.Sig_timeout))
+        runs
+  | _ -> Alcotest.fail "need three testbeds"
+
+let lone_slow_engine_still_flagged () =
+  match Engine.all_testbeds with
+  | a :: b :: c :: _ ->
+      let runs =
+        Comfort.Difftest.apply_2t_rule
+          [
+            (a, result ~fuel:100_000);
+            (b, result ~fuel:1_000);
+            (c, result ~fuel:2_000);
+          ]
+      in
+      let sigs = List.map (fun (_, _, s) -> s) runs in
+      Alcotest.(check bool) "slow run flagged" true
+        (List.nth sigs 0 = Comfort.Difftest.Sig_timeout);
+      Alcotest.(check bool) "fast runs untouched" true
+        (List.nth sigs 1 <> Comfort.Difftest.Sig_timeout
+        && List.nth sigs 2 <> Comfort.Difftest.Sig_timeout)
+  | _ -> Alcotest.fail "need three testbeds"
+
+let suite =
+  [
+    case "map = List.map at any job count" map_matches_list_map;
+    case "map re-raises worker exceptions" map_propagates_exceptions;
+    case "run_ordered consumes in submission order"
+      run_ordered_in_submission_order;
+    case "run_ordered with a tight window" run_ordered_small_window;
+    case "run_ordered re-raises at the failing item"
+      run_ordered_exception_at_consumption_point;
+    case "jobs=1 never leaves the calling domain"
+      sequential_pool_spawns_no_domains;
+    case "campaign results are jobs-invariant" campaign_is_jobs_invariant;
+    case "one parse per front-end group" parse_cache_one_parse_per_group;
+    case "cached runs equal direct runs" cached_run_equals_direct_run;
+    case "supports verdict survives caching" supports_verdict_cached;
+    case "2t rule: equally slow engines not flagged"
+      two_equally_slow_engines_not_flagged;
+    case "2t rule: lone slow engine flagged" lone_slow_engine_still_flagged;
+  ]

@@ -15,6 +15,7 @@ let () =
       ("lm", Test_lm.suite);
       ("analysis", Test_analysis.suite);
       ("core", Test_core.suite);
+      ("executor", Test_executor.suite);
       ("pipeline", Test_pipeline.suite);
       ("util", Test_util.suite);
       ("test262 export", Test_export.suite);
