@@ -6,8 +6,10 @@
    multiplier to run longer campaigns (default 1).
 
    Set COMFORT_JOBS=N to run every campaign in here on N worker domains;
-   results are identical at any job count. `campaign` measures the 1-job
-   vs N-job throughput directly and writes BENCH_campaign.json.
+   results are identical at any job count. `campaign` measures throughput
+   in all four (execution sharing on/off) x (1 job / N jobs) combinations
+   — counting real interpreter executions per case either way — and
+   writes BENCH_campaign.json.
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe table2     # one experiment
@@ -531,63 +533,101 @@ let ablate () =
 
 (* ---------- campaign throughput (parallel executor) ---------- *)
 
-(* End-to-end campaign wall-clock at 1 job vs N jobs, against the full
-   102-testbed setup. Verifies on the way that the parallel run found the
-   same discoveries (the executor's ordering guarantee), then emits the
-   numbers as machine-readable BENCH_campaign.json for CI and EXPERIMENTS.md. *)
+(* End-to-end campaign wall-clock against the full 102-testbed setup, in
+   all four (sharing on/off) x (1 job / N jobs) combinations. Verifies on
+   the way that all four runs found the same discoveries in the same
+   order (the executor's ordering guarantee plus the sharing soundness
+   argument of DESIGN.md §8), counts real interpreter executions via
+   [Run.run_count] to report executions-per-case with and without
+   sharing, then emits the numbers as machine-readable
+   BENCH_campaign.json for CI and EXPERIMENTS.md. *)
 let campaign_bench () =
-  header "Campaign throughput: parallel executor + front-end cache";
+  header "Campaign throughput: execution sharing + parallel executor";
   let budget = 400 * scale in
   let testbeds = Engines.Engine.all_testbeds in
   let njobs =
     let env = Comfort.Executor.default_jobs () in
     if env > 1 then env else min 4 (Domain.recommended_domain_count ())
   in
-  let measure jobs =
+  let measure ~jobs ~share =
     let fz = Comfort.Campaign.comfort_fuzzer ~seed:11 () in
+    let e0 = Jsinterp.Run.run_count () in
     let t0 = Unix.gettimeofday () in
-    let res = Comfort.Campaign.run ~testbeds ~budget ~jobs fz in
+    let res = Comfort.Campaign.run ~testbeds ~budget ~jobs ~share fz in
     let dt = Unix.gettimeofday () -. t0 in
+    let execs = Jsinterp.Run.run_count () - e0 in
+    let per_case =
+      Float.of_int execs /. Float.of_int res.Comfort.Campaign.cp_cases_run
+    in
     Printf.printf
-      "  jobs=%d: %.2fs wall, %.1f cases/s, %d unique bugs, %d repeats filtered\n%!"
-      jobs dt
+      "  share=%-5b jobs=%d: %6.2fs wall, %6.1f cases/s, %5.1f executions/case, %d unique bugs\n%!"
+      share jobs dt
       (Float.of_int res.Comfort.Campaign.cp_cases_run /. dt)
-      (List.length res.Comfort.Campaign.cp_discoveries)
-      res.Comfort.Campaign.cp_filtered_repeats;
-    (res, dt)
+      per_case
+      (List.length res.Comfort.Campaign.cp_discoveries);
+    (res, dt, execs, per_case)
   in
   Printf.printf "budget=%d cases, %d testbeds\n%!" budget
     (List.length testbeds);
-  let seq, seq_dt = measure 1 in
-  let par, par_dt = measure njobs in
-  let key d = (d.Comfort.Campaign.disc_engine, d.Comfort.Campaign.disc_quirk) in
-  let same =
-    List.map key seq.Comfort.Campaign.cp_discoveries
-    = List.map key par.Comfort.Campaign.cp_discoveries
-    && seq.Comfort.Campaign.cp_timeline = par.Comfort.Campaign.cp_timeline
+  let runs =
+    List.map
+      (fun (share, jobs) -> ((share, jobs), measure ~jobs ~share))
+      [ (false, 1); (false, njobs); (true, 1); (true, njobs) ]
   in
-  Printf.printf "speedup at %d jobs: %.2fx; results identical: %b\n" njobs
-    (seq_dt /. par_dt) same;
+  let result_of (share, jobs) =
+    let r, _, _, _ = List.assoc (share, jobs) runs in
+    r
+  in
+  let key d = (d.Comfort.Campaign.disc_engine, d.Comfort.Campaign.disc_quirk) in
+  let base = result_of (false, 1) in
+  let same =
+    List.for_all
+      (fun (_, (r, _, _, _)) ->
+        List.map key r.Comfort.Campaign.cp_discoveries
+        = List.map key base.Comfort.Campaign.cp_discoveries
+        && r.Comfort.Campaign.cp_timeline = base.Comfort.Campaign.cp_timeline
+        && r.Comfort.Campaign.cp_filtered_repeats
+           = base.Comfort.Campaign.cp_filtered_repeats)
+      runs
+  in
+  let _, direct_dt, direct_execs, direct_pc = List.assoc (false, 1) runs in
+  let _, shared_dt, shared_execs, shared_pc = List.assoc (true, 1) runs in
+  let _, par_dt, _, _ = List.assoc (true, njobs) runs in
+  let reduction = Float.of_int direct_execs /. Float.of_int shared_execs in
+  Printf.printf
+    "execution sharing: %.1f -> %.1f executions/case (%.1fx fewer), %.2fx faster at 1 job\n"
+    direct_pc shared_pc reduction (direct_dt /. shared_dt);
+  Printf.printf
+    "share+%d jobs vs direct sequential: %.2fx; all results identical: %b\n"
+    njobs (direct_dt /. par_dt) same;
+  let json_run ((share, jobs), (r, dt, execs, per_case)) =
+    Printf.sprintf
+      {|    { "share": %b, "jobs": %d, "wall_s": %.3f, "cases_per_s": %.1f, "executions": %d, "executions_per_case": %.1f, "discoveries": %d }|}
+      share jobs dt
+      (Float.of_int r.Comfort.Campaign.cp_cases_run /. dt)
+      execs per_case
+      (List.length r.Comfort.Campaign.cp_discoveries)
+  in
   let json =
     Printf.sprintf
       {|{
   "budget": %d,
   "testbeds": %d,
   "runs": [
-    { "jobs": 1, "wall_s": %.3f, "cases_per_s": %.1f, "discoveries": %d },
-    { "jobs": %d, "wall_s": %.3f, "cases_per_s": %.1f, "discoveries": %d }
+%s
   ],
-  "speedup": %.2f,
+  "sharing_execution_reduction": %.2f,
+  "sharing_speedup_1job": %.2f,
+  "speedup_share_parallel": %.2f,
   "identical_results": %b
 }
 |}
-      budget (List.length testbeds) seq_dt
-      (Float.of_int seq.Comfort.Campaign.cp_cases_run /. seq_dt)
-      (List.length seq.Comfort.Campaign.cp_discoveries)
-      njobs par_dt
-      (Float.of_int par.Comfort.Campaign.cp_cases_run /. par_dt)
-      (List.length par.Comfort.Campaign.cp_discoveries)
-      (seq_dt /. par_dt) same
+      budget (List.length testbeds)
+      (String.concat ",\n" (List.map json_run runs))
+      reduction
+      (direct_dt /. shared_dt)
+      (direct_dt /. par_dt)
+      same
   in
   let oc = open_out "BENCH_campaign.json" in
   output_string oc json;

@@ -37,6 +37,20 @@ let jobs_arg =
 
 let resolve_jobs n = if n <= 0 then Comfort.Executor.default_jobs () else n
 
+(* [--no-share] disables execution sharing for one invocation; without it
+   the default comes from COMFORT_NO_SHARE (sharing on if unset). *)
+let no_share_arg =
+  Arg.(
+    value & flag
+    & info [ "no-share" ]
+        ~doc:
+          "Interpret once per testbed instead of once per behavioural \
+           equivalence class. Results are byte-identical either way; this \
+           is the sharing escape hatch (env: $(b,COMFORT_NO_SHARE)).")
+
+(* [None] defers to the COMFORT_NO_SHARE-aware library default *)
+let resolve_share no_share = if no_share then Some false else None
+
 let engine_conv =
   let parse s =
     match
@@ -148,10 +162,14 @@ let run_cmd =
 
 (* --- difftest --- *)
 
-let difftest file =
+let difftest file no_share =
   let src = read_file file in
   let tc = Comfort.Testcase.make src in
-  let report = Comfort.Difftest.run_case (Engines.Engine.latest_testbeds ()) tc in
+  let report =
+    Comfort.Difftest.run_case
+      ?share:(resolve_share no_share)
+      (Engines.Engine.latest_testbeds ()) tc
+  in
   Printf.printf "testbeds run: %d\n" report.Comfort.Difftest.cr_tested;
   if report.Comfort.Difftest.cr_deviations = [] then
     print_endline "no deviations: all engines agree"
@@ -171,12 +189,13 @@ let difftest_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "difftest" ~doc:"Differential-test one file across the latest engines")
-    Term.(const difftest $ file)
+    Term.(const difftest $ file $ no_share_arg)
 
 (* --- fuzz --- *)
 
-let fuzz budget fuzzer_name seed feedback jobs =
+let fuzz budget fuzzer_name seed feedback jobs no_share audit_share =
   let jobs = resolve_jobs jobs in
+  let share = resolve_share no_share in
   let fz =
     match String.lowercase_ascii fuzzer_name with
     | "comfort" -> Comfort.Campaign.comfort_fuzzer ~seed ()
@@ -194,8 +213,8 @@ let fuzz budget fuzzer_name seed feedback jobs =
       let t = Comfort.Feedback.create fz in
       Comfort.Feedback.run_rounds ~rounds:4
         ~budget_per_round:(max 1 (budget / 4))
-        ~jobs t
-    else Comfort.Campaign.run ~budget ~jobs fz
+        ~jobs ?share t
+    else Comfort.Campaign.run ~budget ~jobs ?share ~audit_share fz
   in
   Printf.printf "fuzzer: %s\ncases: %d\nunique bugs: %d\nrepeats filtered: %d\n"
     res.Comfort.Campaign.cp_fuzzer res.Comfort.Campaign.cp_cases_run
@@ -227,8 +246,20 @@ let fuzz_cmd =
     Arg.(value & flag & info [ "feedback" ]
            ~doc:"Mutate bug-exposing cases between rounds (the §5.5 extension).")
   in
+  let audit_share =
+    Arg.(
+      value
+      & opt ~vopt:1 int 0
+      & info [ "audit-share" ] ~docv:"N"
+          ~doc:
+            "Cross-check execution sharing: every $(docv)-th case (1 = \
+             every case when the option is given bare; 0 = off) runs down \
+             both the shared and the direct path and the campaign aborts \
+             on any divergence. Incompatible with $(b,--feedback).")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against the simulated engines")
-    Term.(const fuzz $ budget $ fuzzer $ seed $ feedback $ jobs_arg)
+    Term.(const fuzz $ budget $ fuzzer $ seed $ feedback $ jobs_arg
+          $ no_share_arg $ audit_share)
 
 (* --- analyze --- *)
 
@@ -292,9 +323,12 @@ let analyze_cmd =
 
 (* --- export --- *)
 
-let export budget seed dir jobs =
+let export budget seed dir jobs no_share =
   let fz = Comfort.Campaign.comfort_fuzzer ~seed () in
-  let res = Comfort.Campaign.run ~budget ~jobs:(resolve_jobs jobs) fz in
+  let res =
+    Comfort.Campaign.run ~budget ~jobs:(resolve_jobs jobs)
+      ?share:(resolve_share no_share) fz
+  in
   let files = Comfort.Test262_export.export res in
   (match dir with
   | None ->
@@ -325,11 +359,11 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Fuzz, then render discoveries as Test262-style conformance tests")
-    Term.(const export $ budget $ seed $ dir $ jobs_arg)
+    Term.(const export $ budget $ seed $ dir $ jobs_arg $ no_share_arg)
 
 (* --- reduce --- *)
 
-let reduce file engine version jobs =
+let reduce file engine version jobs no_share =
   let src = read_file file in
   let cfg =
     match version with
@@ -360,7 +394,9 @@ let reduce file engine version jobs =
         in
         let reduced =
           Comfort.Reducer.reduce ~jobs:(resolve_jobs jobs)
-            ~still_triggers:(Comfort.Reducer.still_triggers_deviation tb dev)
+            ~still_triggers:
+              (Comfort.Reducer.still_triggers_deviation
+                 ?share:(resolve_share no_share) tb dev)
             src
         in
         Printf.printf "// reduced from %d to %d bytes\n%s"
@@ -375,7 +411,7 @@ let reduce_cmd =
     Arg.(value & opt (some string) None & info [ "version" ] ~doc:"Engine version.")
   in
   Cmd.v (Cmd.info "reduce" ~doc:"Reduce a bug-exposing test case")
-    Term.(const reduce $ file $ engine $ version $ jobs_arg)
+    Term.(const reduce $ file $ engine $ version $ jobs_arg $ no_share_arg)
 
 (* --- spec --- *)
 

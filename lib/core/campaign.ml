@@ -174,8 +174,12 @@ let default_testbeds () =
   @ Engines.Engine.latest_testbeds ~mode:Engines.Engine.Strict ()
 
 let run ?(testbeds = default_testbeds ()) ?(budget = 200)
-    ?(fuel = Difftest.default_fuel) ?(reduce = false) ?(screen = true)
-    ?(jobs = Executor.default_jobs ()) (fz : fuzzer) : result =
+    ?(fuel = Difftest.campaign_fuel) ?(reduce = false) ?(screen = true)
+    ?(jobs = Executor.default_jobs ()) ?share ?(audit_share = 0)
+    (fz : fuzzer) : result =
+  let share =
+    match share with Some s -> s | None -> Difftest.share_by_default ()
+  in
   let by_mode =
     [
       List.filter (fun tb -> tb.Engines.Engine.tb_mode = Engines.Engine.Normal) testbeds;
@@ -275,7 +279,8 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
                           Some
                             (Reducer.reduce ~jobs
                                ~still_triggers:
-                                 (Reducer.still_triggers_deviation tb dev)
+                                 (Reducer.still_triggers_deviation ~share tb
+                                    dev)
                                tc.Testcase.tc_source)
                         else None
                       in
@@ -304,10 +309,19 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
         reports;
       timeline := (idx + 1, Hashtbl.length seen) :: !timeline
   in
+  (* cases are zipped with their submission index so the audit sample is
+     deterministic — the same cases are cross-checked at any job count *)
   Executor.with_pool ~jobs (fun pool ->
       Executor.run_ordered pool
-        (fun tc -> List.map (fun tbs -> Difftest.run_case ~fuel tbs tc) by_mode)
-        cases ~consume);
+        (fun (i, tc) ->
+          let audit = audit_share > 0 && i mod audit_share = 0 in
+          List.map
+            (fun tbs ->
+              if audit then Difftest.audit_case ~fuel tbs tc
+              else Difftest.run_case ~fuel ~share tbs tc)
+            by_mode)
+        (List.mapi (fun i tc -> (i, tc)) cases)
+        ~consume:(fun idx (_, tc) reports -> consume idx tc reports));
   {
     cp_fuzzer = fz.fz_name;
     cp_cases_run = List.length cases;

@@ -63,7 +63,15 @@ val default_testbeds : unit -> Engines.Engine.testbed list
     @param jobs      worker domains for the per-case differential sweep
                      (default [COMFORT_JOBS], else 1). Results are consumed
                      in submission order, so discoveries, the filter tree,
-                     and the timeline are byte-identical at any job count *)
+                     and the timeline are byte-identical at any job count
+    @param share     collapse each testbed sweep into behavioural
+                     equivalence classes, executing once per class
+                     (default {!Difftest.share_by_default}); reports are
+                     byte-identical either way (DESIGN.md §8)
+    @param audit_share when positive, every [audit_share]-th case (by
+                     submission index, so the sample is deterministic)
+                     runs down both the shared and the direct path and
+                     raises {!Difftest.Share_mismatch} on any divergence *)
 val run :
   ?testbeds:Engines.Engine.testbed list ->
   ?budget:int ->
@@ -71,6 +79,8 @@ val run :
   ?reduce:bool ->
   ?screen:bool ->
   ?jobs:int ->
+  ?share:bool ->
+  ?audit_share:int ->
   fuzzer ->
   result
 

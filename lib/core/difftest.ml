@@ -82,7 +82,24 @@ let signature_of_result (r : Run.result) : signature =
     | Run.Sts_crash _ -> Sig_crash
     | Run.Sts_timeout -> Sig_timeout
 
-let default_fuel = 300_000
+(* The campaign's per-testbed execution budget, the single source of truth
+   threaded through [run_case], [Campaign.run] and [Feedback.run_rounds].
+   300k fuel units is deliberately far below [Run.default_fuel] (2M, sized
+   for one-off interactive runs): it is deep enough to reach every seeded
+   quirk's trigger — the costliest, the Hermes reverse-fill cost model,
+   burns ~100k on generator-sized arrays — while keeping the 2t rule's
+   20k-fuel timeout floor meaningful and bounding the worst case of a
+   102-testbed sweep per case. *)
+let campaign_fuel = 300_000
+
+(* Execution sharing is on unless the user opts out, either per call
+   ([~share:false]) or globally via the COMFORT_NO_SHARE environment
+   variable (any non-empty value) — the escape hatch CI uses to run the
+   whole suite down the direct path. *)
+let share_by_default () =
+  match Sys.getenv_opt "COMFORT_NO_SHARE" with
+  | None | Some "" -> true
+  | Some _ -> false
 
 (* The 2t rule (§3.4): an engine that terminated but consumed more than
    twice the slowest of the other engines — with a floor to avoid noise —
@@ -116,11 +133,17 @@ let apply_2t_rule (results : (Engines.Engine.testbed * Run.result) list) :
       (tb, r, if slow then Sig_timeout else sig_))
     results
 
-let run_case ?(fuel = default_fuel) (testbeds : Engines.Engine.testbed list)
-    (tc : Testcase.t) : case_report =
-  (* one front-end cache per case: edition gating and the per-group parse
-     are shared across the whole testbed sweep *)
-  let fc = Engines.Engine.Frontend.cache tc.Testcase.tc_source in
+let run_case ?(fuel = campaign_fuel) ?share
+    (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : case_report =
+  let share =
+    match share with Some s -> s | None -> share_by_default ()
+  in
+  (* one execution-sharing cache per case: edition gating and the
+     per-group parse are shared across the whole testbed sweep either
+     way; with [share] on, whole executions are shared across behavioural
+     equivalence classes too (DESIGN.md §8) *)
+  let ec = Engines.Engine.Exec.cache tc.Testcase.tc_source in
+  let fc = Engines.Engine.Exec.frontend_cache ec in
   (* edition gating: skip engines whose front end cannot express the
      program when the standard front end can *)
   let applicable =
@@ -133,9 +156,11 @@ let run_case ?(fuel = default_fuel) (testbeds : Engines.Engine.testbed list)
     List.map
       (fun tb ->
         ( tb,
-          Engines.Engine.run ~fuel
-            ~frontend:(Engines.Engine.Frontend.frontend fc tb)
-            tb tc.Testcase.tc_source ))
+          if share then Engines.Engine.Exec.run ~fuel ec tb
+          else
+            Engines.Engine.run ~fuel
+              ~frontend:(Engines.Engine.Frontend.frontend fc tb)
+              tb tc.Testcase.tc_source ))
       applicable
   in
   let runs = apply_2t_rule results in
@@ -200,3 +225,44 @@ let run_case ?(fuel = default_fuel) (testbeds : Engines.Engine.testbed list)
       cr_tested = tested;
     }
   end
+
+(* Field-wise report equality. [Quirk.Set.t] is a balanced tree whose
+   shape depends on insertion order, so structural [(=)] on the whole
+   record is unreliable; deviations are compared field by field with
+   [Quirk.Set.equal] on the fired sets. *)
+let deviation_equal (a : deviation) (b : deviation) : bool =
+  Engines.Engine.testbed_id a.d_testbed = Engines.Engine.testbed_id b.d_testbed
+  && a.d_kind = b.d_kind
+  && a.d_expected = b.d_expected
+  && a.d_actual = b.d_actual
+  && a.d_behavior = b.d_behavior
+  && Quirk.Set.equal a.d_fired b.d_fired
+
+let report_equal (a : case_report) (b : case_report) : bool =
+  a.cr_case.Testcase.tc_source = b.cr_case.Testcase.tc_source
+  && a.cr_all_parse_failed = b.cr_all_parse_failed
+  && a.cr_all_timeout = b.cr_all_timeout
+  && a.cr_tested = b.cr_tested
+  && List.length a.cr_deviations = List.length b.cr_deviations
+  && List.for_all2 deviation_equal a.cr_deviations b.cr_deviations
+
+exception Share_mismatch of string
+
+(* The audit mode: run the case down both paths and fail loudly on any
+   divergence. Returns the shared report so an auditing campaign can use
+   it as the real result of the case. *)
+let audit_case ?(fuel = campaign_fuel) (testbeds : Engines.Engine.testbed list)
+    (tc : Testcase.t) : case_report =
+  let shared = run_case ~fuel ~share:true testbeds tc in
+  let direct = run_case ~fuel ~share:false testbeds tc in
+  if not (report_equal shared direct) then
+    raise
+      (Share_mismatch
+         (Printf.sprintf
+            "execution sharing changed the report of case %d \
+             (shared: %d deviations, direct: %d)\nsource:\n%s"
+            tc.Testcase.tc_id
+            (List.length shared.cr_deviations)
+            (List.length direct.cr_deviations)
+            tc.Testcase.tc_source));
+  shared

@@ -44,8 +44,17 @@ val signature_of_result : Jsinterp.Run.result -> signature
 val behavior_label : signature -> signature -> string
 val kind_of : signature -> signature -> deviation_kind
 
-(** Execution budget per testbed (fuel units standing in for wall-clock). *)
-val default_fuel : int
+(** The campaign's per-testbed execution budget (fuel units standing in
+    for wall-clock) — the single constant behind [run_case],
+    [Campaign.run] and [Feedback.run_rounds]. Deliberately far below
+    [Run.default_fuel]: deep enough for every seeded quirk trigger while
+    keeping the 2t rule's timeout floor meaningful across a 102-testbed
+    sweep. *)
+val campaign_fuel : int
+
+(** Is execution sharing enabled by default? True unless the
+    COMFORT_NO_SHARE environment variable is set to a non-empty value. *)
+val share_by_default : unit -> bool
 
 (** The §3.4 2t rule: a run that terminated normally but burned more than
     twice the slowest {e other} run (floor 20k fuel) is reclassified as a
@@ -56,6 +65,29 @@ val apply_2t_rule :
   (Engines.Engine.testbed * Jsinterp.Run.result) list ->
   (Engines.Engine.testbed * Jsinterp.Run.result * signature) list
 
-(** Run one test case across the given testbeds and vote. *)
+(** Run one test case across the given testbeds and vote. [share]
+    (default {!share_by_default}) collapses the sweep into behavioural
+    equivalence classes via {!Engines.Engine.Exec}, executing once per
+    class instead of once per testbed; the report is byte-identical
+    either way (DESIGN.md §8). *)
 val run_case :
+  ?fuel:int ->
+  ?share:bool ->
+  Engines.Engine.testbed list ->
+  Testcase.t ->
+  case_report
+
+(** Field-wise equality of deviations / reports, using
+    [Quirk.Set.equal] on the fired sets (structural [(=)] is unreliable
+    on sets). *)
+val deviation_equal : deviation -> deviation -> bool
+
+val report_equal : case_report -> case_report -> bool
+
+exception Share_mismatch of string
+
+(** Cross-check mode: run the case once shared and once direct, raise
+    {!Share_mismatch} if the reports differ in any observable field, and
+    return the shared report otherwise. *)
+val audit_case :
   ?fuel:int -> Engines.Engine.testbed list -> Testcase.t -> case_report

@@ -22,12 +22,14 @@ val fuzzer : t -> Campaign.fuzzer
 
 (** A complete feedback campaign: [rounds] campaigns of
     [budget_per_round] cases, banking each round's exposing cases before
-    the next; results are merged with (engine, bug) dedup. *)
+    the next; results are merged with (engine, bug) dedup. [share] is
+    forwarded to {!Campaign.run}. *)
 val run_rounds :
   ?testbeds:Engines.Engine.testbed list ->
   ?rounds:int ->
   ?budget_per_round:int ->
   ?fuel:int ->
   ?jobs:int ->
+  ?share:bool ->
   t ->
   Campaign.result

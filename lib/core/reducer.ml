@@ -151,14 +151,26 @@ let reduce ?(jobs = 1) ~(still_triggers : string -> bool) (src : string) :
 (* Convenience: build the predicate from a deviation observed on a testbed.
    The reduced program must still fire the same quirks and produce the same
    behaviour class on that testbed. *)
-let still_triggers_deviation (tb : Engines.Engine.testbed)
+let still_triggers_deviation ?share (tb : Engines.Engine.testbed)
     (original : Difftest.deviation) : string -> bool =
- fun src ->
+  let share =
+    match share with Some s -> s | None -> Difftest.share_by_default ()
+  in
+  fun src ->
   (* compare the deviating testbed directly against the reference engine:
      the reduced program must keep the same behaviour class and keep firing
-     the same ground-truth quirks *)
-  let target = Engines.Engine.run tb src in
-  let reference = Engines.Engine.run_reference src in
+     the same ground-truth quirks. With [share] on both runs go through one
+     per-candidate [Engine.Exec] cache, so they share the parse and — when
+     the quirks the target touched are all absent from its config — the
+     execution itself *)
+  let target, reference =
+    if share then begin
+      let ec = Engines.Engine.Exec.cache src in
+      let target = Engines.Engine.Exec.run ec tb in
+      (target, Engines.Engine.Exec.run_reference ec)
+    end
+    else (Engines.Engine.run tb src, Engines.Engine.run_reference src)
+  in
   let tsig = Difftest.signature_of_result target in
   let rsig = Difftest.signature_of_result reference in
   tsig <> rsig

@@ -14,6 +14,13 @@ val reduce : ?jobs:int -> still_triggers:(string -> bool) -> string -> string
 
 (** Build the predicate from an observed deviation: the reduced program
     must keep the same behaviour class on the deviating testbed (vs the
-    conforming reference) and keep firing the same ground-truth quirks. *)
+    conforming reference) and keep firing the same ground-truth quirks.
+    [share] (default {!Difftest.share_by_default}) routes the target and
+    reference runs through one per-candidate {!Engines.Engine.Exec}
+    cache, sharing the parse and often the execution itself. *)
 val still_triggers_deviation :
-  Engines.Engine.testbed -> Difftest.deviation -> string -> bool
+  ?share:bool ->
+  Engines.Engine.testbed ->
+  Difftest.deviation ->
+  string ->
+  bool

@@ -106,17 +106,134 @@ module Frontend = struct
         Hashtbl.replace fc.fc_supports key b;
         b
 
-  let frontend (fc : cache) (tb : testbed) : Run.frontend =
-    let cfg = tb.tb_config in
-    let key = (Registry.parse_key cfg, tb.tb_mode = Strict) in
+  let source (fc : cache) = fc.fc_src
+
+  (* The shared front end of an arbitrary parse group. Two profiles with
+     the same [key] have identical effective options, so whichever member
+     arrives first parses on behalf of the whole group. *)
+  let frontend_for (fc : cache) ~(key : Registry.parse_key * bool)
+      ~(quirks : Quirk.Set.t) ~(parse_opts : Jsparse.Parser.options)
+      ~(strict : bool) : Run.frontend =
     match Hashtbl.find_opt fc.fc_groups key with
     | Some fe -> fe
     | None ->
-        let fe =
-          Run.parse_frontend ~quirks:cfg.Registry.cfg_quirks
-            ~parse_opts:(Registry.parse_opts_of_config cfg)
-            ~strict:(tb.tb_mode = Strict) fc.fc_src
-        in
+        let fe = Run.parse_frontend ~quirks ~parse_opts ~strict fc.fc_src in
         Hashtbl.replace fc.fc_groups key fe;
         fe
+
+  let frontend (fc : cache) (tb : testbed) : Run.frontend =
+    let cfg = tb.tb_config in
+    frontend_for fc
+      ~key:(Registry.parse_key cfg, tb.tb_mode = Strict)
+      ~quirks:cfg.Registry.cfg_quirks
+      ~parse_opts:(Registry.parse_opts_of_config cfg)
+      ~strict:(tb.tb_mode = Strict)
+end
+
+(* The per-case execution-sharing cache, extending {!Frontend} from shared
+   parses to shared *executions*. Differential testing interprets one case
+   on up to 102 testbeds, yet a typical case reaches only a handful of the
+   73 registered quirk checkpoints, so most testbeds are guaranteed to
+   replay the reference behaviour byte for byte. [Exec.run] therefore
+   executes once per *behavioural equivalence class* — testbeds keyed by
+   (parse group, mode, quirk set ∩ touched checkpoints) — and lets every
+   other member inherit the representative's [Run.result] (output, status,
+   fuel, fired), so majority voting and the 2t rule see exactly the
+   results a direct sweep would have produced.
+
+   Classes are discovered by a split-and-rerun fixpoint: each incoming
+   testbed is validated against the representatives found so far, in
+   creation order, using the representative's *own* touched set
+   ([Run.shares_class] — sound because a firing quirk can steer control
+   flow into new checkpoints, so only the representative's observed
+   touched set, never a prediction, may justify sharing). A testbed that
+   matches no representative splits off and is rerun as the
+   representative of a fresh class. Each iteration retires one testbed,
+   so the loop is bounded by the group size and degenerates to the
+   unshared sweep in the worst case. Soundness argument: DESIGN.md §8.
+
+   Like [Frontend.cache], a cache is a plain mutable value tied to one
+   source string and is NOT domain-safe: the campaign executor builds one
+   per case inside the worker that owns the case. *)
+module Exec = struct
+  type cache = {
+    ec_frontend : Frontend.cache;
+    ec_classes :
+      (Registry.parse_key * bool * int, Run.exec list ref) Hashtbl.t;
+        (* (parse group, strict, fuel) -> class representatives, oldest
+           first; fuel is in the key so a cache survives mixed budgets *)
+    mutable ec_executed : int;  (* real interpreter executions *)
+    mutable ec_shared : int;    (* runs answered by class inheritance *)
+  }
+
+  let cache (src : string) : cache =
+    {
+      ec_frontend = Frontend.cache src;
+      ec_classes = Hashtbl.create 8;
+      ec_executed = 0;
+      ec_shared = 0;
+    }
+
+  let of_frontend (fc : Frontend.cache) : cache =
+    { ec_frontend = fc; ec_classes = Hashtbl.create 8; ec_executed = 0; ec_shared = 0 }
+
+  let frontend_cache (ec : cache) = ec.ec_frontend
+  let supports (ec : cache) (c : Registry.config) =
+    Frontend.supports ec.ec_frontend c
+
+  let stats (ec : cache) = (ec.ec_executed, ec.ec_shared)
+
+  let run_keyed (ec : cache) ~(pkey : Registry.parse_key)
+      ~(quirks : Quirk.Set.t) ~(parse_opts : Jsparse.Parser.options)
+      ~(strict : bool) ~(fuel : int) : Run.result =
+    let fe =
+      Frontend.frontend_for ec.ec_frontend ~key:(pkey, strict) ~quirks
+        ~parse_opts ~strict
+    in
+    match fe.Run.fe_program with
+    | Error _ ->
+        (* nothing executes; [run ~frontend] only renders the stored
+           syntax error and filters the sunk parse quirks *)
+        Run.run ~quirks ~parse_opts ~strict ~fuel ~frontend:fe
+          (Frontend.source ec.ec_frontend)
+    | Ok _ -> (
+        let ckey = (pkey, strict, fuel) in
+        let classes =
+          match Hashtbl.find_opt ec.ec_classes ckey with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace ec.ec_classes ckey l;
+              l
+        in
+        match List.find_opt (Run.shares_class ~quirks) !classes with
+        | Some ex ->
+            ec.ec_shared <- ec.ec_shared + 1;
+            Run.share ~frontend:fe ~quirks ex
+        | None ->
+            (* split: no representative's touched set validates this quirk
+               set, so it seeds a new class with a direct execution *)
+            let ex =
+              Run.run_exec ~quirks ~parse_opts ~strict ~fuel ~frontend:fe
+                (Frontend.source ec.ec_frontend)
+            in
+            ec.ec_executed <- ec.ec_executed + 1;
+            classes := !classes @ [ ex ];
+            ex.Run.ex_result)
+
+  let run ?(fuel = Run.default_fuel) (ec : cache) (tb : testbed) : Run.result
+      =
+    let cfg = tb.tb_config in
+    run_keyed ec ~pkey:(Registry.parse_key cfg)
+      ~quirks:cfg.Registry.cfg_quirks
+      ~parse_opts:(Registry.parse_opts_of_config cfg)
+      ~strict:(tb.tb_mode = Strict) ~fuel
+
+  (* The conforming reference engine through the same cache: joins the
+     standard-front-end, quirk-free parse group and (having no quirks at
+     all) shares any class whose representative fired nothing it touched. *)
+  let run_reference ?(fuel = Run.default_fuel) ?(strict = false) (ec : cache)
+      : Run.result =
+    run_keyed ec ~pkey:Registry.reference_parse_key ~quirks:Quirk.Set.empty
+      ~parse_opts:Jsparse.Parser.default_options ~strict ~fuel
 end

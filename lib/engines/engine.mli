@@ -46,6 +46,9 @@ module Frontend : sig
 
   val cache : string -> cache
 
+  (** The source string the cache was built for. *)
+  val source : cache -> string
+
   (** Memoised {!Engine.supports}: same verdict, at most one parse per
       base front-end profile (plus one validity probe) per case. *)
   val supports : cache -> Registry.config -> bool
@@ -53,4 +56,50 @@ module Frontend : sig
   (** The shared front end for this testbed's parse group, parsing on
       first use. Pass to [run ~frontend]. *)
   val frontend : cache -> testbed -> Jsinterp.Run.frontend
+
+  (** The shared front end of an arbitrary parse group, for profiles not
+      backed by a registry config (e.g. the reference engine). Profiles
+      mapping to the same [key] must have identical effective options. *)
+  val frontend_for :
+    cache ->
+    key:Registry.parse_key * bool ->
+    quirks:Jsinterp.Quirk.Set.t ->
+    parse_opts:Jsparse.Parser.options ->
+    strict:bool ->
+    Jsinterp.Run.frontend
+end
+
+(** Per-test-case execution-sharing cache, extending {!Frontend} from
+    shared parses to shared executions. [run] interprets once per
+    behavioural equivalence class — testbeds keyed by (parse group, mode,
+    quirks ∩ touched checkpoints) — and every other member inherits the
+    representative's [Run.result], byte-identical to a direct sweep
+    (soundness argument in DESIGN.md §8). Classes are found by a bounded
+    split-and-rerun fixpoint validated against each representative's own
+    touched set. Mutable, single-domain, tied to one source string, like
+    {!Frontend.cache}. *)
+module Exec : sig
+  type cache
+
+  val cache : string -> cache
+
+  (** Wrap an existing front-end cache (shares its parse groups). *)
+  val of_frontend : Frontend.cache -> cache
+
+  val frontend_cache : cache -> Frontend.cache
+
+  (** Memoised {!Engine.supports}, via the underlying front-end cache. *)
+  val supports : cache -> Registry.config -> bool
+
+  (** [(executed, shared)]: interpreter executions actually performed vs.
+      runs answered by class inheritance. *)
+  val stats : cache -> int * int
+
+  (** Execute [tb] on the cached source, sharing across the testbed's
+      equivalence class. Same contract as {!Engine.run} on that source. *)
+  val run : ?fuel:int -> cache -> testbed -> Jsinterp.Run.result
+
+  (** The conforming reference engine through the same cache (same
+      contract as {!Engine.run_reference} on the cached source). *)
+  val run_reference : ?fuel:int -> ?strict:bool -> cache -> Jsinterp.Run.result
 end

@@ -343,6 +343,18 @@ type parse_key = {
   pk_delete_unqualified : bool;(** [Q_strict_delete_unqualified_accepted] *)
 }
 
+(* The conforming reference front end: standard profile, no parser quirks.
+   Reference runs routed through the execution-sharing cache use this key,
+   so they join the parse/execution groups of any standard-front-end,
+   parser-quirk-free engine. *)
+let reference_parse_key : parse_key =
+  {
+    pk_es5 = false;
+    pk_for_missing_body = false;
+    pk_dup_params = false;
+    pk_delete_unqualified = false;
+  }
+
 let parse_key (c : config) : parse_key =
   let mem q = Quirk.Set.mem q c.cfg_quirks in
   {

@@ -77,3 +77,7 @@ type parse_key = {
 }
 
 val parse_key : config -> parse_key
+
+(** The conforming reference front end (standard profile, no parser
+    quirks) — the key under which reference runs join the sharing cache. *)
+val reference_parse_key : parse_key

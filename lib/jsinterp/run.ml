@@ -17,6 +17,9 @@ type result = {
   r_output : string;
   r_fuel_used : int;
   r_fired : Quirk.Set.t;   (** ground-truth quirks whose deviant path ran *)
+  r_touched : Quirk.Set.t;
+      (** quirk checkpoints consulted by the run, active or not — a
+          superset of [r_fired]; the execution-sharing class key *)
   r_coverage : Coverage.summary option;
 }
 
@@ -27,6 +30,16 @@ let status_to_string = function
   | Sts_timeout -> "timeout"
 
 let default_fuel = 2_000_000
+
+(* Cumulative interpreter-execution count, across all domains — the
+   execution-side analogue of [Jsparse.Parser.parse_count]. Incremented
+   once per program actually evaluated (never for parse failures or for
+   results inherited through the execution-sharing layer), so a campaign
+   can report executions-per-case and the tests can assert how much work
+   sharing saved. *)
+let runs = Atomic.make 0
+
+let run_count () = Atomic.get runs
 
 (* Parser-level quirks live in the front end: derive the engine's parse
    options from its quirk set so a profile is a single source of truth. *)
@@ -62,6 +75,7 @@ let make_ctx ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_o
       fuel_cap = fuel;
       out = Buffer.create 256;
       fired = Quirk.Set.empty;
+      touched = Quirk.Set.empty;
       call_hook = (fun _ _ _ _ -> Value.Undefined);
       eval_hook = (fun _ _ _ _ -> Value.Undefined);
       coverage = (if coverage then Some (Coverage.create ()) else None);
@@ -135,9 +149,28 @@ let parse_frontend ?(quirks = Quirk.Set.empty)
   | exception Jsparse.Parser.Syntax_error (msg, line) ->
       { fe_program = Error (msg, line); fe_fired = !fired }
 
-let run ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_options)
-    ?(strict = false) ?(fuel = default_fuel) ?(coverage = false) ?frontend
-    (src : string) : result =
+(* --- execution, separable from the engine that ran it ---
+
+   An [exec] is one interpreter execution together with the evidence needed
+   to lend its result to other engines: the quirk set it ran under and the
+   execution-stage fired/touched sets (excluding the top-level parse, which
+   is per-member — see [share]). The interpreter is deterministic given
+   (program, mode, effective parse options, answers at quirk checkpoints),
+   and [ex_touched] is exactly the set of checkpoints whose answer was
+   consulted, so any engine agreeing with [ex_quirks] on [ex_touched]
+   replays the run bit for bit. *)
+
+type exec = {
+  ex_result : result;       (** the representative's own full result *)
+  ex_quirks : Quirk.Set.t;  (** quirk set the representative ran under *)
+  ex_fired : Quirk.Set.t;   (** execution-stage fired set (no parse stage) *)
+  ex_touched : Quirk.Set.t; (** execution-stage touched set *)
+}
+
+let run_exec ?(quirks = Quirk.Set.empty)
+    ?(parse_opts = Jsparse.Parser.default_options) ?(strict = false)
+    ?(fuel = default_fuel) ?(coverage = false) ?frontend (src : string) : exec
+    =
   let fe =
     match frontend with
     | Some fe -> fe
@@ -149,15 +182,23 @@ let run ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_option
   match fe.fe_program with
   | Error (msg, line) ->
       {
-        r_parsed = false;
-        r_parse_error = Some (Printf.sprintf "line %d: %s" line msg);
-        r_status = Sts_normal;
-        r_output = "";
-        r_fuel_used = 0;
-        r_fired = parse_fired;
-        r_coverage = None;
+        ex_result =
+          {
+            r_parsed = false;
+            r_parse_error = Some (Printf.sprintf "line %d: %s" line msg);
+            r_status = Sts_normal;
+            r_output = "";
+            r_fuel_used = 0;
+            r_fired = parse_fired;
+            r_touched = parse_fired;
+            r_coverage = None;
+          };
+        ex_quirks = quirks;
+        ex_fired = Quirk.Set.empty;
+        ex_touched = Quirk.Set.empty;
       }
   | Ok prog ->
+      Atomic.incr runs;
       let parse_opts = parse_opts_of ~base:parse_opts quirks in
       let ctx = make_ctx ~quirks ~parse_opts ~fuel ~coverage () in
       bind_globals ctx;
@@ -193,15 +234,52 @@ let run ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_option
         | Stack_overflow -> Sts_crash "stack exhausted"
       in
       {
-        r_parsed = true;
-        r_parse_error = None;
-        r_status = status;
-        r_output = Buffer.contents ctx.Value.out;
-        r_fuel_used = ctx.Value.fuel_cap - ctx.Value.fuel;
-        r_fired = Quirk.Set.union parse_fired ctx.Value.fired;
-        r_coverage =
-          Option.map (fun c -> Coverage.summarize c prog) ctx.Value.coverage;
+        ex_result =
+          {
+            r_parsed = true;
+            r_parse_error = None;
+            r_status = status;
+            r_output = Buffer.contents ctx.Value.out;
+            r_fuel_used = ctx.Value.fuel_cap - ctx.Value.fuel;
+            r_fired = Quirk.Set.union parse_fired ctx.Value.fired;
+            r_touched = Quirk.Set.union parse_fired ctx.Value.touched;
+            r_coverage =
+              Option.map (fun c -> Coverage.summarize c prog) ctx.Value.coverage;
+          };
+        ex_quirks = quirks;
+        ex_fired = ctx.Value.fired;
+        ex_touched = ctx.Value.touched;
       }
+
+let run ?quirks ?parse_opts ?strict ?fuel ?coverage ?frontend (src : string) :
+    result =
+  (run_exec ?quirks ?parse_opts ?strict ?fuel ?coverage ?frontend src)
+    .ex_result
+
+(* Does an engine carrying [quirks] belong to [ex]'s behavioural
+   equivalence class? True iff it agrees with the representative at every
+   checkpoint the representative's execution consulted — then every
+   conformance decision resolves the same way, control flow is identical,
+   and (in particular) exactly the same checkpoints get consulted, so the
+   verdict is self-validating: no member can secretly reach a checkpoint
+   outside [ex_touched]. *)
+let shares_class ~quirks (ex : exec) : bool =
+  Quirk.Set.equal
+    (Quirk.Set.inter quirks ex.ex_touched)
+    (Quirk.Set.inter ex.ex_quirks ex.ex_touched)
+
+(* The class member's result: execution is inherited verbatim; only the
+   parse-stage quirk filter is per-member ([frontend] sank parse quirks
+   unfiltered, and members of one parse group may own different subsets).
+   A quirk both sunk at parse time and fired during execution is on for
+   every member (it is in the class key), so the union loses nothing. *)
+let share ~(frontend : frontend) ~quirks (ex : exec) : result =
+  let parse_fired = Quirk.Set.inter frontend.fe_fired quirks in
+  {
+    ex.ex_result with
+    r_fired = Quirk.Set.union parse_fired ex.ex_fired;
+    r_touched = Quirk.Set.union parse_fired ex.ex_touched;
+  }
 
 (* Convenience for tests and examples: run on the standard-conforming
    reference engine and return printed output. *)

@@ -18,12 +18,23 @@ type result = {
   r_output : string;        (** everything [print] emitted *)
   r_fuel_used : int;        (** execution cost, the wall-clock stand-in *)
   r_fired : Quirk.Set.t;    (** ground-truth quirks whose deviant path ran *)
+  r_touched : Quirk.Set.t;
+      (** quirk checkpoints the run {e consulted}, active or not — a
+          superset of [r_fired], and the key of the execution-sharing
+          equivalence classes (see {!shares_class}) *)
   r_coverage : Coverage.summary option;
 }
 
 val status_to_string : status -> string
 
 val default_fuel : int
+
+(** Cumulative interpreter executions across all domains — the
+    execution-side analogue of [Jsparse.Parser.parse_count]. Parse
+    failures and results inherited through {!share} do not count, so a
+    before/after delta measures exactly how many real evaluations a
+    campaign (or the sharing layer) performed. *)
+val run_count : unit -> int
 
 (** Derive front-end options from a quirk set (parser-level bugs live in
     the front end, so a quirk profile is a single source of truth). *)
@@ -68,6 +79,45 @@ val run :
   ?frontend:frontend ->
   string ->
   result
+
+(** One interpreter execution packaged for sharing: the representative's
+    result plus the quirk set it ran under and its execution-stage
+    fired/touched sets (the top-level parse stage is per-member and lives
+    in {!frontend}). The interpreter is deterministic given (program,
+    mode, effective parse options, answers at quirk checkpoints), which is
+    what makes an [exec] transferable across engines. *)
+type exec = {
+  ex_result : result;       (** the representative's own full result *)
+  ex_quirks : Quirk.Set.t;  (** quirk set the representative ran under *)
+  ex_fired : Quirk.Set.t;   (** execution-stage fired set *)
+  ex_touched : Quirk.Set.t; (** execution-stage touched set *)
+}
+
+(** Like {!run}, but keep the sharing evidence. [run] is [ex_result]. *)
+val run_exec :
+  ?quirks:Quirk.Set.t ->
+  ?parse_opts:Jsparse.Parser.options ->
+  ?strict:bool ->
+  ?fuel:int ->
+  ?coverage:bool ->
+  ?frontend:frontend ->
+  string ->
+  exec
+
+(** Does an engine carrying [quirks] belong to [ex]'s behavioural
+    equivalence class? True iff [quirks] agrees with [ex_quirks] at every
+    checkpoint in [ex_touched]. The check is self-validating: agreeing on
+    every consulted checkpoint forces identical control flow, so a member
+    cannot reach a checkpoint the representative did not touch. Callers
+    must also match the parse group (effective front-end options + mode)
+    and the fuel budget — see [Engines.Engine.Exec]. *)
+val shares_class : quirks:Quirk.Set.t -> exec -> bool
+
+(** The result a class member inherits from its representative: execution
+    verbatim, with only the parse-stage quirk filter recomputed for the
+    member's own quirk set. Equals what {!run} would have produced, field
+    for field. *)
+val share : frontend:frontend -> quirks:Quirk.Set.t -> exec -> result
 
 (** Convenience: printed output of a run on the conforming engine. *)
 val output_of : ?quirks:Quirk.Set.t -> ?strict:bool -> ?fuel:int -> string -> string

@@ -92,6 +92,11 @@ and ctx = {
   fuel_cap : int;
   out : Buffer.t;
   mutable fired : Quirk.Set.t;   (** quirks whose deviant path executed *)
+  mutable touched : Quirk.Set.t;
+      (** quirk checkpoints *consulted* during execution, active or not —
+          a superset of [fired]. Two engines whose quirk sets agree on a
+          run's touched set replay the run identically, which is what the
+          campaign's execution-sharing layer keys on *)
   mutable call_hook : ctx -> value -> value -> value list -> value;
       (** function value, this, args — set by [Interp] *)
   mutable eval_hook : ctx -> scope -> bool -> string -> value;
@@ -150,7 +155,12 @@ let type_of = function
 
 let is_callable = function Obj { call = Some _; _ } -> true | _ -> false
 
-let quirk_on ctx q = Quirk.Set.mem q ctx.quirks
+(* Every conformance-relevant decision point funnels through here (directly
+   or via [fire]); recording the consultation — whether or not the quirk is
+   active — is what makes the touched set a sound execution-sharing key. *)
+let quirk_on ctx q =
+  ctx.touched <- Quirk.Set.add q ctx.touched;
+  Quirk.Set.mem q ctx.quirks
 
 (* Check-and-record: returns whether the quirk is active, and if so marks it
    as fired. All deviation points in the interpreter and builtins go through

@@ -216,6 +216,7 @@ let result ~fuel : Run.result =
     r_output = "x\n";
     r_fuel_used = fuel;
     r_fired = Jsinterp.Quirk.Set.empty;
+    r_touched = Jsinterp.Quirk.Set.empty;
     r_coverage = None;
   }
 

@@ -16,6 +16,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("core", Test_core.suite);
       ("executor", Test_executor.suite);
+      ("sharing", Test_sharing.suite);
       ("pipeline", Test_pipeline.suite);
       ("util", Test_util.suite);
       ("test262 export", Test_export.suite);

@@ -1,0 +1,289 @@
+(* Execution sharing (DESIGN.md §8).
+
+   The tentpole claim is behavioural: collapsing the 102-testbed sweep
+   into quirk-reachability equivalence classes must never change a single
+   observable result. Coverage here:
+
+   - the [Run.shares_class] fixpoint on a program where one quirk's
+     firing steers control flow into a second quirk checkpoint — the
+     exact situation where predicting reachability instead of observing
+     it would be unsound;
+   - [Engine.Exec] vs direct [Engine.run] over all 102 testbeds,
+     field-wise, plus the executed/shared accounting and the >=4x
+     execution reduction the bench records;
+   - [Difftest.run_case] and full [Campaign.run]s with sharing on vs off
+     at 1 and 4 jobs, byte-identical reports throughout;
+   - the audit mode accepting a clean sample. *)
+
+open Helpers
+open Jsinterp
+module Engine = Engines.Engine
+
+(* charAt(-1) normally yields "", so the sort checkpoint below is only
+   reached when Q_charat_negative_wraps fires and flips the branch *)
+let steering_src =
+  {|var s = "abc".charAt(-1);
+if (s !== "") print([3,1,2].sort());
+else print("no");|}
+
+let fixpoint_splits_on_exposed_checkpoint () =
+  (* representative without quirks: the charAt checkpoint is consulted,
+     the sort checkpoint is unreachable *)
+  let rep = Run.run_exec ~quirks:Quirk.Set.empty steering_src in
+  Alcotest.(check bool) "charAt checkpoint touched" true
+    (Quirk.Set.mem Quirk.Q_charat_negative_wraps rep.Run.ex_touched);
+  Alcotest.(check bool) "sort checkpoint not reached" false
+    (Quirk.Set.mem Quirk.Q_array_sort_numeric_default rep.Run.ex_touched);
+  (* a config where the charAt quirk is present differs on a touched
+     checkpoint: it must split into its own class *)
+  Alcotest.(check bool) "charAt config splits" false
+    (Run.shares_class
+       ~quirks:(quirks_of [ Quirk.Q_charat_negative_wraps ])
+       rep);
+  (* a config differing only in the unreached sort quirk shares *)
+  Alcotest.(check bool) "sort-only config shares" true
+    (Run.shares_class
+       ~quirks:(quirks_of [ Quirk.Q_array_sort_numeric_default ])
+       rep);
+  (* the split representative reaches the second checkpoint... *)
+  let rep2 =
+    Run.run_exec
+      ~quirks:(quirks_of [ Quirk.Q_charat_negative_wraps ])
+      steering_src
+  in
+  Alcotest.(check bool) "firing charAt exposes the sort checkpoint" true
+    (Quirk.Set.mem Quirk.Q_array_sort_numeric_default rep2.Run.ex_touched);
+  (* ...so a config that also carries the sort quirk splits again, while
+     one differing only in a still-unreached quirk shares *)
+  Alcotest.(check bool) "charAt+sort splits from charAt" false
+    (Run.shares_class
+       ~quirks:
+         (quirks_of
+            [ Quirk.Q_charat_negative_wraps; Quirk.Q_array_sort_numeric_default ])
+       rep2);
+  Alcotest.(check bool) "charAt+unreached quirk shares" true
+    (Run.shares_class
+       ~quirks:
+         (quirks_of
+            [ Quirk.Q_charat_negative_wraps; Quirk.Q_tofixed_no_rangeerror ])
+       rep2)
+
+let shared_result_equals_direct_result () =
+  (* a member inheriting [rep2]'s execution must get exactly the result a
+     direct run under its own quirk set produces *)
+  let quirks =
+    quirks_of [ Quirk.Q_charat_negative_wraps; Quirk.Q_tofixed_no_rangeerror ]
+  in
+  let fe = Run.parse_frontend ~quirks steering_src in
+  let rep2 =
+    Run.run_exec
+      ~quirks:(quirks_of [ Quirk.Q_charat_negative_wraps ])
+      ~frontend:fe steering_src
+  in
+  let shared = Run.share ~frontend:fe ~quirks rep2 in
+  let direct = Run.run ~quirks steering_src in
+  Alcotest.(check string) "output" direct.Run.r_output shared.Run.r_output;
+  Alcotest.(check string) "status"
+    (Run.status_to_string direct.Run.r_status)
+    (Run.status_to_string shared.Run.r_status);
+  Alcotest.(check int) "fuel" direct.Run.r_fuel_used shared.Run.r_fuel_used;
+  Alcotest.(check bool) "fired" true
+    (Quirk.Set.equal direct.Run.r_fired shared.Run.r_fired);
+  Alcotest.(check bool) "touched" true
+    (Quirk.Set.equal direct.Run.r_touched shared.Run.r_touched)
+
+let run_count_counts_real_executions () =
+  let before = Run.run_count () in
+  ignore (Run.run "print(1);");
+  Alcotest.(check int) "a direct run is one execution" (before + 1)
+    (Run.run_count ());
+  (* parse failures never reach the interpreter *)
+  ignore (Run.run "var = ;");
+  Alcotest.(check int) "a parse failure is no execution" (before + 1)
+    (Run.run_count ())
+
+(* the §5.2-flavoured sources the sweep-level checks run: plain code, the
+   steering program above, quirk-rich builtin traffic, a thrown error, a
+   parse-stage quirk trigger, and strict-only behaviour *)
+let sweep_sources =
+  [
+    "print(1 + 1);";
+    steering_src;
+    {|var o = { a: 1 }; print(Object.keys(o));
+print("anA".split(/^A/)); print((-634619).toFixed(2));
+print([10,9,1].sort()); print("abc".charAt(-1) === "");|};
+    {|var foo = function(num) { var p = num.toFixed(-2); print(p); };
+foo(-634619);|};
+    "for (var i = 0; i < 3; i++)";
+    "function f(a, a) { return a; } print(f(1, 2));";
+  ]
+
+let exec_cache_equals_direct_sweep () =
+  List.iter
+    (fun src ->
+      let ec = Engine.Exec.cache src in
+      List.iter
+        (fun (tb : Engine.testbed) ->
+          let direct = Engine.run ~fuel:100_000 tb src in
+          let shared = Engine.Exec.run ~fuel:100_000 ec tb in
+          let id = Engine.testbed_id tb in
+          Alcotest.(check bool) (id ^ " parsed") direct.Run.r_parsed
+            shared.Run.r_parsed;
+          Alcotest.(check (option string)) (id ^ " parse error")
+            direct.Run.r_parse_error shared.Run.r_parse_error;
+          Alcotest.(check string) (id ^ " status")
+            (Run.status_to_string direct.Run.r_status)
+            (Run.status_to_string shared.Run.r_status);
+          Alcotest.(check string) (id ^ " output") direct.Run.r_output
+            shared.Run.r_output;
+          Alcotest.(check int) (id ^ " fuel") direct.Run.r_fuel_used
+            shared.Run.r_fuel_used;
+          Alcotest.(check bool) (id ^ " fired") true
+            (Quirk.Set.equal direct.Run.r_fired shared.Run.r_fired);
+          Alcotest.(check bool) (id ^ " touched") true
+            (Quirk.Set.equal direct.Run.r_touched shared.Run.r_touched))
+        Engine.all_testbeds;
+      (* the reference engine joins the same cache *)
+      let ref_direct = Engine.run_reference ~fuel:100_000 src in
+      let ref_shared = Engine.Exec.run_reference ~fuel:100_000 ec in
+      Alcotest.(check string) "reference output" ref_direct.Run.r_output
+        ref_shared.Run.r_output)
+    sweep_sources
+
+let exec_cache_collapses_the_sweep () =
+  (* the acceptance bar: across a full 102-testbed sweep, at least 4x
+     fewer interpreter executions than testbeds that ran *)
+  List.iter
+    (fun src ->
+      let ec = Engine.Exec.cache src in
+      let ran =
+        List.length
+          (List.filter
+             (fun (tb : Engine.testbed) ->
+               ignore (Engine.Exec.run ~fuel:100_000 ec tb);
+               true)
+             Engine.all_testbeds)
+      in
+      let executed, shared = Engine.Exec.stats ec in
+      Alcotest.(check int) (src ^ ": every run accounted") ran
+        (executed + shared);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d executions for %d testbeds (>=4x)" src
+           executed ran)
+        true
+        (executed * 4 <= ran))
+    [ "print(1 + 1);"; steering_src;
+      {|print([3,1,2].sort()); print("x".charAt(-1));|} ]
+
+let run_case_share_equals_direct () =
+  List.iter
+    (fun src ->
+      let tc = Comfort.Testcase.make src in
+      let shared =
+        Comfort.Difftest.run_case ~share:true Engine.all_testbeds tc
+      in
+      let direct =
+        Comfort.Difftest.run_case ~share:false Engine.all_testbeds tc
+      in
+      Alcotest.(check bool) (src ^ ": reports equal") true
+        (Comfort.Difftest.report_equal shared direct))
+    sweep_sources
+
+let audit_accepts_equal_paths () =
+  List.iter
+    (fun src ->
+      let tc = Comfort.Testcase.make src in
+      ignore (Comfort.Difftest.audit_case Engine.all_testbeds tc))
+    sweep_sources
+
+let disc_key (d : Comfort.Campaign.discovery) =
+  ( Engines.Registry.engine_name d.Comfort.Campaign.disc_engine,
+    Quirk.to_string d.Comfort.Campaign.disc_quirk,
+    d.Comfort.Campaign.disc_at,
+    d.Comfort.Campaign.disc_behavior,
+    d.Comfort.Campaign.disc_mode )
+
+let campaign_share_invariant () =
+  (* sharing on/off x jobs 1/4: same discoveries, timeline and filter
+     counts everywhere — the bench's acceptance check in miniature *)
+  let campaign ~share ~jobs =
+    Comfort.Campaign.run ~budget:100 ~share ~jobs
+      (Comfort.Campaign.comfort_fuzzer ~seed:23 ())
+  in
+  let base = campaign ~share:false ~jobs:1 in
+  List.iter
+    (fun (share, jobs) ->
+      let r = campaign ~share ~jobs in
+      let tag = Printf.sprintf "share=%b jobs=%d" share jobs in
+      Alcotest.(check bool) (tag ^ ": same discoveries") true
+        (List.map disc_key r.Comfort.Campaign.cp_discoveries
+        = List.map disc_key base.Comfort.Campaign.cp_discoveries);
+      Alcotest.(check bool) (tag ^ ": same timeline") true
+        (r.Comfort.Campaign.cp_timeline = base.Comfort.Campaign.cp_timeline);
+      Alcotest.(check int) (tag ^ ": same filtered repeats")
+        base.Comfort.Campaign.cp_filtered_repeats
+        r.Comfort.Campaign.cp_filtered_repeats;
+      Alcotest.(check int) (tag ^ ": same unattributed")
+        base.Comfort.Campaign.cp_unattributed
+        r.Comfort.Campaign.cp_unattributed)
+    [ (false, 4); (true, 1); (true, 4) ]
+
+let campaign_audit_mode_passes () =
+  (* every 3rd case double-runs and cross-checks; any mismatch raises *)
+  let r =
+    Comfort.Campaign.run ~budget:60 ~share:true ~audit_share:3 ~jobs:2
+      (Comfort.Campaign.comfort_fuzzer ~seed:29 ())
+  in
+  Alcotest.(check int) "campaign completed" 60 r.Comfort.Campaign.cp_cases_run
+
+let reducer_share_equals_direct () =
+  (* the reduction predicate must accept/reject the same candidates *)
+  let src =
+    {|var junk1 = 1;
+var p = (-634619).toFixed(-2);
+print(p);
+var junk2 = 2;|}
+  in
+  let cfg =
+    Option.get
+      (Engines.Registry.find_config ~engine:Engines.Registry.Rhino
+         ~version:"1.7.12")
+  in
+  let tb = { Engine.tb_config = cfg; tb_mode = Engine.Normal } in
+  let target = Engine.run tb src in
+  let reference = Engine.run_reference src in
+  let tsig = Comfort.Difftest.signature_of_result target in
+  let rsig = Comfort.Difftest.signature_of_result reference in
+  Alcotest.(check bool) "fixture deviates" true (tsig <> rsig);
+  let dev =
+    {
+      Comfort.Difftest.d_testbed = tb;
+      d_kind = Comfort.Difftest.kind_of tsig rsig;
+      d_expected = Comfort.Difftest.signature_to_string rsig;
+      d_actual = Comfort.Difftest.signature_to_string tsig;
+      d_behavior = Comfort.Difftest.behavior_label tsig rsig;
+      d_fired = target.Run.r_fired;
+    }
+  in
+  let reduce share =
+    Comfort.Reducer.reduce
+      ~still_triggers:(Comfort.Reducer.still_triggers_deviation ~share tb dev)
+      src
+  in
+  Alcotest.(check string) "same reduction" (reduce false) (reduce true)
+
+let suite =
+  [
+    case "fixpoint splits when a firing exposes a checkpoint"
+      fixpoint_splits_on_exposed_checkpoint;
+    case "shared result equals a direct run" shared_result_equals_direct_result;
+    case "run_count counts real executions" run_count_counts_real_executions;
+    case "Exec cache equals direct runs on all 102 testbeds"
+      exec_cache_equals_direct_sweep;
+    case "Exec cache collapses the sweep >=4x" exec_cache_collapses_the_sweep;
+    case "run_case: share on/off reports equal" run_case_share_equals_direct;
+    case "audit accepts equal paths" audit_accepts_equal_paths;
+    case "campaigns are share- and jobs-invariant" campaign_share_invariant;
+    case "campaign audit mode passes" campaign_audit_mode_passes;
+    case "reducer predicate is share-invariant" reducer_share_equals_direct;
+  ]
