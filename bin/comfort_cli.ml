@@ -51,6 +51,22 @@ let no_share_arg =
 (* [None] defers to the COMFORT_NO_SHARE-aware library default *)
 let resolve_share no_share = if no_share then Some false else None
 
+(* [--no-resolve] disables the slot-compiled interpreter core for one
+   invocation; without it the default comes from COMFORT_NO_RESOLVE
+   (compilation on if unset). *)
+let no_resolve_arg =
+  Arg.(
+    value & flag
+    & info [ "no-resolve" ]
+        ~doc:
+          "Tree-walk every reference execution instead of compiling \
+           programs to slot-resolved closures. Results are byte-identical \
+           either way; this is the interpreter-core escape hatch (env: \
+           $(b,COMFORT_NO_RESOLVE)).")
+
+(* [None] defers to the COMFORT_NO_RESOLVE-aware library default *)
+let resolve_resolve no_resolve = if no_resolve then Some false else None
+
 let engine_conv =
   let parse s =
     match
@@ -162,12 +178,13 @@ let run_cmd =
 
 (* --- difftest --- *)
 
-let difftest file no_share =
+let difftest file no_share no_resolve =
   let src = read_file file in
   let tc = Comfort.Testcase.make src in
   let report =
     Comfort.Difftest.run_case
       ?share:(resolve_share no_share)
+      ?resolve:(resolve_resolve no_resolve)
       (Engines.Engine.latest_testbeds ()) tc
   in
   Printf.printf "testbeds run: %d\n" report.Comfort.Difftest.cr_tested;
@@ -189,13 +206,15 @@ let difftest_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "difftest" ~doc:"Differential-test one file across the latest engines")
-    Term.(const difftest $ file $ no_share_arg)
+    Term.(const difftest $ file $ no_share_arg $ no_resolve_arg)
 
 (* --- fuzz --- *)
 
-let fuzz budget fuzzer_name seed feedback jobs no_share audit_share =
+let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve
+    audit_share =
   let jobs = resolve_jobs jobs in
   let share = resolve_share no_share in
+  let resolve = resolve_resolve no_resolve in
   let fz =
     match String.lowercase_ascii fuzzer_name with
     | "comfort" -> Comfort.Campaign.comfort_fuzzer ~seed ()
@@ -213,8 +232,8 @@ let fuzz budget fuzzer_name seed feedback jobs no_share audit_share =
       let t = Comfort.Feedback.create fz in
       Comfort.Feedback.run_rounds ~rounds:4
         ~budget_per_round:(max 1 (budget / 4))
-        ~jobs ?share t
-    else Comfort.Campaign.run ~budget ~jobs ?share ~audit_share fz
+        ~jobs ?share ?resolve t
+    else Comfort.Campaign.run ~budget ~jobs ?share ?resolve ~audit_share fz
   in
   Printf.printf "fuzzer: %s\ncases: %d\nunique bugs: %d\nrepeats filtered: %d\n"
     res.Comfort.Campaign.cp_fuzzer res.Comfort.Campaign.cp_cases_run
@@ -259,7 +278,7 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against the simulated engines")
     Term.(const fuzz $ budget $ fuzzer $ seed $ feedback $ jobs_arg
-          $ no_share_arg $ audit_share)
+          $ no_share_arg $ no_resolve_arg $ audit_share)
 
 (* --- analyze --- *)
 
@@ -323,11 +342,12 @@ let analyze_cmd =
 
 (* --- export --- *)
 
-let export budget seed dir jobs no_share =
+let export budget seed dir jobs no_share no_resolve =
   let fz = Comfort.Campaign.comfort_fuzzer ~seed () in
   let res =
     Comfort.Campaign.run ~budget ~jobs:(resolve_jobs jobs)
-      ?share:(resolve_share no_share) fz
+      ?share:(resolve_share no_share)
+      ?resolve:(resolve_resolve no_resolve) fz
   in
   let files = Comfort.Test262_export.export res in
   (match dir with
@@ -359,11 +379,12 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Fuzz, then render discoveries as Test262-style conformance tests")
-    Term.(const export $ budget $ seed $ dir $ jobs_arg $ no_share_arg)
+    Term.(const export $ budget $ seed $ dir $ jobs_arg $ no_share_arg
+          $ no_resolve_arg)
 
 (* --- reduce --- *)
 
-let reduce file engine version jobs no_share =
+let reduce file engine version jobs no_share no_resolve =
   let src = read_file file in
   let cfg =
     match version with
@@ -376,8 +397,9 @@ let reduce file engine version jobs no_share =
       exit 1
   | Some cfg -> (
       let tb = { Engines.Engine.tb_config = cfg; tb_mode = Engines.Engine.Normal } in
-      let target = Engines.Engine.run tb src in
-      let reference = Engines.Engine.run_reference src in
+      let resolve = resolve_resolve no_resolve in
+      let target = Engines.Engine.run ?resolve tb src in
+      let reference = Engines.Engine.run_reference ?resolve src in
       let tsig = Comfort.Difftest.signature_of_result target in
       let rsig = Comfort.Difftest.signature_of_result reference in
       if tsig = rsig then print_endline "// no deviation on that engine; nothing to reduce"
@@ -396,7 +418,7 @@ let reduce file engine version jobs no_share =
           Comfort.Reducer.reduce ~jobs:(resolve_jobs jobs)
             ~still_triggers:
               (Comfort.Reducer.still_triggers_deviation
-                 ?share:(resolve_share no_share) tb dev)
+                 ?share:(resolve_share no_share) ?resolve tb dev)
             src
         in
         Printf.printf "// reduced from %d to %d bytes\n%s"
@@ -411,7 +433,8 @@ let reduce_cmd =
     Arg.(value & opt (some string) None & info [ "version" ] ~doc:"Engine version.")
   in
   Cmd.v (Cmd.info "reduce" ~doc:"Reduce a bug-exposing test case")
-    Term.(const reduce $ file $ engine $ version $ jobs_arg $ no_share_arg)
+    Term.(const reduce $ file $ engine $ version $ jobs_arg $ no_share_arg
+          $ no_resolve_arg)
 
 (* --- spec --- *)
 

@@ -146,14 +146,14 @@ let api_of_deviation (dev : Difftest.deviation) (tc : Testcase.t)
    executed but produced the same observable output) from inflating the
    bug count. The per-quirk re-executions are independent, so [jobs > 1]
    probes them in parallel; the returned order is identical either way. *)
-let causal_quirks ?(jobs = 1) (tb : Engines.Engine.testbed) (src : string)
-    (dev : Difftest.deviation) ~fuel : Quirk.t list =
+let causal_quirks ?(jobs = 1) ?resolve (tb : Engines.Engine.testbed)
+    (src : string) (dev : Difftest.deviation) ~fuel : Quirk.t list =
   let cfg = tb.Engines.Engine.tb_config in
   let base_sig = dev.Difftest.d_actual in
   let changes q =
     let quirks = Quirk.Set.remove q cfg.Engines.Registry.cfg_quirks in
     let r =
-      Run.run ~quirks
+      Run.run ~quirks ?resolve
         ~parse_opts:(Engines.Registry.parse_opts_of_config cfg)
         ~strict:(tb.Engines.Engine.tb_mode = Engines.Engine.Strict)
         ~fuel src
@@ -175,7 +175,7 @@ let default_testbeds () =
 
 let run ?(testbeds = default_testbeds ()) ?(budget = 200)
     ?(fuel = Difftest.campaign_fuel) ?(reduce = false) ?(screen = true)
-    ?(jobs = Executor.default_jobs ()) ?share ?(audit_share = 0)
+    ?(jobs = Executor.default_jobs ()) ?share ?resolve ?(audit_share = 0)
     (fz : fuzzer) : result =
   let share =
     match share with Some s -> s | None -> Difftest.share_by_default ()
@@ -266,7 +266,8 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
               if Quirk.Set.is_empty dev.Difftest.d_fired then incr unattributed
               else
                 let causal =
-                  causal_quirks ~jobs tb tc.Testcase.tc_source dev ~fuel
+                  causal_quirks ~jobs ?resolve tb tc.Testcase.tc_source dev
+                    ~fuel
                 in
                 if causal = [] then incr unattributed
                 else
@@ -279,8 +280,8 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
                           Some
                             (Reducer.reduce ~jobs
                                ~still_triggers:
-                                 (Reducer.still_triggers_deviation ~share tb
-                                    dev)
+                                 (Reducer.still_triggers_deviation ~share
+                                    ?resolve tb dev)
                                tc.Testcase.tc_source)
                         else None
                       in
@@ -317,8 +318,8 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
           let audit = audit_share > 0 && i mod audit_share = 0 in
           List.map
             (fun tbs ->
-              if audit then Difftest.audit_case ~fuel tbs tc
-              else Difftest.run_case ~fuel ~share tbs tc)
+              if audit then Difftest.audit_case ~fuel ?resolve tbs tc
+              else Difftest.run_case ~fuel ~share ?resolve tbs tc)
             by_mode)
         (List.mapi (fun i tc -> (i, tc)) cases)
         ~consume:(fun idx (_, tc) reports -> consume idx tc reports));

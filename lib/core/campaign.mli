@@ -68,6 +68,10 @@ val default_testbeds : unit -> Engines.Engine.testbed list
                      equivalence classes, executing once per class
                      (default {!Difftest.share_by_default}); reports are
                      byte-identical either way (DESIGN.md §8)
+    @param resolve   run reference executions through the slot-compiled
+                     interpreter core (default
+                     {!Jsinterp.Run.resolve_by_default}); reports are
+                     byte-identical either way (DESIGN.md §9)
     @param audit_share when positive, every [audit_share]-th case (by
                      submission index, so the sample is deterministic)
                      runs down both the shared and the direct path and
@@ -80,6 +84,7 @@ val run :
   ?screen:bool ->
   ?jobs:int ->
   ?share:bool ->
+  ?resolve:bool ->
   ?audit_share:int ->
   fuzzer ->
   result

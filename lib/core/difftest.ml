@@ -133,7 +133,7 @@ let apply_2t_rule (results : (Engines.Engine.testbed * Run.result) list) :
       (tb, r, if slow then Sig_timeout else sig_))
     results
 
-let run_case ?(fuel = campaign_fuel) ?share
+let run_case ?(fuel = campaign_fuel) ?share ?resolve
     (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : case_report =
   let share =
     match share with Some s -> s | None -> share_by_default ()
@@ -156,9 +156,9 @@ let run_case ?(fuel = campaign_fuel) ?share
     List.map
       (fun tb ->
         ( tb,
-          if share then Engines.Engine.Exec.run ~fuel ec tb
+          if share then Engines.Engine.Exec.run ~fuel ?resolve ec tb
           else
-            Engines.Engine.run ~fuel
+            Engines.Engine.run ~fuel ?resolve
               ~frontend:(Engines.Engine.Frontend.frontend fc tb)
               tb tc.Testcase.tc_source ))
       applicable
@@ -251,10 +251,10 @@ exception Share_mismatch of string
 (* The audit mode: run the case down both paths and fail loudly on any
    divergence. Returns the shared report so an auditing campaign can use
    it as the real result of the case. *)
-let audit_case ?(fuel = campaign_fuel) (testbeds : Engines.Engine.testbed list)
-    (tc : Testcase.t) : case_report =
-  let shared = run_case ~fuel ~share:true testbeds tc in
-  let direct = run_case ~fuel ~share:false testbeds tc in
+let audit_case ?(fuel = campaign_fuel) ?resolve
+    (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : case_report =
+  let shared = run_case ~fuel ~share:true ?resolve testbeds tc in
+  let direct = run_case ~fuel ~share:false ?resolve testbeds tc in
   if not (report_equal shared direct) then
     raise
       (Share_mismatch

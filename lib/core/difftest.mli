@@ -69,10 +69,14 @@ val apply_2t_rule :
     (default {!share_by_default}) collapses the sweep into behavioural
     equivalence classes via {!Engines.Engine.Exec}, executing once per
     class instead of once per testbed; the report is byte-identical
-    either way (DESIGN.md §8). *)
+    either way (DESIGN.md §8). [resolve] (default
+    {!Jsinterp.Run.resolve_by_default}) selects the slot-compiled
+    interpreter core for reference executions (DESIGN.md §9); the
+    report is byte-identical either way. *)
 val run_case :
   ?fuel:int ->
   ?share:bool ->
+  ?resolve:bool ->
   Engines.Engine.testbed list ->
   Testcase.t ->
   case_report
@@ -90,4 +94,8 @@ exception Share_mismatch of string
     {!Share_mismatch} if the reports differ in any observable field, and
     return the shared report otherwise. *)
 val audit_case :
-  ?fuel:int -> Engines.Engine.testbed list -> Testcase.t -> case_report
+  ?fuel:int ->
+  ?resolve:bool ->
+  Engines.Engine.testbed list ->
+  Testcase.t ->
+  case_report

@@ -151,7 +151,7 @@ let reduce ?(jobs = 1) ~(still_triggers : string -> bool) (src : string) :
 (* Convenience: build the predicate from a deviation observed on a testbed.
    The reduced program must still fire the same quirks and produce the same
    behaviour class on that testbed. *)
-let still_triggers_deviation ?share (tb : Engines.Engine.testbed)
+let still_triggers_deviation ?share ?resolve (tb : Engines.Engine.testbed)
     (original : Difftest.deviation) : string -> bool =
   let share =
     match share with Some s -> s | None -> Difftest.share_by_default ()
@@ -166,10 +166,12 @@ let still_triggers_deviation ?share (tb : Engines.Engine.testbed)
   let target, reference =
     if share then begin
       let ec = Engines.Engine.Exec.cache src in
-      let target = Engines.Engine.Exec.run ec tb in
-      (target, Engines.Engine.Exec.run_reference ec)
+      let target = Engines.Engine.Exec.run ?resolve ec tb in
+      (target, Engines.Engine.Exec.run_reference ?resolve ec)
     end
-    else (Engines.Engine.run tb src, Engines.Engine.run_reference src)
+    else
+      ( Engines.Engine.run ?resolve tb src,
+        Engines.Engine.run_reference ?resolve src )
   in
   let tsig = Difftest.signature_of_result target in
   let rsig = Difftest.signature_of_result reference in

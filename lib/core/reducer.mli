@@ -17,9 +17,12 @@ val reduce : ?jobs:int -> still_triggers:(string -> bool) -> string -> string
     conforming reference) and keep firing the same ground-truth quirks.
     [share] (default {!Difftest.share_by_default}) routes the target and
     reference runs through one per-candidate {!Engines.Engine.Exec}
-    cache, sharing the parse and often the execution itself. *)
+    cache, sharing the parse and often the execution itself. [resolve]
+    selects the slot-compiled interpreter core for both runs (default
+    {!Jsinterp.Run.resolve_by_default}). *)
 val still_triggers_deviation :
   ?share:bool ->
+  ?resolve:bool ->
   Engines.Engine.testbed ->
   Difftest.deviation ->
   string ->

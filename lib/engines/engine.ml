@@ -28,19 +28,19 @@ let latest_testbeds ?(mode = Normal) () : testbed list =
     (fun e -> { tb_config = Registry.latest e; tb_mode = mode })
     Registry.all_engines
 
-let run ?(fuel = Run.default_fuel) ?(coverage = false) ?frontend
+let run ?(fuel = Run.default_fuel) ?(coverage = false) ?resolve ?frontend
     (tb : testbed) (src : string) : Run.result =
   Run.run
     ~quirks:tb.tb_config.Registry.cfg_quirks
     ~parse_opts:(Registry.parse_opts_of_config tb.tb_config)
     ~strict:(tb.tb_mode = Strict)
-    ~fuel ~coverage ?frontend src
+    ~fuel ~coverage ?resolve ?frontend src
 
 (* A reference run: the standard-conforming engine with no quirks. Used by
    the reducer and by examples as the "expected" behaviour. *)
-let run_reference ?(fuel = Run.default_fuel) ?(strict = false) (src : string) :
-    Run.result =
-  Run.run ~strict ~fuel src
+let run_reference ?(fuel = Run.default_fuel) ?(strict = false) ?resolve
+    (src : string) : Run.result =
+  Run.run ~strict ~fuel ?resolve src
 
 (* Can this configuration's front end parse the program at all? Used by the
    campaign to honour the paper's rule of only testing engines against
@@ -183,7 +183,7 @@ module Exec = struct
 
   let stats (ec : cache) = (ec.ec_executed, ec.ec_shared)
 
-  let run_keyed (ec : cache) ~(pkey : Registry.parse_key)
+  let run_keyed ?resolve (ec : cache) ~(pkey : Registry.parse_key)
       ~(quirks : Quirk.Set.t) ~(parse_opts : Jsparse.Parser.options)
       ~(strict : bool) ~(fuel : int) : Run.result =
     let fe =
@@ -194,7 +194,7 @@ module Exec = struct
     | Error _ ->
         (* nothing executes; [run ~frontend] only renders the stored
            syntax error and filters the sunk parse quirks *)
-        Run.run ~quirks ~parse_opts ~strict ~fuel ~frontend:fe
+        Run.run ~quirks ~parse_opts ~strict ~fuel ?resolve ~frontend:fe
           (Frontend.source ec.ec_frontend)
     | Ok _ -> (
         let ckey = (pkey, strict, fuel) in
@@ -214,17 +214,18 @@ module Exec = struct
             (* split: no representative's touched set validates this quirk
                set, so it seeds a new class with a direct execution *)
             let ex =
-              Run.run_exec ~quirks ~parse_opts ~strict ~fuel ~frontend:fe
+              Run.run_exec ~quirks ~parse_opts ~strict ~fuel ?resolve
+                ~frontend:fe
                 (Frontend.source ec.ec_frontend)
             in
             ec.ec_executed <- ec.ec_executed + 1;
             classes := !classes @ [ ex ];
             ex.Run.ex_result)
 
-  let run ?(fuel = Run.default_fuel) (ec : cache) (tb : testbed) : Run.result
-      =
+  let run ?(fuel = Run.default_fuel) ?resolve (ec : cache) (tb : testbed) :
+      Run.result =
     let cfg = tb.tb_config in
-    run_keyed ec ~pkey:(Registry.parse_key cfg)
+    run_keyed ?resolve ec ~pkey:(Registry.parse_key cfg)
       ~quirks:cfg.Registry.cfg_quirks
       ~parse_opts:(Registry.parse_opts_of_config cfg)
       ~strict:(tb.tb_mode = Strict) ~fuel
@@ -232,8 +233,9 @@ module Exec = struct
   (* The conforming reference engine through the same cache: joins the
      standard-front-end, quirk-free parse group and (having no quirks at
      all) shares any class whose representative fired nothing it touched. *)
-  let run_reference ?(fuel = Run.default_fuel) ?(strict = false) (ec : cache)
-      : Run.result =
-    run_keyed ec ~pkey:Registry.reference_parse_key ~quirks:Quirk.Set.empty
+  let run_reference ?(fuel = Run.default_fuel) ?(strict = false) ?resolve
+      (ec : cache) : Run.result =
+    run_keyed ?resolve ec ~pkey:Registry.reference_parse_key
+      ~quirks:Quirk.Set.empty
       ~parse_opts:Jsparse.Parser.default_options ~strict ~fuel
 end

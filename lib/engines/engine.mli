@@ -17,10 +17,13 @@ val all_testbeds : testbed list
 val latest_testbeds : ?mode:mode -> unit -> testbed list
 
 (** Execute a source program on a testbed. [frontend] reuses a pre-parsed
-    front end (see {!Frontend}), skipping this run's own parse. *)
+    front end (see {!Frontend}), skipping this run's own parse. [resolve]
+    selects slot-compiled execution (default [Run.resolve_by_default]);
+    results are bit-for-bit identical either way. *)
 val run :
   ?fuel:int ->
   ?coverage:bool ->
+  ?resolve:bool ->
   ?frontend:Jsinterp.Run.frontend ->
   testbed ->
   string ->
@@ -28,7 +31,8 @@ val run :
 
 (** The standard-conforming engine with no quirks — the oracle used by the
     reducer and examples. *)
-val run_reference : ?fuel:int -> ?strict:bool -> string -> Jsinterp.Run.result
+val run_reference :
+  ?fuel:int -> ?strict:bool -> ?resolve:bool -> string -> Jsinterp.Run.result
 
 (** Can this configuration's front end express the program at all? Used to
     honour the paper's rule of only testing engines against programs within
@@ -97,9 +101,11 @@ module Exec : sig
 
   (** Execute [tb] on the cached source, sharing across the testbed's
       equivalence class. Same contract as {!Engine.run} on that source. *)
-  val run : ?fuel:int -> cache -> testbed -> Jsinterp.Run.result
+  val run :
+    ?fuel:int -> ?resolve:bool -> cache -> testbed -> Jsinterp.Run.result
 
   (** The conforming reference engine through the same cache (same
       contract as {!Engine.run_reference} on the cached source). *)
-  val run_reference : ?fuel:int -> ?strict:bool -> cache -> Jsinterp.Run.result
+  val run_reference :
+    ?fuel:int -> ?strict:bool -> ?resolve:bool -> cache -> Jsinterp.Run.result
 end

@@ -186,7 +186,11 @@ let install (ctx : ctx) : unit =
         let _ =
           register_ctor kind 1
             (fun ctx _ args ->
-              let o = make_obj ~oclass:"Error" ~proto:(Obj proto) () in
+              (* resolve the prototype through the calling realm, never
+                 through the installing one: builtin closures are shared
+                 across realm snapshots (Realm), so capturing [proto]
+                 here would leak objects between executions *)
+              let o = make_obj ~oclass:"Error" ~proto:(proto_of ctx kind) () in
               (match arg 0 args with
               | Undefined -> ()
               | v -> set_own o "message" (mkprop ~enumerable:false (Str (Ops.to_string ctx v))));
@@ -299,6 +303,10 @@ let install (ctx : ctx) : unit =
           Str
             (Printf.sprintf "function %s(%s) { [source code] }" cl.cl_name
                (String.concat ", " cl.cl_params))
+      | Obj { call = Some (Compiled co); _ } ->
+          Str
+            (Printf.sprintf "function %s(%s) { [source code] }" co.co_name
+               (String.concat ", " co.co_params))
       | _ -> Ops.type_error ctx "Function.prototype.toString requires a function");
 
   (* --- Boolean.prototype --- *)
@@ -358,6 +366,11 @@ let install (ctx : ctx) : unit =
   def_method ctx g "eval" 1 (fun ctx _ args ->
       match arg 0 args with
       | Str src ->
+          (* eval code executes in the global scope and may add or replace
+             bindings there, invalidating a slot-compiled program's static
+             resolution — bail out before any effect and let [Run] re-run
+             the whole program tree-walked *)
+          if ctx.slotted then raise Deopt_to_tree;
           let v = ctx.eval_hook ctx ctx.global_scope false src in
           (match v with
           | Undefined -> Undefined

@@ -24,6 +24,163 @@ let rec scope_of_binding (scope : scope) (name : string) : scope option =
   if Hashtbl.mem scope.bindings name then Some scope
   else match scope.parent with Some p -> scope_of_binding p name | None -> None
 
+(* --- identifier fallbacks, shared between the tree-walker and the
+   slot-compiled path ([Compile]): what happens once the scope chain is
+   exhausted --- *)
+
+let ident_read_miss ctx (name : string) : value =
+  if Ops.has_property ctx ctx.global name then Ops.get_obj ctx ctx.global name
+  else Ops.reference_error ctx (name ^ " is not defined")
+
+let ident_typeof_miss ctx (name : string) : value =
+  if Ops.has_property ctx ctx.global name then
+    Str (type_of (Ops.get_obj ctx ctx.global name))
+  else Str "undefined"
+
+(* Assignment to a bare identifier, resolved against a live scope chain.
+   The whole [Ident] arm of [assign_to] lives here so the compiled path's
+   dynamic fallback (which targets [ctx.global_scope]) shares it. *)
+let assign_ident ctx (scope : scope) strict (name : string) (v : value) : unit =
+  match scope_of_binding scope name with
+  | Some s ->
+      if List.mem name s.frozen_names then begin
+        if fire ctx Quirk.Q_named_funcexpr_binding_mutable then
+          (match Hashtbl.find_opt s.bindings name with
+          | Some r -> r := v
+          | None -> ())
+        else if strict then
+          Ops.type_error ctx ("assignment to constant variable " ^ name)
+        (* sloppy: silent no-op *)
+      end
+      else (
+        match Hashtbl.find_opt s.bindings name with
+        | Some r -> r := v
+        | None -> ())
+  | None ->
+      if Ops.has_property ctx ctx.global name then
+        Ops.set_obj ctx ~strict ctx.global name v
+      else if strict then
+        if fire ctx Quirk.Q_strict_undeclared_assign_silent then
+          Ops.set_obj ctx ~strict:false ctx.global name v
+        else Ops.reference_error ctx (name ^ " is not defined")
+      else Ops.set_obj ctx ~strict:false ctx.global name v
+
+(* --- do any binder positions shadow [undefined]/[NaN]/[Infinity]? ---
+
+   When no executed program binds one of those names anywhere, their
+   identifier arms in [eval] can return the constant without walking the
+   scope chain (the global-object properties carry the same values and are
+   non-writable). One pre-pass per executed program, monotone across
+   [eval]: once shadowed, stay conservative. *)
+
+exception Found_special
+
+let check_special n =
+  match n with
+  | "undefined" | "NaN" | "Infinity" -> raise Found_special
+  | _ -> ()
+
+let rec specials_stmt (st : Ast.stmt) =
+  match st.Ast.s with
+  | Ast.Expr_stmt x | Ast.Throw x -> specials_expr x
+  | Ast.Var_decl (_, decls) ->
+      List.iter
+        (fun (n, i) ->
+          check_special n;
+          Option.iter specials_expr i)
+        decls
+  | Ast.Func_decl f -> specials_func f
+  | Ast.Return x -> Option.iter specials_expr x
+  | Ast.If (c, t, f) ->
+      specials_expr c;
+      specials_stmt t;
+      Option.iter specials_stmt f
+  | Ast.Block body -> List.iter specials_stmt body
+  | Ast.For (init, c, u, body) ->
+      (match init with
+      | Some (Ast.FI_decl (_, decls)) ->
+          List.iter
+            (fun (n, i) ->
+              check_special n;
+              Option.iter specials_expr i)
+            decls
+      | Some (Ast.FI_expr x) -> specials_expr x
+      | None -> ());
+      Option.iter specials_expr c;
+      Option.iter specials_expr u;
+      specials_stmt body
+  | Ast.For_in (_, n, o, body) | Ast.For_of (_, n, o, body) ->
+      check_special n;
+      specials_expr o;
+      specials_stmt body
+  | Ast.While (c, body) ->
+      specials_expr c;
+      specials_stmt body
+  | Ast.Do_while (body, c) ->
+      specials_stmt body;
+      specials_expr c
+  | Ast.Labeled (_, body) -> specials_stmt body
+  | Ast.Try (b, h, f) ->
+      List.iter specials_stmt b;
+      Option.iter
+        (fun (p, hb) ->
+          check_special p;
+          List.iter specials_stmt hb)
+        h;
+      Option.iter (List.iter specials_stmt) f
+  | Ast.Switch (d, cases) ->
+      specials_expr d;
+      List.iter
+        (fun (c, b) ->
+          Option.iter specials_expr c;
+          List.iter specials_stmt b)
+        cases
+  | Ast.Break _ | Ast.Continue _ | Ast.Empty | Ast.Debugger -> ()
+
+and specials_func (f : Ast.func) =
+  Option.iter check_special f.Ast.fname;
+  List.iter check_special f.Ast.params;
+  List.iter specials_stmt f.Ast.body
+
+and specials_expr (x : Ast.expr) =
+  match x.Ast.e with
+  | Ast.Lit _ | Ast.Ident _ | Ast.This -> ()
+  | Ast.Array_lit elems -> List.iter (Option.iter specials_expr) elems
+  | Ast.Object_lit props ->
+      List.iter
+        (fun (pn, v) ->
+          (match pn with Ast.PN_computed e -> specials_expr e | _ -> ());
+          specials_expr v)
+        props
+  | Ast.Func f | Ast.Arrow f -> specials_func f
+  | Ast.Unary (_, e) -> specials_expr e
+  | Ast.Binary (_, a, b) | Ast.Logical (_, a, b) | Ast.Seq (a, b) ->
+      specials_expr a;
+      specials_expr b
+  | Ast.Assign (_, l, r) ->
+      specials_expr l;
+      specials_expr r
+  | Ast.Update (_, _, t) -> specials_expr t
+  | Ast.Cond (c, t, f) ->
+      specials_expr c;
+      specials_expr t;
+      specials_expr f
+  | Ast.Call (f, args) | Ast.New (f, args) ->
+      specials_expr f;
+      List.iter specials_expr args
+  | Ast.Member (o, p) ->
+      specials_expr o;
+      (match p with Ast.Pindex e -> specials_expr e | Ast.Pfield _ -> ())
+  | Ast.Template parts ->
+      List.iter
+        (function Ast.Tsub e -> specials_expr e | Ast.Tstr _ -> ())
+        parts
+
+let binds_specials (prog : Ast.program) : bool =
+  match List.iter specials_stmt prog.Ast.prog_body with
+  | () -> false
+  | exception Found_special -> true
+
 (* --- hoisting: [var] and function declarations are function-scoped --- *)
 
 let rec hoist_stmt ~on_var ~on_func (st : Ast.stmt) =
@@ -127,6 +284,7 @@ let rec call_function ctx (fn : value) (this : value) (args : value list) : valu
     Ops.range_error ctx "Maximum call stack size exceeded";
   match fn with
   | Obj ({ call = Some (Native (_, _, impl)); _ } as _o) -> impl ctx this args
+  | Obj ({ call = Some (Compiled co); _ } as _o) -> co.co_call ctx this args
   | Obj ({ call = Some (Js_closure cl); _ } as _o) ->
       let scope =
         { bindings = Hashtbl.create 8; parent = Some cl.cl_scope; frozen_names = [] }
@@ -152,6 +310,8 @@ let rec call_function ctx (fn : value) (this : value) (args : value list) : valu
             | v -> v)
       in
       Hashtbl.replace scope.bindings "this" (ref this_v);
+      let saved_this = ctx.cur_this in
+      ctx.cur_this <- this_v;
       cov_func ctx cl.cl_node_id;
       (* [arguments] (not for arrows) *)
       (if cl.cl_this = None then
@@ -170,9 +330,11 @@ let rec call_function ctx (fn : value) (this : value) (args : value list) : valu
             with Return_exc v -> v
           in
           ctx.depth <- ctx.depth - 1;
+          ctx.cur_this <- saved_this;
           r
         with e ->
           ctx.depth <- ctx.depth - 1;
+          ctx.cur_this <- saved_this;
           raise e
       in
       result
@@ -194,7 +356,7 @@ and construct ctx (fn : value) (args : value list) : value =
           match impl ctx (Obj this) args with
           | Obj _ as built -> built
           | _ -> Obj this)
-      | Some (Js_closure _) -> (
+      | Some (Js_closure _) | Some (Compiled _) -> (
           match call_function ctx fn (Obj this) args with
           | Obj _ as built -> built
           | _ -> Obj this)
@@ -460,20 +622,26 @@ and eval ctx scope strict (x : Ast.expr) : value =
   | Ast.Lit (Ast.Lnum f) -> Num f
   | Ast.Lit (Ast.Lstr s) -> Str s
   | Ast.Lit (Ast.Lregexp (pat, flags)) -> make_regexp ctx pat flags
-  | Ast.Ident "undefined" -> (
-      match lookup scope "undefined" with Some r -> !r | None -> Undefined)
-  | Ast.Ident "NaN" -> (
-      match lookup scope "NaN" with Some r -> !r | None -> Num Float.nan)
-  | Ast.Ident "Infinity" -> (
-      match lookup scope "Infinity" with Some r -> !r | None -> Num Float.infinity)
+  | Ast.Ident "undefined" ->
+      if not ctx.specials_shadowed then Undefined
+      else (match lookup scope "undefined" with Some r -> !r | None -> Undefined)
+  | Ast.Ident "NaN" ->
+      if not ctx.specials_shadowed then Num Float.nan
+      else (match lookup scope "NaN" with Some r -> !r | None -> Num Float.nan)
+  | Ast.Ident "Infinity" ->
+      if not ctx.specials_shadowed then Num Float.infinity
+      else (
+        match lookup scope "Infinity" with
+        | Some r -> !r
+        | None -> Num Float.infinity)
   | Ast.Ident name -> (
       match lookup scope name with
       | Some r -> !r
-      | None ->
-          if Ops.has_property ctx ctx.global name then Ops.get_obj ctx ctx.global name
-          else Ops.reference_error ctx (name ^ " is not defined"))
-  | Ast.This -> (
-      match lookup scope "this" with Some r -> !r | None -> Obj ctx.global)
+      | None -> ident_read_miss ctx name)
+  | Ast.This ->
+      (* kept current by [call_function]/[exec_in_scope]; scopes never bind
+         "this" anywhere else, so this equals the chain-walk result *)
+      ctx.cur_this
   | Ast.Array_lit elems ->
       let vals =
         List.map
@@ -498,10 +666,8 @@ and eval ctx scope strict (x : Ast.expr) : value =
       Obj o
   | Ast.Func f -> make_function ctx ~node_id:x.Ast.eid ~strict f scope
   | Ast.Arrow f ->
-      let this_lex =
-        match lookup scope "this" with Some r -> Some !r | None -> Some (Obj ctx.global)
-      in
-      make_function ctx ~node_id:x.Ast.eid ~strict ~this_lex f scope
+      make_function ctx ~node_id:x.Ast.eid ~strict
+        ~this_lex:(Some ctx.cur_this) f scope
   | Ast.Unary (op, ox) -> eval_unary ctx scope strict op ox
   | Ast.Binary (op, a, b) -> eval_binary ctx scope strict op a b
   | Ast.Logical (op, a, b) -> (
@@ -579,10 +745,7 @@ and eval_unary ctx scope strict op (ox : Ast.expr) : value =
       | Ast.Ident name -> (
           match lookup scope name with
           | Some r -> Str (type_of !r)
-          | None ->
-              if Ops.has_property ctx ctx.global name then
-                Str (type_of (Ops.get_obj ctx ctx.global name))
-              else Str "undefined")
+          | None -> ident_typeof_miss ctx name)
       | _ -> Str (type_of (eval ctx scope strict ox)))
   | Ast.Udelete -> (
       match ox.Ast.e with
@@ -704,30 +867,7 @@ and eval_assign ctx scope strict op (lhs : Ast.expr) (rhs : Ast.expr) : value =
 
 and assign_to ctx scope strict (lhs : Ast.expr) (v : value) : unit =
   match lhs.Ast.e with
-  | Ast.Ident name -> (
-      match scope_of_binding scope name with
-      | Some s ->
-          if List.mem name s.frozen_names then begin
-            if fire ctx Quirk.Q_named_funcexpr_binding_mutable then
-              (match Hashtbl.find_opt s.bindings name with
-              | Some r -> r := v
-              | None -> ())
-            else if strict then
-              Ops.type_error ctx ("assignment to constant variable " ^ name)
-            (* sloppy: silent no-op *)
-          end
-          else (
-            match Hashtbl.find_opt s.bindings name with
-            | Some r -> r := v
-            | None -> ())
-      | None ->
-          if Ops.has_property ctx ctx.global name then
-            Ops.set_obj ctx ~strict ctx.global name v
-          else if strict then
-            if fire ctx Quirk.Q_strict_undeclared_assign_silent then
-              Ops.set_obj ctx ~strict:false ctx.global name v
-            else Ops.reference_error ctx (name ^ " is not defined")
-          else Ops.set_obj ctx ~strict:false ctx.global name v)
+  | Ast.Ident name -> assign_ident ctx scope strict name v
   | Ast.Member (ox, prop) -> (
       let ov = eval ctx scope strict ox in
       (* QuickJS quirk (Listing 6): a boolean property key on an array
@@ -782,18 +922,26 @@ and make_regexp ctx pat flags : value =
    [eval] needs. *)
 let exec_in_scope ctx scope ~strict (prog : Ast.program) : value =
   let strict = strict || prog.Ast.prog_strict in
-  hoist_stmt_list ctx scope strict prog.Ast.prog_body;
-  let completion = ref Undefined in
-  List.iter
-    (fun (st : Ast.stmt) ->
-      match st.Ast.s with
-      | Ast.Expr_stmt x ->
-          burn ctx 1;
-          cov_stmt ctx st;
-          completion := eval ctx scope strict x
-      | _ -> exec_stmt ctx scope strict st)
-    prog.Ast.prog_body;
-  !completion
+  if (not ctx.specials_shadowed) && binds_specials prog then
+    ctx.specials_shadowed <- true;
+  let saved_this = ctx.cur_this in
+  ctx.cur_this <-
+    (match lookup scope "this" with Some r -> !r | None -> Obj ctx.global);
+  Fun.protect
+    ~finally:(fun () -> ctx.cur_this <- saved_this)
+    (fun () ->
+      hoist_stmt_list ctx scope strict prog.Ast.prog_body;
+      let completion = ref Undefined in
+      List.iter
+        (fun (st : Ast.stmt) ->
+          match st.Ast.s with
+          | Ast.Expr_stmt x ->
+              burn ctx 1;
+              cov_stmt ctx st;
+              completion := eval ctx scope strict x
+          | _ -> exec_stmt ctx scope strict st)
+        prog.Ast.prog_body;
+      !completion)
 
 let exec_program ctx (prog : Ast.program) : value =
   exec_in_scope ctx ctx.global_scope ~strict:prog.Ast.prog_strict prog

@@ -1,0 +1,170 @@
+(* Realm snapshotting: build the builtin global environment once, then
+   stamp out per-execution realms by structurally copying the template's
+   object graph instead of re-running [Builtins.install].
+
+   Profiling the campaign (BENCH_campaign.json, PR 3) shows that with
+   execution sharing on, the dominant per-execution cost is not
+   interpretation at all — typical generated programs burn well under a
+   hundred fuel — but realm construction: several hundred objects and
+   properties rebuilt from scratch for every run. A structural copy of a
+   finished realm skips the closure allocation, the prototype-registry
+   lookups, and the quadratic insertion-ordered property appends of a
+   fresh install, and is several times cheaper.
+
+   Soundness rests on three audited invariants of [Builtins.install]:
+
+   - it never consults a quirk checkpoint, so the template is identical
+     for every testbed and [ctx.touched]/[ctx.fired] start empty either
+     way (verified by the resolve-parity test suite);
+   - it burns no fuel, so [r_fuel_used] is unaffected;
+   - every builtin implementation closure is realm-agnostic: it receives
+     the calling [ctx] as an argument and resolves prototypes through
+     [proto_of ctx], never by capturing an installing-realm object. The
+     [Native] callables can therefore be shared between the template and
+     its copies. ([Js_closure]/[Compiled] callables capture scopes and
+     cannot appear in a template; [clone] rejects them.)
+
+   Object ids are allocated fresh for each copy, in traversal rather than
+   install order. This is unobservable: [oid] is an identity tag that no
+   interpreter or builtin code ever reads, and the campaign executor
+   already interleaves allocations arbitrarily across domains.
+
+   The template is built lazily under a mutex (campaign worker domains
+   may race to the first execution) and is immutable afterwards, so
+   concurrent [clone]s may read it freely. *)
+
+open Value
+
+type t = {
+  rt_global : obj;  (** the template's finished global object *)
+  rt_protos : (string * obj) list;  (** its prototype registry *)
+  rt_oid_base : int;
+      (** template objects carry oids in [rt_oid_base, rt_oid_base +
+          rt_oid_span); the clone memo is a plain array indexed by
+          [oid - rt_oid_base], which profiles several times faster than a
+          hash table at realm size *)
+  rt_oid_span : int;
+}
+
+(* A throwaway context for running the one-time install. The hooks are
+   never invoked during installation (nothing calls user code), and the
+   quirk set is irrelevant because installation consults no checkpoints. *)
+let build () : t =
+  let oid0 = Atomic.get obj_counter in
+  let global = make_obj ~oclass:"Object" () in
+  let global_scope =
+    { bindings = Hashtbl.create 16; parent = None; frozen_names = [] }
+  in
+  let ctx : ctx =
+    {
+      global;
+      global_scope;
+      quirks = Quirk.Set.empty;
+      parse_opts = Jsparse.Parser.default_options;
+      fuel = max_int;
+      fuel_cap = max_int;
+      out = Buffer.create 16;
+      fired = Quirk.Set.empty;
+      touched = Quirk.Set.empty;
+      call_hook = (fun _ _ _ _ -> Undefined);
+      eval_hook = (fun _ _ _ _ -> Undefined);
+      coverage = None;
+      loop_trip = 0;
+      strconcat_drop_armed = true;
+      protos = [];
+      depth = 0;
+      cur_this = Undefined;
+      slotted = false;
+      specials_shadowed = false;
+    }
+  in
+  Builtins.install ctx;
+  let oid1 = Atomic.get obj_counter in
+  (* the span may include oids allocated concurrently by other domains;
+     that only costs unused memo slots — the clone walk can only ever
+     reach template objects *)
+  {
+    rt_global = ctx.global;
+    rt_protos = ctx.protos;
+    rt_oid_base = oid0 + 1;
+    rt_oid_span = oid1 - oid0 + 1;
+  }
+
+let template_lock = Mutex.create ()
+let template_cell : t option ref = ref None
+
+let template () : t =
+  Mutex.lock template_lock;
+  let t =
+    match !template_cell with
+    | Some t -> t
+    | None ->
+        let t = build () in
+        template_cell := Some t;
+        t
+  in
+  Mutex.unlock template_lock;
+  t
+
+(* Structural copy. The memo (an array indexed by template oid, see
+   [rt_oid_base]) keeps shared structure shared in the copy — every
+   function's prototype link back into the registry, the array generics
+   aliased onto %TypedArray%.prototype, ... — and terminates cycles
+   (constructor <-> prototype). The copy is registered in the memo before
+   its fields are filled in. *)
+type memo = { mm_base : int; mm_slots : obj option array }
+
+let rec clone_value (memo : memo) (v : value) : value =
+  match v with Obj o -> Obj (clone_obj memo o) | v -> v
+
+and clone_prop (memo : memo) (p : prop) : prop =
+  {
+    p with
+    v = clone_value memo p.v;
+    getter = Option.map (clone_value memo) p.getter;
+  }
+
+and clone_obj (memo : memo) (o : obj) : obj =
+  match memo.mm_slots.(o.oid - memo.mm_base) with
+  | Some o' -> o'
+  | None ->
+      let o' =
+        {
+          o with
+          oid = Atomic.fetch_and_add obj_counter 1 + 1;
+          props = [];
+          proto = Null;
+        }
+      in
+      memo.mm_slots.(o.oid - memo.mm_base) <- Some o';
+      o'.proto <- clone_value memo o.proto;
+      o'.props <- List.map (fun (k, p) -> (k, clone_prop memo p)) o.props;
+      (o'.call <-
+         (match o.call with
+         | (None | Some (Native _)) as c -> c
+         | Some (Js_closure _ | Compiled _) ->
+             invalid_arg "Realm.clone: template contains a non-native closure"));
+      o'.arr <-
+        Option.map
+          (fun a -> { a with elems = Array.map (clone_value memo) a.elems })
+          o.arr;
+      o'.prim <- Option.map (clone_value memo) o.prim;
+      (* regex_data is immutable (the compiled program and its source);
+         lastIndex lives in props *)
+      o'.regex <- o.regex;
+      o'.dataview <- Option.map Bytes.copy o.dataview;
+      o'
+
+(* One fresh realm: the copied global plus its prototype registry, mapped
+   through the same memo so registry entries are the very objects hanging
+   off the copied global. *)
+let clone (t : t) : obj * (string * obj) list =
+  let memo =
+    { mm_base = t.rt_oid_base; mm_slots = Array.make t.rt_oid_span None }
+  in
+  let g = clone_obj memo t.rt_global in
+  let protos = List.map (fun (n, o) -> (n, clone_obj memo o)) t.rt_protos in
+  (g, protos)
+
+(* Convenience used by [Run.make_ctx]. *)
+let fresh () : obj * (string * obj) list = clone (template ())

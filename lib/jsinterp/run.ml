@@ -41,6 +41,14 @@ let runs = Atomic.make 0
 
 let run_count () = Atomic.get runs
 
+(* Slot-compiled execution ([Compile]) is on unless COMFORT_NO_RESOLVE is
+   set to a non-empty value — the same contract as COMFORT_NO_SHARE for the
+   execution-sharing layer. *)
+let resolve_by_default () =
+  match Sys.getenv_opt "COMFORT_NO_RESOLVE" with
+  | None | Some "" -> true
+  | Some _ -> false
+
 (* Parser-level quirks live in the front end: derive the engine's parse
    options from its quirk set so a profile is a single source of truth. *)
 let parse_opts_of ~(base : Jsparse.Parser.options) (quirks : Quirk.Set.t) :
@@ -60,8 +68,19 @@ let parse_opts_of ~(base : Jsparse.Parser.options) (quirks : Quirk.Set.t) :
   }
 
 let make_ctx ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_options)
-    ?(fuel = default_fuel) ?(coverage = false) () : Value.ctx =
-  let global = Value.make_obj ~oclass:"Object" () in
+    ?(fuel = default_fuel) ?(coverage = false) ?(snapshot = false) () :
+    Value.ctx =
+  (* [snapshot] builds the realm by copying the [Realm] template instead
+     of re-running [Builtins.install]; the resulting context is
+     indistinguishable (same globals, same empty fired/touched sets, no
+     fuel spent) but several times cheaper to construct. Selected by the
+     [resolve] execution mode. *)
+  let snap = if snapshot then Some (Realm.fresh ()) else None in
+  let global =
+    match snap with
+    | Some (g, _) -> g
+    | None -> Value.make_obj ~oclass:"Object" ()
+  in
   let global_scope =
     { Value.bindings = Hashtbl.create 16; parent = None; frozen_names = [] }
   in
@@ -83,8 +102,14 @@ let make_ctx ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_o
       strconcat_drop_armed = true;
       protos = [];
       depth = 0;
+      cur_this = Value.Obj global;
+      slotted = false;
+      specials_shadowed = false;
     }
   in
+  (match snap with
+  | Some (_, protos) -> ctx.Value.protos <- protos
+  | None -> ());
   ctx.call_hook <- (fun ctx fn this args -> Interp.call_function ctx fn this args);
   ctx.eval_hook <-
     (fun ctx scope strict src ->
@@ -104,7 +129,7 @@ let make_ctx ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_o
       | prog -> Interp.exec_in_scope ctx scope ~strict prog
       | exception Jsparse.Parser.Syntax_error (msg, _) ->
           Ops.syntax_error ctx msg);
-  Builtins.install ctx;
+  (match snap with None -> Builtins.install ctx | Some _ -> ());
   ctx
 
 (* [this] binding for top-level code *)
@@ -127,6 +152,11 @@ type frontend = {
   fe_fired : Quirk.Set.t;
       (** parse-stage quirks sunk by the front end, unfiltered; callers
           intersect with their own quirk set *)
+  fe_compiled : (bool * Compile.t) option ref;
+      (** slot-compiled program, cached per front end (keyed by the strict
+          mode it was compiled under, since a strict override rewrites the
+          program). Testbeds sharing a front end share one compilation —
+          the compile-stage analogue of sharing the parse. *)
 }
 
 let parse_frontend ?(quirks = Quirk.Set.empty)
@@ -145,9 +175,9 @@ let parse_frontend ?(quirks = Quirk.Set.empty)
     }
   in
   match Jsparse.Parser.parse_program ~opts ~force_strict:strict src with
-  | prog -> { fe_program = Ok prog; fe_fired = !fired }
+  | prog -> { fe_program = Ok prog; fe_fired = !fired; fe_compiled = ref None }
   | exception Jsparse.Parser.Syntax_error (msg, line) ->
-      { fe_program = Error (msg, line); fe_fired = !fired }
+      { fe_program = Error (msg, line); fe_fired = !fired; fe_compiled = ref None }
 
 (* --- execution, separable from the engine that ran it ---
 
@@ -169,8 +199,11 @@ type exec = {
 
 let run_exec ?(quirks = Quirk.Set.empty)
     ?(parse_opts = Jsparse.Parser.default_options) ?(strict = false)
-    ?(fuel = default_fuel) ?(coverage = false) ?frontend (src : string) : exec
-    =
+    ?(fuel = default_fuel) ?(coverage = false) ?resolve ?frontend (src : string)
+    : exec =
+  let resolve =
+    match resolve with Some r -> r | None -> resolve_by_default ()
+  in
   let fe =
     match frontend with
     | Some fe -> fe
@@ -200,38 +233,65 @@ let run_exec ?(quirks = Quirk.Set.empty)
   | Ok prog ->
       Atomic.incr runs;
       let parse_opts = parse_opts_of ~base:parse_opts quirks in
-      let ctx = make_ctx ~quirks ~parse_opts ~fuel ~coverage () in
-      bind_globals ctx;
       (* copy, never mutate: [prog] may be shared across testbeds *)
       let prog =
         if strict && not prog.Jsast.Ast.prog_strict then
           { prog with Jsast.Ast.prog_strict = true }
         else prog
       in
-      let status =
-        try
-          ignore (Interp.exec_program ctx prog);
-          Sts_normal
-        with
-        | Value.Js_throw v ->
-            let name, msg =
-              match v with
-              | Value.Obj o ->
-                  let get k =
-                    match Value.find_own o k with
-                    | Some p -> (
-                        match p.Value.v with Value.Str s -> s | _ -> "")
-                    | None -> ""
-                  in
-                  let n = get "name" in
-                  ((if n = "" then "Error" else n), get "message")
-              | Value.Str s -> ("", s)
-              | v -> ("", Ops.number_to_string (match v with Value.Num f -> f | _ -> 0.0))
-            in
-            Sts_uncaught (name, msg)
-        | Value.Engine_crash msg -> Sts_crash msg
-        | Value.Out_of_fuel -> Sts_timeout
-        | Stack_overflow -> Sts_crash "stack exhausted"
+      let compiled =
+        if not resolve then None
+        else
+          match !(fe.fe_compiled) with
+          | Some (s, cp) when s = strict -> Some cp
+          | _ ->
+              let cp = Compile.compile prog in
+              fe.fe_compiled := Some (strict, cp);
+              Some cp
+      in
+      let run_with runner =
+        let ctx = make_ctx ~quirks ~parse_opts ~fuel ~coverage ~snapshot:resolve () in
+        bind_globals ctx;
+        let status =
+          try
+            runner ctx;
+            Sts_normal
+          with
+          | Value.Js_throw v ->
+              let name, msg =
+                match v with
+                | Value.Obj o ->
+                    let get k =
+                      match Value.find_own o k with
+                      | Some p -> (
+                          match p.Value.v with Value.Str s -> s | _ -> "")
+                      | None -> ""
+                    in
+                    let n = get "name" in
+                    ((if n = "" then "Error" else n), get "message")
+                | Value.Str s -> ("", s)
+                | v -> ("", Ops.number_to_string (match v with Value.Num f -> f | _ -> 0.0))
+              in
+              Sts_uncaught (name, msg)
+          | Value.Engine_crash msg -> Sts_crash msg
+          | Value.Out_of_fuel -> Sts_timeout
+          | Stack_overflow -> Sts_crash "stack exhausted"
+        in
+        (ctx, status)
+      in
+      let tree_run ctx = ignore (Interp.exec_program ctx prog) in
+      let ctx, status =
+        match compiled with
+        | None -> run_with tree_run
+        | Some cp -> (
+            (* if the compiled program hits a dynamic feature its slots
+               cannot honour (a computed-access eval the static scan
+               missed), the eval builtin raises before any side effect;
+               discard the context and re-run tree-walked — not counted as
+               a second execution, since it replays the same program *)
+            match run_with (fun ctx -> ignore (Compile.run cp ctx)) with
+            | exception Value.Deopt_to_tree -> run_with tree_run
+            | r -> r)
       in
       {
         ex_result =
@@ -251,9 +311,9 @@ let run_exec ?(quirks = Quirk.Set.empty)
         ex_touched = ctx.Value.touched;
       }
 
-let run ?quirks ?parse_opts ?strict ?fuel ?coverage ?frontend (src : string) :
-    result =
-  (run_exec ?quirks ?parse_opts ?strict ?fuel ?coverage ?frontend src)
+let run ?quirks ?parse_opts ?strict ?fuel ?coverage ?resolve ?frontend
+    (src : string) : result =
+  (run_exec ?quirks ?parse_opts ?strict ?fuel ?coverage ?resolve ?frontend src)
     .ex_result
 
 (* Does an engine carrying [quirks] belong to [ex]'s behavioural

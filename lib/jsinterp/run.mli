@@ -36,6 +36,11 @@ val default_fuel : int
     campaign (or the sharing layer) performed. *)
 val run_count : unit -> int
 
+(** Is slot-compiled execution ({!Compile}) on by default? True unless the
+    COMFORT_NO_RESOLVE environment variable is set to a non-empty value —
+    the compile-stage analogue of COMFORT_NO_SHARE. *)
+val resolve_by_default : unit -> bool
+
 (** Derive front-end options from a quirk set (parser-level bugs live in
     the front end, so a quirk profile is a single source of truth). *)
 val parse_opts_of :
@@ -50,6 +55,10 @@ type frontend = {
   fe_fired : Quirk.Set.t;
       (** parse-stage quirks sunk by the front end, {e unfiltered};
           {!run} intersects them with the executing engine's quirk set *)
+  fe_compiled : (bool * Compile.t) option ref;
+      (** slot-compiled program cached per front end, keyed by the strict
+          mode it was compiled under; testbeds sharing a front end share
+          one compilation *)
 }
 
 (** Parse once with the effective options derived from [parse_opts] and
@@ -67,6 +76,10 @@ val parse_frontend :
     @param parse_opts front-end profile (ES edition gates)
     @param strict     run as a strict-mode testbed
     @param coverage   record statement/branch/function coverage
+    @param resolve    execute slot-compiled ({!Compile}); defaults to
+                      {!resolve_by_default}. Results are bit-for-bit
+                      identical either way — this only selects the engine
+                      core
     @param frontend   a pre-parsed front end to reuse (skips this run's
                       own parse); must have been produced with the same
                       effective options and strictness *)
@@ -76,6 +89,7 @@ val run :
   ?strict:bool ->
   ?fuel:int ->
   ?coverage:bool ->
+  ?resolve:bool ->
   ?frontend:frontend ->
   string ->
   result
@@ -100,6 +114,7 @@ val run_exec :
   ?strict:bool ->
   ?fuel:int ->
   ?coverage:bool ->
+  ?resolve:bool ->
   ?frontend:frontend ->
   string ->
   exec

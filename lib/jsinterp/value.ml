@@ -39,8 +39,17 @@ and prop = {
 
 and callable =
   | Js_closure of closure
+  | Compiled of compiled
   | Native of string * int * (ctx -> value -> value list -> value)
       (** name, arity ([length] property), implementation *)
+
+and compiled = {
+  co_name : string;
+  co_params : string list;
+      (** kept for [Function.prototype.toString] and arity reporting *)
+  co_call : ctx -> value -> value list -> value;
+      (** pre-compiled body: this, args — produced by [Compile] *)
+}
 
 and closure = {
   cl_name : string;
@@ -109,6 +118,18 @@ and ctx = {
       (** intrinsic prototypes ("Object", "String", "Array", …) installed by
           [Builtins.install]; consulted for primitive member access *)
   mutable depth : int;  (** JS call depth, for the stack-size limit *)
+  mutable cur_this : value;
+      (** [this] of the innermost active function (or the global object):
+          kept current by [call_function] / [exec_in_scope] so that [this]
+          and arrow creation need no scope-chain walk *)
+  mutable slotted : bool;
+      (** a slot-compiled program is executing; [eval] must bail out to the
+          tree-walker ([Deopt_to_tree]) because eval code can mutate the
+          global binding map behind the compiled program's slots *)
+  mutable specials_shadowed : bool;
+      (** some executed program declares a binding named [undefined], [NaN]
+          or [Infinity]; until then those identifiers evaluate to their
+          constants without any scope-chain walk *)
 }
 
 let proto_of ctx name =
@@ -124,6 +145,11 @@ exception Engine_crash of string
 
 (* Execution budget exhausted; classified as a timeout by the harness. *)
 exception Out_of_fuel
+
+(* Raised (by the [eval] builtin) when a slot-compiled execution hits a
+   dynamic feature the compiled representation cannot honour; [Run] catches
+   it, discards the context, and re-executes the program tree-walked. *)
+exception Deopt_to_tree
 
 (* Atomic: objects are allocated concurrently by campaign worker domains. *)
 let obj_counter = Atomic.make 0

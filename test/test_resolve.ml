@@ -1,0 +1,285 @@
+(* Slot-resolved compile-to-closure interpreter core (DESIGN.md §9).
+
+   The tentpole claim mirrors execution sharing's: selecting the
+   compiled core must never change a single observable — status, output,
+   fuel, fired/touched quirk sets, coverage — on any testbed, for any
+   program, including every deopt path. Coverage here:
+
+   - full-corpus differential parity on the conforming reference with
+     coverage recording on;
+   - [Difftest.run_case] reports over all 102 testbeds, resolve on vs
+     off, byte-identical for the whole corpus;
+   - per-testbed field-wise result parity (no sharing, no voting) for a
+     corpus sample and for every deopt fixture;
+   - the deopt ladder: static per-program deopt (eval mention, top-level
+     delete-on-binding), static per-function deopt (delete on a binding,
+     frozen-name mutation), and the dynamic computed-eval trap that
+     re-runs tree-walked mid-campaign (the AST has no [with] statement,
+     so the classic fourth trigger cannot occur);
+   - realm snapshots: builtin mutations must not leak between compiled
+     executions (the [Realm] copy is what makes the compiled core fast,
+     so its isolation is part of this tentpole's soundness);
+   - campaign-level invariance, the bench acceptance check in miniature. *)
+
+open Helpers
+open Jsinterp
+module Engine = Engines.Engine
+
+let parse src = Jsparse.Parser.parse_program src
+
+(* Field-wise result equality; [Quirk.Set.t] needs its own equal and the
+   coverage summary is a plain record. *)
+let results_agree tag (tree : Run.result) (compiled : Run.result) =
+  Alcotest.(check bool) (tag ^ ": parsed") tree.Run.r_parsed compiled.Run.r_parsed;
+  Alcotest.(check (option string))
+    (tag ^ ": parse error") tree.Run.r_parse_error compiled.Run.r_parse_error;
+  Alcotest.(check string) (tag ^ ": status")
+    (Run.status_to_string tree.Run.r_status)
+    (Run.status_to_string compiled.Run.r_status);
+  Alcotest.(check string) (tag ^ ": output") tree.Run.r_output compiled.Run.r_output;
+  Alcotest.(check int) (tag ^ ": fuel") tree.Run.r_fuel_used compiled.Run.r_fuel_used;
+  Alcotest.(check bool) (tag ^ ": fired") true
+    (Quirk.Set.equal tree.Run.r_fired compiled.Run.r_fired);
+  Alcotest.(check bool) (tag ^ ": touched") true
+    (Quirk.Set.equal tree.Run.r_touched compiled.Run.r_touched);
+  Alcotest.(check bool) (tag ^ ": coverage") true
+    (tree.Run.r_coverage = compiled.Run.r_coverage)
+
+(* --- corpus parity --- *)
+
+let corpus_parity_reference () =
+  List.iteri
+    (fun i src ->
+      let tree = Run.run ~coverage:true ~resolve:false src in
+      let compiled = Run.run ~coverage:true ~resolve:true src in
+      results_agree (Printf.sprintf "corpus[%d]" i) tree compiled)
+    Lm.Js_corpus.programs
+
+let corpus_run_case_resolve_invariant () =
+  (* the differential report over all 102 testbeds — votes, deviations,
+     fired sets — must be byte-identical with the compiled core on *)
+  List.iteri
+    (fun i src ->
+      let tc = Comfort.Testcase.make src in
+      let compiled =
+        Comfort.Difftest.run_case ~resolve:true Engine.all_testbeds tc
+      in
+      let tree =
+        Comfort.Difftest.run_case ~resolve:false Engine.all_testbeds tc
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "corpus[%d]: reports equal" i)
+        true
+        (Comfort.Difftest.report_equal compiled tree))
+    Lm.Js_corpus.programs
+
+(* every 9th corpus program, field-checked on every individual testbed
+   with sharing and voting out of the way *)
+let corpus_sample_parity_all_testbeds () =
+  let sample =
+    List.filteri (fun i _ -> i mod 9 = 0) Lm.Js_corpus.programs
+  in
+  List.iteri
+    (fun i src ->
+      List.iter
+        (fun tb ->
+          let tag =
+            Printf.sprintf "sample[%d] %s" i (Engine.testbed_id tb)
+          in
+          let tree = Engine.run ~resolve:false tb src in
+          let compiled = Engine.run ~resolve:true tb src in
+          results_agree tag tree compiled)
+        Engine.all_testbeds)
+    sample
+
+(* --- the deopt ladder --- *)
+
+(* Each fixture names the deopt mechanism it exercises. The AST has no
+   [with] statement (the parser rejects it), so the classic fourth
+   dynamic-scope trigger cannot arise. *)
+let deopt_fixtures =
+  [
+    ( "direct eval introducing a var (program deopt)",
+      {|eval("var hidden = 41;");
+print(hidden + 1);|} );
+    ( "eval mentioned but unreached (program deopt)",
+      {|var f = function () { return eval("1 + 1"); };
+print("never called: " + (typeof f));|} );
+    ( "top-level delete on a binding (program deopt)",
+      {|var gone = 1;
+print(delete gone);
+print(typeof gone);|} );
+    ( "delete on a binding inside a function (function deopt)",
+      {|var keep = 7;
+function zap() { return delete keep; }
+print(zap());
+print(keep);|} );
+    ( "named funcexpr frozen-name mutation (function deopt)",
+      {|var f = function self() {
+  self = "overwritten";
+  return typeof self;
+};
+print(f());|} );
+    ( "for-in over a frozen name (function deopt)",
+      {|var f = function self() {
+  for (self in { a: 1 }) { }
+  return typeof self;
+};
+print(f());|} );
+    ( "computed eval the static scan misses (dynamic trap)",
+      {|var name = "ev" + "al";
+this[name]("var sneaky = 5;");
+print(sneaky);|} );
+  ]
+
+let deopt_fixtures_reach_parity () =
+  List.iter
+    (fun (tag, src) ->
+      (* reference with coverage, plus a quirked testbed sweep: deopted
+         and trap re-runs must stay bit-for-bit too *)
+      let tree = Run.run ~coverage:true ~resolve:false src in
+      let compiled = Run.run ~coverage:true ~resolve:true src in
+      results_agree tag tree compiled;
+      List.iter
+        (fun tb ->
+          let tree = Engine.run ~resolve:false tb src in
+          let compiled = Engine.run ~resolve:true tb src in
+          results_agree (tag ^ " @ " ^ Engine.testbed_id tb) tree compiled)
+        Engine.all_testbeds)
+    deopt_fixtures
+
+let frozen_name_quirk_parity () =
+  (* the frozen-name mutation deopt must preserve the quirk fork: on a
+     conforming engine assignment is a silent no-op (sloppy) or throws
+     (strict); with Q_named_funcexpr_binding_mutable it lands *)
+  let src =
+    {|var f = function self() { self = 1; return typeof self; };
+print(f());|}
+  in
+  let quirks = quirks_of [ Quirk.Q_named_funcexpr_binding_mutable ] in
+  List.iter
+    (fun qs ->
+      let tree = Run.run ~quirks:qs ~resolve:false src in
+      let compiled = Run.run ~quirks:qs ~resolve:true src in
+      results_agree
+        (Printf.sprintf "frozen mutation, %d quirks" (Quirk.Set.cardinal qs))
+        tree compiled)
+    [ Quirk.Set.empty; quirks ];
+  Alcotest.(check string) "quirk flips the binding" "number\n"
+    (Run.run ~quirks ~resolve:true src).Run.r_output;
+  Alcotest.(check string) "conforming keeps it frozen" "function\n"
+    (Run.run ~resolve:true src).Run.r_output
+
+(* --- static compile classification --- *)
+
+let compile_classifies_programs () =
+  let slotted src = (Compile.compile (parse src)).Compile.cp_slotted in
+  let deopt_fns src = (Compile.compile (parse src)).Compile.cp_deopt_fns in
+  Alcotest.(check bool) "plain program is slotted" true
+    (slotted "var x = 1; print(x);");
+  Alcotest.(check bool) "eval mention deopts the program" false
+    (slotted "eval(\"1\");");
+  Alcotest.(check bool) "member eval deopts the program" false
+    (slotted "this[\"eval\"](\"1\");");
+  Alcotest.(check bool) "top-level delete-ident deopts the program" false
+    (slotted "var x = 1; delete x;");
+  Alcotest.(check int) "plain functions stay compiled" 0
+    (deopt_fns "function f() { return 1; } print(f());");
+  Alcotest.(check int) "delete-on-binding deopts one function" 1
+    (deopt_fns "var y = 1; function f() { return delete y; } print(f());");
+  Alcotest.(check int) "frozen-name mutation deopts one function" 1
+    (deopt_fns "var f = function self() { self = 1; }; f();")
+
+let dynamic_trap_still_counts_one_execution () =
+  (* the tree re-run after [Deopt_to_tree] replays the same program; it
+     must not inflate the executions-per-case accounting that the
+     sharing bench reports *)
+  let src = {|var n = "ev" + "al"; this[n]("var v = 3;"); print(v);|} in
+  let before = Run.run_count () in
+  let r = Run.run ~resolve:true src in
+  Alcotest.(check int) "one execution recorded" (before + 1) (Run.run_count ());
+  Alcotest.(check string) "trap produced the eval effect" "3\n" r.Run.r_output
+
+(* --- realm snapshot isolation --- *)
+
+let realm_snapshots_are_isolated () =
+  (* a compiled execution runs in a realm copied from the shared
+     template; builtin mutations must die with the execution *)
+  let vandal =
+    {|String.prototype.charAt = function () { return "Z"; };
+Array.prototype.extra = 1;
+print("a".charAt(0));|}
+  in
+  let probe = {|print("a".charAt(0)); print([].extra);|} in
+  Alcotest.(check string) "vandal sees its own mutation" "Z\n"
+    (Run.run ~resolve:true vandal).Run.r_output;
+  Alcotest.(check string) "vandal again, fresh realm" "Z\n"
+    (Run.run ~resolve:true vandal).Run.r_output;
+  Alcotest.(check string) "later execution is unaffected" "a\nundefined\n"
+    (Run.run ~resolve:true probe).Run.r_output;
+  (* and the snapshot realm itself is indistinguishable from a freshly
+     installed one *)
+  results_agree "probe parity"
+    (Run.run ~coverage:true ~resolve:false probe)
+    (Run.run ~coverage:true ~resolve:true probe)
+
+(* --- campaign-level invariance --- *)
+
+let disc_key (d : Comfort.Campaign.discovery) =
+  ( Engines.Registry.engine_name d.Comfort.Campaign.disc_engine,
+    Quirk.to_string d.Comfort.Campaign.disc_quirk,
+    d.Comfort.Campaign.disc_at,
+    d.Comfort.Campaign.disc_behavior,
+    d.Comfort.Campaign.disc_mode )
+
+let campaign_resolve_invariant () =
+  (* (share x resolve) grid on one seed: same discoveries, timeline and
+     filter counts everywhere — the bench's identical_results check in
+     miniature *)
+  let campaign ~share ~resolve =
+    Comfort.Campaign.run ~budget:80 ~share ~resolve ~jobs:1
+      (Comfort.Campaign.comfort_fuzzer ~seed:31 ())
+  in
+  let base = campaign ~share:false ~resolve:false in
+  List.iter
+    (fun (share, resolve) ->
+      let r = campaign ~share ~resolve in
+      let tag = Printf.sprintf "share=%b resolve=%b" share resolve in
+      Alcotest.(check bool) (tag ^ ": same discoveries") true
+        (List.map disc_key r.Comfort.Campaign.cp_discoveries
+        = List.map disc_key base.Comfort.Campaign.cp_discoveries);
+      Alcotest.(check bool) (tag ^ ": same timeline") true
+        (r.Comfort.Campaign.cp_timeline = base.Comfort.Campaign.cp_timeline);
+      Alcotest.(check int) (tag ^ ": same filtered repeats")
+        base.Comfort.Campaign.cp_filtered_repeats
+        r.Comfort.Campaign.cp_filtered_repeats)
+    [ (false, true); (true, false); (true, true) ]
+
+let audit_share_accepts_resolve () =
+  (* the sharing cross-check must hold under the compiled core too *)
+  List.iter
+    (fun (_, src) ->
+      let tc = Comfort.Testcase.make src in
+      ignore
+        (Comfort.Difftest.audit_case ~resolve:true Engine.all_testbeds tc))
+    deopt_fixtures
+
+let suite =
+  [
+    case "corpus: reference parity with coverage" corpus_parity_reference;
+    case "corpus: run_case reports are resolve-invariant"
+      corpus_run_case_resolve_invariant;
+    case "corpus sample: per-testbed field parity"
+      corpus_sample_parity_all_testbeds;
+    case "deopt fixtures: parity on reference and all testbeds"
+      deopt_fixtures_reach_parity;
+    case "frozen-name mutation quirk forks identically"
+      frozen_name_quirk_parity;
+    case "compile classifies slotted/deopted programs"
+      compile_classifies_programs;
+    case "dynamic eval trap counts as one execution"
+      dynamic_trap_still_counts_one_execution;
+    case "realm snapshots are isolated" realm_snapshots_are_isolated;
+    case "campaigns are resolve-invariant" campaign_resolve_invariant;
+    case "audit mode passes with the compiled core" audit_share_accepts_resolve;
+  ]
