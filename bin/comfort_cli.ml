@@ -211,29 +211,78 @@ let difftest_cmd =
 (* --- fuzz --- *)
 
 let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve
-    audit_share =
+    audit_share faults checkpoint checkpoint_every resume halt_after =
   let jobs = resolve_jobs jobs in
   let share = resolve_share no_share in
   let resolve = resolve_resolve no_resolve in
-  let fz =
-    match String.lowercase_ascii fuzzer_name with
-    | "comfort" -> Comfort.Campaign.comfort_fuzzer ~seed ()
-    | "deepsmith" -> Baselines.Fuzzers.deepsmith ~seed ()
-    | "fuzzilli" -> Baselines.Fuzzers.fuzzilli ~seed ()
-    | "codealchemist" -> Baselines.Fuzzers.codealchemist ~seed ()
-    | "die" -> Baselines.Fuzzers.die ~seed ()
-    | "montage" -> Baselines.Fuzzers.montage ~seed ()
-    | other ->
-        Printf.eprintf "unknown fuzzer %s\n" other;
-        exit 1
+  let plan =
+    match faults with
+    | None -> (
+        (* resolve COMFORT_FAULTS here so a malformed spec is a clean
+           diagnostic, not an uncaught exception out of Campaign.run *)
+        try Comfort.Supervisor.Faultplan.from_env ()
+        with Invalid_argument msg ->
+          Printf.eprintf "bad %s\n" msg;
+          exit 2)
+    | Some spec -> (
+        match Comfort.Supervisor.Faultplan.of_spec spec with
+        | Ok p -> Some p
+        | Error e ->
+            Printf.eprintf "bad --faults spec: %s\n" e;
+            exit 2)
   in
+  let checkpoint =
+    Option.map (fun path -> (path, max 1 checkpoint_every)) checkpoint
+  in
+  if
+    feedback
+    && (Option.is_some plan || Option.is_some resume
+       || Option.is_some checkpoint || Option.is_some halt_after)
+  then begin
+    Printf.eprintf
+      "--feedback cannot be combined with --faults/--checkpoint/--resume/\
+       --halt-after\n";
+    exit 2
+  end;
   let res =
-    if feedback then
-      let t = Comfort.Feedback.create fz in
-      Comfort.Feedback.run_rounds ~rounds:4
-        ~budget_per_round:(max 1 (budget / 4))
-        ~jobs ?share ?resolve t
-    else Comfort.Campaign.run ~budget ~jobs ?share ?resolve ~audit_share fz
+    try
+      match resume with
+      | Some path -> (
+          match Comfort.Campaign.Checkpoint.load path with
+          | Error e ->
+              Printf.eprintf "cannot resume from %s: %s\n" path e;
+              exit 2
+          | Ok st ->
+              Printf.printf "resuming %s\n"
+                (Comfort.Campaign.Checkpoint.describe st);
+              Comfort.Campaign.resume ~jobs ?checkpoint ?halt_after st)
+      | None -> (
+          let fz =
+            match String.lowercase_ascii fuzzer_name with
+            | "comfort" -> Comfort.Campaign.comfort_fuzzer ~seed ()
+            | "deepsmith" -> Baselines.Fuzzers.deepsmith ~seed ()
+            | "fuzzilli" -> Baselines.Fuzzers.fuzzilli ~seed ()
+            | "codealchemist" -> Baselines.Fuzzers.codealchemist ~seed ()
+            | "die" -> Baselines.Fuzzers.die ~seed ()
+            | "montage" -> Baselines.Fuzzers.montage ~seed ()
+            | other ->
+                Printf.eprintf "unknown fuzzer %s\n" other;
+                exit 1
+          in
+          if feedback then
+            let t = Comfort.Feedback.create fz in
+            Comfort.Feedback.run_rounds ~rounds:4
+              ~budget_per_round:(max 1 (budget / 4))
+              ~jobs ?share ?resolve t
+          else
+            Comfort.Campaign.run ~budget ~jobs ?share ?resolve ~audit_share
+              ?faults:plan ?checkpoint ?halt_after fz)
+    with Comfort.Campaign.Halted { halted_at; halted_checkpoint } ->
+      Printf.printf "campaign halted after %d cases%s\n" halted_at
+        (match halted_checkpoint with
+        | Some p -> Printf.sprintf "; resume with --resume %s" p
+        | None -> " (no --checkpoint configured; progress discarded)");
+      exit 0
   in
   Printf.printf "fuzzer: %s\ncases: %d\nunique bugs: %d\nrepeats filtered: %d\n"
     res.Comfort.Campaign.cp_fuzzer res.Comfort.Campaign.cp_cases_run
@@ -244,13 +293,26 @@ let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve
   List.iter
     (fun (reason, n) -> Printf.printf "  %-35s %d\n" reason n)
     res.Comfort.Campaign.cp_screen_reasons;
+  (* supervision only makes noise when it did something (or was asked to) *)
+  let sup_rows = Comfort.Report.supervision_summary res in
+  if Option.is_some plan || Option.is_some resume
+     || List.exists (fun (_, n) -> n <> 0) sup_rows
+  then begin
+    print_endline "supervision:";
+    List.iter (fun (label, n) -> Printf.printf "  %-35s %d\n" label n) sup_rows
+  end;
   List.iter
     (fun (d : Comfort.Campaign.discovery) ->
       Printf.printf "  [case %4d] %-13s %-10s %s\n" d.Comfort.Campaign.disc_at
         (Engines.Registry.engine_name d.Comfort.Campaign.disc_engine)
         d.Comfort.Campaign.disc_behavior
         (Jsinterp.Quirk.to_string d.Comfort.Campaign.disc_quirk))
-    res.Comfort.Campaign.cp_discoveries
+    res.Comfort.Campaign.cp_discoveries;
+  match res.Comfort.Campaign.cp_aborted with
+  | Some reason ->
+      Printf.eprintf "campaign aborted early: %s\n" reason;
+      exit 1
+  | None -> ()
 
 let fuzz_cmd =
   let budget =
@@ -276,9 +338,58 @@ let fuzz_cmd =
              both the shared and the direct path and the campaign aborts \
              on any divergence. Incompatible with $(b,--feedback).")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault-injection plan for a chaos campaign, e.g. \
+             $(b,seed=9;targets=V8;crash=0.1;hang=0.05;flaky=0.3). Injected \
+             faults are retried, quarantined and reported — never counted \
+             as bugs. Defaults to $(b,COMFORT_FAULTS) from the environment.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:
+            "Write a resumable campaign snapshot to $(docv) (atomically) \
+             every $(b,--checkpoint-every) cases and when the campaign \
+             ends.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 25
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Cases between checkpoint snapshots (default 25).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"PATH"
+          ~doc:
+            "Continue a checkpointed campaign instead of starting fresh. \
+             Every campaign parameter except $(b,--jobs) is restored from \
+             the checkpoint; the final report is identical to the \
+             uninterrupted run's.")
+  in
+  let halt_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "halt-after" ] ~docv:"N"
+          ~doc:
+            "Deterministically stop once $(docv) cases are consumed \
+             (writing a final checkpoint when $(b,--checkpoint) is set) — \
+             the kill-simulation hook behind the CI kill-and-resume job.")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against the simulated engines")
     Term.(const fuzz $ budget $ fuzzer $ seed $ feedback $ jobs_arg
-          $ no_share_arg $ no_resolve_arg $ audit_share)
+          $ no_share_arg $ no_resolve_arg $ audit_share $ faults $ checkpoint
+          $ checkpoint_every $ resume $ halt_after)
 
 (* --- analyze --- *)
 

@@ -9,7 +9,13 @@
    Testbeds are grouped by mode before voting: a strict-mode engine and a
    sloppy-mode engine can legitimately disagree, so each mode votes among
    its own ranks — this mirrors the paper's 102-testbed setup where bugs
-   are reported "under both the normal and the strict modes". *)
+   are reported "under both the normal and the strict modes".
+
+   The driver runs supervised (DESIGN.md §10): every per-case sweep may be
+   subjected to a deterministic fault-injection plan, faulted testbeds are
+   retried and eventually quarantined, a killed campaign can be resumed
+   from a checkpoint, and a campaign that loses its fuzzer or its whole
+   testbed pool finishes with an abort reason instead of dying. *)
 
 open Jsinterp
 
@@ -45,7 +51,15 @@ type result = {
   cp_screened_out : int;       (** cases dropped by the static-analysis screen *)
   cp_screen_reasons : (string * int) list;  (** drop reason -> count *)
   cp_repaired : int;           (** cases kept after free-variable repair *)
+  cp_skipped_cases : int;      (** cases lost to worker failures (supervised
+                                   executor: recorded, not fatal) *)
+  cp_faults : Supervisor.stats;    (** aggregate supervision counters *)
+  cp_quarantined : (string * int) list;
+      (** quarantined testbeds as (id, case that tripped the threshold) *)
+  cp_aborted : string option;  (** why the campaign ended early, if it did *)
 }
+
+exception Halted of { halted_at : int; halted_checkpoint : string option }
 
 (* --- the Comfort fuzzer: LM generation + Algorithm 1 mutants --- *)
 
@@ -173,27 +187,394 @@ let default_testbeds () =
   Engines.Engine.latest_testbeds ~mode:Engines.Engine.Normal ()
   @ Engines.Engine.latest_testbeds ~mode:Engines.Engine.Strict ()
 
-let run ?(testbeds = default_testbeds ()) ?(budget = 200)
-    ?(fuel = Difftest.campaign_fuel) ?(reduce = false) ?(screen = true)
-    ?(jobs = Executor.default_jobs ()) ?share ?resolve ?(audit_share = 0)
-    (fz : fuzzer) : result =
-  let share =
-    match share with Some s -> s | None -> Difftest.share_by_default ()
-  in
+(* --- checkpoint / resume --- *)
+
+module Checkpoint = struct
+  (* A checkpoint is a versioned header line followed by a [Marshal] of
+     the plain-data [state] record below. Everything in it is immutable
+     data or hashtables of immutable data (Testcase.t, registry variants,
+     Bugfilter.t, Supervisor.frozen) — no closures — so the default
+     marshal flags suffice and the file survives process restarts of the
+     same binary.
+
+     There is no separate RNG cursor: the campaign's only random draws
+     (the fuzzer batch, screening replacements) all happen before the
+     first case executes, so storing the fully-drawn case list together
+     with the consumed count replays the exact remaining cases on
+     resume. *)
+
+  let magic = "COMFORT-CKPT"
+  let version = 1
+
+  type state = {
+    ck_fuzzer : string;
+    ck_fuel : int;
+    ck_share : bool;
+    ck_resolve : bool option;
+    ck_reduce : bool;
+    ck_audit_share : int;
+    ck_testbeds : string list;       (* Engine.testbed_id, sweep order *)
+    ck_plan : string option;         (* Faultplan.to_spec *)
+    ck_cases : Testcase.t list;      (* the full drawn case list *)
+    ck_consumed : int;               (* cases fully consumed, in order *)
+    ck_filter : Bugfilter.t;
+    ck_seen : (Engines.Registry.engine * Quirk.t) list;
+    ck_discoveries : discovery list; (* newest first, as the driver holds them *)
+    ck_unattributed : int;
+    ck_timeline : (int * int) list;  (* newest first *)
+    ck_screened_out : int;
+    ck_screen_reasons : (string * int) list;
+    ck_repaired : int;
+    ck_skipped_cases : int;
+    ck_supervisor : Supervisor.frozen option;  (* Some iff supervised *)
+  }
+
+  let consumed (st : state) = st.ck_consumed
+  let total (st : state) = List.length st.ck_cases
+
+  let describe (st : state) =
+    Printf.sprintf "%s: %d/%d cases consumed, %d discoveries"
+      st.ck_fuzzer st.ck_consumed (total st)
+      (List.length st.ck_discoveries)
+
+  (* Write-to-temp plus rename keeps checkpointing atomic: a campaign
+     killed mid-save leaves the previous checkpoint intact. *)
+  let save (path : string) (st : state) : unit =
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Printf.fprintf oc "%s v%d\n" magic version;
+        Marshal.to_channel oc st []);
+    Sys.rename tmp path
+
+  let load (path : string) : (state, string) Stdlib.result =
+    match open_in_bin path with
+    | exception Sys_error e -> Error e
+    | ic ->
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            match input_line ic with
+            | exception End_of_file -> Error "empty checkpoint file"
+            | header ->
+                let expect = Printf.sprintf "%s v%d" magic version in
+                if not (String.equal header expect) then
+                  Error
+                    (Printf.sprintf "bad checkpoint header %S (want %S)"
+                       header expect)
+                else (
+                  match (Marshal.from_channel ic : state) with
+                  | st -> Ok st
+                  | exception _ -> Error "truncated or corrupt checkpoint"))
+end
+
+(* --- the driver loop --- *)
+
+(* Everything the in-order consumption loop needs, whether freshly
+   gathered by [run] or thawed from a checkpoint by [resume]. Mutable
+   fields are touched only on the driver domain, in submission order. *)
+type st = {
+  d_fuzzer : string;
+  d_fuel : int;
+  d_share : bool;
+  d_resolve : bool option;
+  d_reduce : bool;
+  d_audit_share : int;
+  d_testbeds : Engines.Engine.testbed list;
+  d_plan : Supervisor.Faultplan.t option;
+  d_sup : Supervisor.t option;  (* Some iff supervision is on *)
+  d_cases : Testcase.t list;
+  mutable d_consumed : int;
+  d_filter : Bugfilter.t;
+  d_seen : (Engines.Registry.engine * Quirk.t, unit) Hashtbl.t;
+  mutable d_discoveries : discovery list;  (* newest first *)
+  mutable d_unattributed : int;
+  mutable d_timeline : (int * int) list;   (* newest first *)
+  d_screened_out : int;
+  d_screen_reasons : (string * int) list;  (* sorted *)
+  d_repaired : int;
+  mutable d_skipped_cases : int;
+  mutable d_aborted : string option;
+  mutable d_stop : bool;  (* stop submitting further cases (pool exhausted) *)
+}
+
+(* What one worker hands back for one case. Unsupervised sweeps are judged
+   on the worker (judging is pure without a supervisor — the pre-existing
+   path, byte for byte); supervised sweeps defer judging to the driver so
+   quarantine and the vote evolve in submission order. *)
+type work =
+  | W_judged of Difftest.case_report list
+  | W_swept of Difftest.sweep list
+  | W_failed of exn  (* the worker itself blew up: case failed-and-skipped *)
+
+let snapshot (d : st) : Checkpoint.state =
+  {
+    Checkpoint.ck_fuzzer = d.d_fuzzer;
+    ck_fuel = d.d_fuel;
+    ck_share = d.d_share;
+    ck_resolve = d.d_resolve;
+    ck_reduce = d.d_reduce;
+    ck_audit_share = d.d_audit_share;
+    ck_testbeds = List.map Engines.Engine.testbed_id d.d_testbeds;
+    ck_plan = Option.map Supervisor.Faultplan.to_spec d.d_plan;
+    ck_cases = d.d_cases;
+    ck_consumed = d.d_consumed;
+    ck_filter = d.d_filter;
+    ck_seen = Hashtbl.fold (fun k () acc -> k :: acc) d.d_seen [];
+    ck_discoveries = d.d_discoveries;
+    ck_unattributed = d.d_unattributed;
+    ck_timeline = d.d_timeline;
+    ck_screened_out = d.d_screened_out;
+    ck_screen_reasons = d.d_screen_reasons;
+    ck_repaired = d.d_repaired;
+    ck_skipped_cases = d.d_skipped_cases;
+    ck_supervisor = Option.map Supervisor.freeze d.d_sup;
+  }
+
+let final (d : st) : result =
+  {
+    cp_fuzzer = d.d_fuzzer;
+    cp_cases_run = d.d_consumed;
+    cp_discoveries = List.rev d.d_discoveries;
+    cp_filtered_repeats = Bugfilter.filtered_count d.d_filter;
+    cp_unattributed = d.d_unattributed;
+    cp_timeline = List.rev d.d_timeline;
+    cp_screened_out = d.d_screened_out;
+    cp_screen_reasons = d.d_screen_reasons;
+    cp_repaired = d.d_repaired;
+    cp_skipped_cases = d.d_skipped_cases;
+    cp_faults =
+      (match d.d_sup with
+      | Some s -> Supervisor.stats s
+      | None -> Supervisor.zero_stats);
+    cp_quarantined =
+      (match d.d_sup with
+      | Some s -> Supervisor.quarantine_list s
+      | None -> []);
+    cp_aborted = d.d_aborted;
+  }
+
+let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
+  (match checkpoint with
+  | Some (_, every) when every <= 0 ->
+      invalid_arg "Campaign: checkpoint interval must be positive"
+  | _ -> ());
   let by_mode =
     [
-      List.filter (fun tb -> tb.Engines.Engine.tb_mode = Engines.Engine.Normal) testbeds;
-      List.filter (fun tb -> tb.Engines.Engine.tb_mode = Engines.Engine.Strict) testbeds;
+      List.filter
+        (fun tb -> tb.Engines.Engine.tb_mode = Engines.Engine.Normal)
+        d.d_testbeds;
+      List.filter
+        (fun tb -> tb.Engines.Engine.tb_mode = Engines.Engine.Strict)
+        d.d_testbeds;
     ]
     |> List.filter (fun l -> l <> [])
   in
-  let filter = Bugfilter.create () in
-  let seen : (Engines.Registry.engine * Quirk.t, unit) Hashtbl.t =
-    Hashtbl.create 64
+  let total = List.length d.d_cases in
+  let save_ck () =
+    match checkpoint with
+    | Some (path, _) ->
+        Checkpoint.save path (snapshot d);
+        Some path
+    | None -> None
   in
-  let discoveries = ref [] in
-  let unattributed = ref 0 in
-  let timeline = ref [] in
+  (* The per-case differential sweep — the dominant cost — runs on the
+     worker pool; every stateful stage below (judging under supervision,
+     Fig. 6 tree, dedup, causal attribution, reduction, timeline,
+     checkpointing) runs on this domain, in submission order, so the
+     outcome is byte-identical at any job count. Workers only read the
+     immutable test case (and the supervisor's monotone quarantine
+     snapshot, racily, to skip doomed work); the shared lazies (spec db,
+     LM) are forced by [Executor.create] before workers spawn. *)
+  let consume (i : int) (tc : Testcase.t) (w : work) =
+    let reports =
+      match w with
+      | W_judged rs -> rs
+      | W_swept sws ->
+          List.map (fun sw -> Difftest.judge ?supervisor:d.d_sup sw) sws
+      | W_failed _ ->
+          d.d_skipped_cases <- d.d_skipped_cases + 1;
+          []
+    in
+    (* one parse per case, shared by every deviation it produces *)
+    let ast =
+      lazy
+        (match Jsparse.Parser.parse_program tc.Testcase.tc_source with
+        | p -> Some p
+        | exception Jsparse.Parser.Syntax_error _ -> None)
+    in
+    List.iter
+      (fun (report : Difftest.case_report) ->
+        List.iter
+          (fun (dev : Difftest.deviation) ->
+            let tb = dev.Difftest.d_testbed in
+            let engine = tb.Engines.Engine.tb_config.Engines.Registry.cfg_engine in
+            let api = api_of_deviation dev tc ~ast in
+            (* developer-facing dedup: the Fig. 6 tree. A repeat of a
+               known (engine, api, behaviour) leaf cannot yield a new
+               discovery, so the expensive causal re-execution is
+               skipped for it *)
+            match
+              Bugfilter.classify d.d_filter
+                ~engine:(Engines.Registry.engine_name engine)
+                ~api ~behavior:dev.Difftest.d_behavior
+            with
+            | `Seen_before -> ()
+            | `New_bug ->
+            if Quirk.Set.is_empty dev.Difftest.d_fired then
+              d.d_unattributed <- d.d_unattributed + 1
+            else
+              let causal =
+                causal_quirks ~jobs ?resolve:d.d_resolve tb
+                  tc.Testcase.tc_source dev ~fuel:d.d_fuel
+              in
+              if causal = [] then d.d_unattributed <- d.d_unattributed + 1
+              else
+              List.iter
+                (fun q ->
+                  if not (Hashtbl.mem d.d_seen (engine, q)) then begin
+                    Hashtbl.replace d.d_seen (engine, q) ();
+                    let reduced =
+                      if d.d_reduce then
+                        Some
+                          (Reducer.reduce ~jobs
+                             ~still_triggers:
+                               (Reducer.still_triggers_deviation
+                                  ~share:d.d_share ?resolve:d.d_resolve tb dev)
+                             tc.Testcase.tc_source)
+                      else None
+                    in
+                    let disc =
+                      {
+                        disc_engine = engine;
+                        disc_quirk = q;
+                        disc_case = tc;
+                        disc_reduced = reduced;
+                        disc_kind = dev.Difftest.d_kind;
+                        disc_behavior = dev.Difftest.d_behavior;
+                        disc_at = i + 1;
+                        disc_version =
+                          Option.value
+                            (Engines.Registry.earliest_version engine q)
+                            ~default:
+                              tb.Engines.Engine.tb_config
+                                .Engines.Registry.cfg_version;
+                        disc_mode = tb.Engines.Engine.tb_mode;
+                      }
+                    in
+                    d.d_discoveries <- disc :: d.d_discoveries
+                  end)
+                causal)
+          report.Difftest.cr_deviations)
+      reports;
+    d.d_timeline <- (i + 1, Hashtbl.length d.d_seen) :: d.d_timeline;
+    d.d_consumed <- i + 1;
+    (* pool-exhaustion abort: once no mode group retains two live
+       testbeds, differential comparison is impossible and the campaign
+       winds down (remaining in-flight results are discarded) *)
+    (match d.d_sup with
+    | Some sup when d.d_aborted = None ->
+        let survivors tbs =
+          List.length
+            (List.filter
+               (fun tb ->
+                 not (Supervisor.quarantined sup (Engines.Engine.testbed_id tb)))
+               tbs)
+        in
+        if List.for_all (fun tbs -> survivors tbs < 2) by_mode then begin
+          d.d_aborted <-
+            Some
+              "testbed pool exhausted: quarantine left no mode group with \
+               two live testbeds";
+          d.d_stop <- true
+        end
+    | _ -> ());
+    (match checkpoint with
+    | Some (path, every) when (i + 1) mod every = 0 && i + 1 < total ->
+        Checkpoint.save path (snapshot d)
+    | _ -> ());
+    match halt_after with
+    | Some n when i + 1 >= n && i + 1 < total && not d.d_stop ->
+        let ck = save_ck () in
+        raise (Halted { halted_at = i + 1; halted_checkpoint = ck })
+    | _ -> ()
+  in
+  let worker ((i, tc) : int * Testcase.t) : work =
+    match d.d_sup with
+    | Some sup ->
+        W_swept
+          (List.map
+             (fun tbs ->
+               Difftest.sweep_case ~fuel:d.d_fuel ~share:d.d_share
+                 ?resolve:d.d_resolve ?plan:d.d_plan
+                 ~policy:(Supervisor.policy sup) ~supervisor:sup ~case_key:i
+                 tbs tc)
+             by_mode)
+    | None ->
+        (* cases are keyed by their submission index, so the audit sample
+           is deterministic — the same cases are cross-checked at any job
+           count and across resume *)
+        let audit = d.d_audit_share > 0 && i mod d.d_audit_share = 0 in
+        W_judged
+          (List.map
+             (fun tbs ->
+               if audit then
+                 Difftest.audit_case ~fuel:d.d_fuel ?resolve:d.d_resolve tbs tc
+               else
+                 Difftest.run_case ~fuel:d.d_fuel ~share:d.d_share
+                   ?resolve:d.d_resolve tbs tc)
+             by_mode)
+  in
+  let items =
+    List.filteri
+      (fun k _ -> k >= d.d_consumed)
+      (List.mapi (fun i tc -> (i, tc)) d.d_cases)
+  in
+  Executor.with_pool ~jobs (fun pool ->
+      Executor.run_ordered pool
+        ~on_exn:(fun _ _ e ->
+          (* a share-audit divergence is a soundness bug, never a fault to
+             absorb — let it poison the run loudly *)
+          match e with
+          | Difftest.Share_mismatch _ -> raise e
+          | e -> W_failed e)
+        ~stop:(fun () -> d.d_stop)
+        worker items
+        ~consume:(fun _ (i, tc) w -> consume i tc w));
+  (* final checkpoint: resuming a finished campaign is a cheap no-op that
+     reproduces its result *)
+  ignore (save_ck ());
+  final d
+
+let run ?(testbeds = default_testbeds ()) ?(budget = 200)
+    ?(fuel = Difftest.campaign_fuel) ?(reduce = false) ?(screen = true)
+    ?(jobs = Executor.default_jobs ()) ?share ?resolve ?(audit_share = 0)
+    ?faults ?policy ?checkpoint ?halt_after (fz : fuzzer) : result =
+  let share =
+    match share with Some s -> s | None -> Difftest.share_by_default ()
+  in
+  let plan =
+    match faults with Some _ -> faults | None -> Supervisor.Faultplan.from_env ()
+  in
+  let supervised = Option.is_some plan || Option.is_some policy in
+  if audit_share > 0 && supervised then
+    invalid_arg
+      "Campaign.run: audit_share cannot be combined with fault injection \
+       or supervision";
+  let sup = if supervised then Some (Supervisor.create ?policy ()) else None in
+  let aborted = ref None in
+  (* a fuzzer that dies (e.g. the generator's refill cap) aborts the
+     campaign gracefully: whatever was gathered still runs, the report is
+     marked aborted, and the CLI exits non-zero *)
+  let batch n =
+    match fz.fz_batch n with
+    | l -> l
+    | exception e ->
+        aborted := Some ("fuzzer exhausted: " ^ Printexc.to_string e);
+        []
+  in
   let screened_out = ref 0 in
   let repaired = ref 0 in
   let reasons : (string, int) Hashtbl.t = Hashtbl.create 8 in
@@ -207,12 +588,12 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
      counter bounds the extra draws in case the fuzzer only produces
      droppable programs *)
   let cases =
-    if not screen then fz.fz_batch budget
+    if not screen then batch budget
     else begin
       let kept = ref [] in
       let n_kept = ref 0 in
       let stalls = ref 0 in
-      while !n_kept < budget && !stalls < 3 do
+      while !n_kept < budget && !stalls < 3 && !aborted = None do
         let want = budget - !n_kept in
         let progressed = ref false in
         List.iter
@@ -225,114 +606,98 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
                   kept := tc :: !kept; incr n_kept; incr repaired;
                   progressed := true
               | S_dropped reason -> drop reason)
-          (fz.fz_batch want);
+          (batch want);
         if !progressed then stalls := 0 else incr stalls
       done;
       List.rev !kept
     end
   in
-  (* The per-case differential sweep — the dominant cost — runs on the
-     worker pool; every stateful stage below (Fig. 6 tree, dedup, causal
-     attribution, reduction, timeline) runs on this domain, in submission
-     order, so the outcome is byte-identical at any job count. Workers
-     only read the immutable test case and build their own realms; the
-     shared lazies (spec db, LM) were forced when the fuzzer was built. *)
-  let consume idx tc (reports : Difftest.case_report list) =
-      (* one parse per case, shared by every deviation it produces *)
-      let ast =
-        lazy
-          (match Jsparse.Parser.parse_program tc.Testcase.tc_source with
-          | p -> Some p
-          | exception Jsparse.Parser.Syntax_error _ -> None)
-      in
-      List.iter
-        (fun (report : Difftest.case_report) ->
-          List.iter
-            (fun (dev : Difftest.deviation) ->
-              let tb = dev.Difftest.d_testbed in
-              let engine = tb.Engines.Engine.tb_config.Engines.Registry.cfg_engine in
-              let api = api_of_deviation dev tc ~ast in
-              (* developer-facing dedup: the Fig. 6 tree. A repeat of a
-                 known (engine, api, behaviour) leaf cannot yield a new
-                 discovery, so the expensive causal re-execution is
-                 skipped for it *)
-              match
-                Bugfilter.classify filter
-                  ~engine:(Engines.Registry.engine_name engine)
-                  ~api ~behavior:dev.Difftest.d_behavior
-              with
-              | `Seen_before -> ()
-              | `New_bug ->
-              if Quirk.Set.is_empty dev.Difftest.d_fired then incr unattributed
-              else
-                let causal =
-                  causal_quirks ~jobs ?resolve tb tc.Testcase.tc_source dev
-                    ~fuel
-                in
-                if causal = [] then incr unattributed
-                else
-                List.iter
-                  (fun q ->
-                    if not (Hashtbl.mem seen (engine, q)) then begin
-                      Hashtbl.replace seen (engine, q) ();
-                      let reduced =
-                        if reduce then
-                          Some
-                            (Reducer.reduce ~jobs
-                               ~still_triggers:
-                                 (Reducer.still_triggers_deviation ~share
-                                    ?resolve tb dev)
-                               tc.Testcase.tc_source)
-                        else None
-                      in
-                      let d =
-                        {
-                          disc_engine = engine;
-                          disc_quirk = q;
-                          disc_case = tc;
-                          disc_reduced = reduced;
-                          disc_kind = dev.Difftest.d_kind;
-                          disc_behavior = dev.Difftest.d_behavior;
-                          disc_at = idx + 1;
-                          disc_version =
-                            Option.value
-                              (Engines.Registry.earliest_version engine q)
-                              ~default:
-                                tb.Engines.Engine.tb_config
-                                  .Engines.Registry.cfg_version;
-                          disc_mode = tb.Engines.Engine.tb_mode;
-                        }
-                      in
-                      discoveries := d :: !discoveries
-                    end)
-                  causal)
-            report.Difftest.cr_deviations)
-        reports;
-      timeline := (idx + 1, Hashtbl.length seen) :: !timeline
+  (if !aborted = None then
+     let got = List.length cases in
+     if got < budget then
+       aborted :=
+         Some
+           (Printf.sprintf "fuzzer exhausted: gathered %d of %d budgeted cases"
+              got budget));
+  let d =
+    {
+      d_fuzzer = fz.fz_name;
+      d_fuel = fuel;
+      d_share = share;
+      d_resolve = resolve;
+      d_reduce = reduce;
+      d_audit_share = audit_share;
+      d_testbeds = testbeds;
+      d_plan = plan;
+      d_sup = sup;
+      d_cases = cases;
+      d_consumed = 0;
+      d_filter = Bugfilter.create ();
+      d_seen = Hashtbl.create 64;
+      d_discoveries = [];
+      d_unattributed = 0;
+      d_timeline = [];
+      d_screened_out = !screened_out;
+      d_screen_reasons =
+        Hashtbl.fold (fun r n acc -> (r, n) :: acc) reasons []
+        |> List.sort (fun (a, _) (b, _) -> compare a b);
+      d_repaired = !repaired;
+      d_skipped_cases = 0;
+      d_aborted = !aborted;
+      d_stop = false;
+    }
   in
-  (* cases are zipped with their submission index so the audit sample is
-     deterministic — the same cases are cross-checked at any job count *)
-  Executor.with_pool ~jobs (fun pool ->
-      Executor.run_ordered pool
-        (fun (i, tc) ->
-          let audit = audit_share > 0 && i mod audit_share = 0 in
-          List.map
-            (fun tbs ->
-              if audit then Difftest.audit_case ~fuel ?resolve tbs tc
-              else Difftest.run_case ~fuel ~share ?resolve tbs tc)
-            by_mode)
-        (List.mapi (fun i tc -> (i, tc)) cases)
-        ~consume:(fun idx (_, tc) reports -> consume idx tc reports));
-  {
-    cp_fuzzer = fz.fz_name;
-    cp_cases_run = List.length cases;
-    cp_discoveries = List.rev !discoveries;
-    cp_filtered_repeats = Bugfilter.filtered_count filter;
-    cp_unattributed = !unattributed;
-    cp_timeline = List.rev !timeline;
-    cp_screened_out = !screened_out;
-    cp_screen_reasons =
-      Hashtbl.fold (fun r n acc -> (r, n) :: acc) reasons []
-      |> List.sort (fun (a, _) (b, _) -> compare a b);
-    cp_repaired = !repaired;
-  }
+  drive ~jobs ?checkpoint ?halt_after d
+
+let resume ?(jobs = Executor.default_jobs ()) ?checkpoint ?halt_after
+    (ck : Checkpoint.state) : result =
+  let testbeds =
+    List.map
+      (fun id ->
+        match Engines.Engine.testbed_of_id id with
+        | Some tb -> tb
+        | None ->
+            invalid_arg
+              ("Campaign.resume: checkpoint names unknown testbed " ^ id))
+      ck.Checkpoint.ck_testbeds
+  in
+  let plan =
+    match ck.Checkpoint.ck_plan with
+    | None -> None
+    | Some spec -> (
+        match Supervisor.Faultplan.of_spec spec with
+        | Ok p -> Some p
+        | Error e ->
+            invalid_arg ("Campaign.resume: bad fault plan in checkpoint: " ^ e))
+  in
+  let seen : (Engines.Registry.engine * Quirk.t, unit) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter (fun k -> Hashtbl.replace seen k ()) ck.Checkpoint.ck_seen;
+  let d =
+    {
+      d_fuzzer = ck.Checkpoint.ck_fuzzer;
+      d_fuel = ck.Checkpoint.ck_fuel;
+      d_share = ck.Checkpoint.ck_share;
+      d_resolve = ck.Checkpoint.ck_resolve;
+      d_reduce = ck.Checkpoint.ck_reduce;
+      d_audit_share = ck.Checkpoint.ck_audit_share;
+      d_testbeds = testbeds;
+      d_plan = plan;
+      d_sup = Option.map Supervisor.thaw ck.Checkpoint.ck_supervisor;
+      d_cases = ck.Checkpoint.ck_cases;
+      d_consumed = ck.Checkpoint.ck_consumed;
+      d_filter = ck.Checkpoint.ck_filter;
+      d_seen = seen;
+      d_discoveries = ck.Checkpoint.ck_discoveries;
+      d_unattributed = ck.Checkpoint.ck_unattributed;
+      d_timeline = ck.Checkpoint.ck_timeline;
+      d_screened_out = ck.Checkpoint.ck_screened_out;
+      d_screen_reasons = ck.Checkpoint.ck_screen_reasons;
+      d_repaired = ck.Checkpoint.ck_repaired;
+      d_skipped_cases = ck.Checkpoint.ck_skipped_cases;
+      d_aborted = None;
+      d_stop = false;
+    }
+  in
+  drive ~jobs ?checkpoint ?halt_after d

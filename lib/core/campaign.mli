@@ -4,7 +4,14 @@
     of testbeds, attributes deviations to ground-truth bugs via the quirks
     that causally fired on the deviating engine, de-duplicates repeats with
     the Fig. 6 filter tree, and records the discovery timeline plotted in
-    Fig. 8. *)
+    Fig. 8.
+
+    Campaigns run supervised (DESIGN.md §10): executions can be subjected
+    to a deterministic fault-injection plan, persistently faulting
+    testbeds are quarantined and the vote recomputed over the survivors,
+    progress can be checkpointed and a killed campaign resumed, and a
+    campaign that loses its fuzzer or its testbed pool finishes with an
+    abort reason instead of dying. *)
 
 (** The common fuzzer interface shared by Comfort and all baselines. *)
 type fuzzer = {
@@ -38,7 +45,27 @@ type result = {
   cp_screened_out : int;              (** dropped by the static-analysis screen *)
   cp_screen_reasons : (string * int) list;  (** drop reason -> count, sorted *)
   cp_repaired : int;                  (** kept after free-variable repair *)
+  cp_skipped_cases : int;
+      (** cases lost to worker failures: the supervised executor records
+          them as failed-and-skipped instead of letting one poisoned case
+          kill the campaign *)
+  cp_faults : Supervisor.stats;       (** aggregate supervision counters *)
+  cp_quarantined : (string * int) list;
+      (** quarantined testbeds as (testbed id, case index that tripped
+          the threshold), oldest first; the vote was recomputed over the
+          survivors from that point on *)
+  cp_aborted : string option;
+      (** why the campaign ended early, if it did (fuzzer exhaustion,
+          testbed pool exhausted by quarantine). The report still covers
+          everything that ran; the CLI turns this into a non-zero exit. *)
 }
+
+(** Raised by a campaign run with [halt_after] once that many cases are
+    consumed: the deterministic stand-in for killing the process, used by
+    the checkpoint/resume tests and the CI kill-and-resume job.
+    [halted_checkpoint] is the checkpoint written at the halt point, when
+    a checkpoint sink was configured. *)
+exception Halted of { halted_at : int; halted_checkpoint : string option }
 
 (** The Comfort fuzzer: LM program generation plus Algorithm 1 mutants.
     [with_datagen:false] keeps driver synthesis but strips all spec
@@ -47,6 +74,30 @@ val comfort_fuzzer : ?seed:int -> ?with_datagen:bool -> unit -> fuzzer
 
 (** Latest version of every engine, in both modes (20 testbeds). *)
 val default_testbeds : unit -> Engines.Engine.testbed list
+
+(** Campaign checkpoints: a versioned, marshalled snapshot of the whole
+    driver state — drawn cases, consumed count, discoveries, filter tree,
+    timeline, screening counters, supervisor (quarantine + stats). The
+    case list subsumes an RNG cursor: every random draw happens before
+    the first case executes, so resume replays the exact remaining
+    cases (format notes in DESIGN.md §10). *)
+module Checkpoint : sig
+  type state
+
+  (** Atomic save (write to [path ^ ".tmp"], then rename). *)
+  val save : string -> state -> unit
+
+  val load : string -> (state, string) Stdlib.result
+
+  (** Cases fully consumed when the snapshot was taken. *)
+  val consumed : state -> int
+
+  (** Total cases the campaign drew. *)
+  val total : state -> int
+
+  (** One-line human summary, for the CLI. *)
+  val describe : state -> string
+end
 
 (** Run a campaign. Testbeds vote within their own mode group, since
     strict and sloppy semantics legitimately differ.
@@ -75,7 +126,25 @@ val default_testbeds : unit -> Engines.Engine.testbed list
     @param audit_share when positive, every [audit_share]-th case (by
                      submission index, so the sample is deterministic)
                      runs down both the shared and the direct path and
-                     raises {!Difftest.Share_mismatch} on any divergence *)
+                     raises {!Difftest.Share_mismatch} on any divergence.
+                     Incompatible with [faults]/[policy]
+    @param faults    deterministic fault-injection plan applied to every
+                     supervised testbed execution (chaos campaigns);
+                     defaults to [COMFORT_FAULTS] from the environment.
+                     Injected faults are retried, quarantined and counted
+                     in {!result.cp_faults} — they can never surface as
+                     deviations or discoveries
+    @param policy    supervision policy (retries, backoff, watchdog,
+                     quarantine threshold); supplying either [faults] or
+                     [policy] turns supervision on, with all three absent
+                     the pipeline is byte-identical to the unsupervised one
+    @param checkpoint [(path, every)]: snapshot the driver state to [path]
+                     after every [every] consumed cases (atomically), and
+                     once more when the campaign finishes
+    @param halt_after deterministically halt (raising {!Halted}) once this
+                     many cases are consumed — the kill-simulation hook;
+                     a halt writes a final checkpoint first when a sink is
+                     configured. No effect when >= the drawn case count *)
 val run :
   ?testbeds:Engines.Engine.testbed list ->
   ?budget:int ->
@@ -86,7 +155,25 @@ val run :
   ?share:bool ->
   ?resolve:bool ->
   ?audit_share:int ->
+  ?faults:Supervisor.Faultplan.t ->
+  ?policy:Supervisor.policy ->
+  ?checkpoint:string * int ->
+  ?halt_after:int ->
   fuzzer ->
+  result
+
+(** Continue a checkpointed campaign to completion. Every campaign
+    parameter except [jobs] (orthogonal to the outcome) is restored from
+    the checkpoint; the final report is byte-identical to the
+    uninterrupted run's. [checkpoint]/[halt_after] behave as in {!run},
+    so a resumed campaign can itself checkpoint and halt.
+    @raise Invalid_argument when the checkpoint names testbeds or a fault
+    plan this binary does not know. *)
+val resume :
+  ?jobs:int ->
+  ?checkpoint:string * int ->
+  ?halt_after:int ->
+  Checkpoint.state ->
   result
 
 (** Outcome of screening one candidate test case. *)

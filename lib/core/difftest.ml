@@ -52,6 +52,10 @@ type case_report = {
   cr_all_parse_failed : bool;
   cr_all_timeout : bool;
   cr_tested : int;  (** testbeds that actually ran the case *)
+  cr_faulted : (string * Supervisor.fault_report) list;
+      (** testbeds whose supervised execution exhausted its retry budget;
+          excluded from the vote, never reported as deviations *)
+  cr_skipped : int;  (** testbeds dropped from the sweep by quarantine *)
 }
 
 (* Behaviour label in the style of the paper's Fig. 6 leaves. *)
@@ -133,8 +137,25 @@ let apply_2t_rule (results : (Engines.Engine.testbed * Run.result) list) :
       (tb, r, if slow then Sig_timeout else sig_))
     results
 
-let run_case ?(fuel = campaign_fuel) ?share ?resolve
-    (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : case_report =
+(* --- the worker half: the supervised testbed sweep --- *)
+
+(* The raw material of one differential test, before any vote: every
+   applicable testbed's supervised execution outcome. Produced on a
+   worker domain; judged (vote, quarantine filtering) on the driver. The
+   split is what keeps supervision deterministic: fault draws depend only
+   on (plan, testbed, case key), while every stateful decision — which
+   testbeds are quarantined, what the majority is — happens in
+   submission order on the driver. *)
+type sweep = {
+  sw_case : Testcase.t;
+  sw_key : int;  (** the case key the fault draws were keyed by *)
+  sw_execs :
+    (Engines.Engine.testbed * Jsinterp.Run.result Supervisor.outcome) list;
+}
+
+let sweep_case ?(fuel = campaign_fuel) ?share ?resolve ?plan ?policy
+    ?supervisor ?(case_key = 0) (testbeds : Engines.Engine.testbed list)
+    (tc : Testcase.t) : sweep =
   let share =
     match share with Some s -> s | None -> share_by_default ()
   in
@@ -152,17 +173,81 @@ let run_case ?(fuel = campaign_fuel) ?share ?resolve
         Engines.Engine.Frontend.supports fc tb.Engines.Engine.tb_config)
       testbeds
   in
-  let results =
+  let execs =
     List.map
-      (fun tb ->
-        ( tb,
-          if share then Engines.Engine.Exec.run ~fuel ?resolve ec tb
-          else
-            Engines.Engine.run ~fuel ?resolve
-              ~frontend:(Engines.Engine.Frontend.frontend fc tb)
-              tb tc.Testcase.tc_source ))
+      (fun (tb : Engines.Engine.testbed) ->
+        let tb_id = Engines.Engine.testbed_id tb in
+        let outcome =
+          (* the racy peek: skipping work for an already-quarantined
+             testbed is sound because the judge re-checks against driver
+             state, and the quarantine set only grows *)
+          match supervisor with
+          | Some sup when Supervisor.quarantined_now sup tb_id ->
+              Supervisor.Skipped
+          | _ ->
+              let thunk () =
+                if share then Engines.Engine.Exec.run ~fuel ?resolve ec tb
+                else
+                  Engines.Engine.run ~fuel ?resolve
+                    ~frontend:(Engines.Engine.Frontend.frontend fc tb)
+                    tb tc.Testcase.tc_source
+              in
+              if plan = None && policy = None then
+                (* happy path: no supervision requested, run bare — a
+                   real escaped exception then still poisons the item, as
+                   before this layer existed *)
+                Supervisor.Done (thunk (), Supervisor.ok_meta)
+              else Supervisor.execute ?plan ?policy ~testbed_id:tb_id ~case_key thunk
+        in
+        (tb, outcome))
       applicable
   in
+  { sw_case = tc; sw_key = case_key; sw_execs = execs }
+
+(* --- the driver half: quarantine filtering, the vote, the verdict --- *)
+
+let judge ?supervisor (sw : sweep) : case_report =
+  let tc = sw.sw_case in
+  (* split the sweep against *driver* quarantine state: results from
+     testbeds quarantined by an earlier case are discarded whether or not
+     the worker skipped them (it may have raced ahead), so the report is
+     a pure function of the in-order case stream *)
+  let results = ref [] and faulted = ref [] and skipped = ref 0 in
+  let observations =
+    List.filter_map
+      (fun ((tb : Engines.Engine.testbed), outcome) ->
+        let tb_id = Engines.Engine.testbed_id tb in
+        let q =
+          match supervisor with
+          | Some sup -> Supervisor.quarantined sup tb_id
+          | None -> false
+        in
+        if q then begin
+          incr skipped;
+          Some (tb_id, Supervisor.Ob_skipped)
+        end
+        else
+          match outcome with
+          | Supervisor.Done (r, meta) ->
+              results := (tb, r) :: !results;
+              Some (tb_id, Supervisor.Ob_ok meta)
+          | Supervisor.Faulted fr ->
+              faulted := (tb_id, fr) :: !faulted;
+              Some (tb_id, Supervisor.Ob_faulted fr)
+          | Supervisor.Skipped ->
+              (* worker saw a quarantine the driver has not reached yet;
+                 impossible under the monotone protocol, but treat it as
+                 skipped rather than invent a result *)
+              incr skipped;
+              Some (tb_id, Supervisor.Ob_skipped))
+      sw.sw_execs
+  in
+  (match supervisor with
+  | Some sup -> Supervisor.observe sup ~case_key:sw.sw_key observations
+  | None -> ());
+  let results = List.rev !results in
+  let faulted = List.rev !faulted in
+  let skipped = !skipped in
   let runs = apply_2t_rule results in
   let tested = List.length runs in
   let all_parse_failed =
@@ -178,6 +263,8 @@ let run_case ?(fuel = campaign_fuel) ?share ?resolve
       cr_all_parse_failed = all_parse_failed;
       cr_all_timeout = all_timeout;
       cr_tested = tested;
+      cr_faulted = faulted;
+      cr_skipped = skipped;
     }
   else begin
     (* majority vote over signatures: one counting pass, then one
@@ -223,8 +310,20 @@ let run_case ?(fuel = campaign_fuel) ?share ?resolve
       cr_all_parse_failed = false;
       cr_all_timeout = false;
       cr_tested = tested;
+      cr_faulted = faulted;
+      cr_skipped = skipped;
     }
   end
+
+(* One differential test, sweep and judge in one go — the entry point for
+   everything that tests a case outside a supervised campaign loop. With
+   no [plan]/[policy]/[supervisor] this computes exactly what it did
+   before the supervision layer existed. *)
+let run_case ?fuel ?share ?resolve ?plan ?policy ?supervisor ?case_key
+    (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : case_report =
+  judge ?supervisor
+    (sweep_case ?fuel ?share ?resolve ?plan ?policy ?supervisor ?case_key
+       testbeds tc)
 
 (* Field-wise report equality. [Quirk.Set.t] is a balanced tree whose
    shape depends on insertion order, so structural [(=)] on the whole
@@ -245,6 +344,8 @@ let report_equal (a : case_report) (b : case_report) : bool =
   && a.cr_tested = b.cr_tested
   && List.length a.cr_deviations = List.length b.cr_deviations
   && List.for_all2 deviation_equal a.cr_deviations b.cr_deviations
+  && List.map fst a.cr_faulted = List.map fst b.cr_faulted
+  && a.cr_skipped = b.cr_skipped
 
 exception Share_mismatch of string
 

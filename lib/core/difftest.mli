@@ -36,6 +36,11 @@ type case_report = {
   cr_all_parse_failed : bool;  (** consistent parse error — case ignored *)
   cr_all_timeout : bool;       (** likely an infinite loop — case ignored *)
   cr_tested : int;             (** testbeds that actually ran the case *)
+  cr_faulted : (string * Supervisor.fault_report) list;
+      (** testbeds whose supervised execution exhausted its retry budget
+          (infrastructure faults, Fig. 5's harness-failure lane): excluded
+          from the vote, never reported as deviations *)
+  cr_skipped : int;            (** testbeds dropped by quarantine *)
 }
 
 (** Classify one engine run. *)
@@ -65,18 +70,62 @@ val apply_2t_rule :
   (Engines.Engine.testbed * Jsinterp.Run.result) list ->
   (Engines.Engine.testbed * Jsinterp.Run.result * signature) list
 
-(** Run one test case across the given testbeds and vote. [share]
-    (default {!share_by_default}) collapses the sweep into behavioural
-    equivalence classes via {!Engines.Engine.Exec}, executing once per
-    class instead of once per testbed; the report is byte-identical
-    either way (DESIGN.md §8). [resolve] (default
-    {!Jsinterp.Run.resolve_by_default}) selects the slot-compiled
-    interpreter core for reference executions (DESIGN.md §9); the
-    report is byte-identical either way. *)
+(** The raw material of one differential test: every applicable testbed's
+    supervised execution outcome, before any vote. Produced on a worker
+    domain by {!sweep_case}; turned into a {!case_report} on the driver by
+    {!judge}. The split is what keeps supervision deterministic
+    (DESIGN.md §10): fault draws depend only on (plan, testbed, case
+    key), and every stateful decision — quarantine, the majority — runs
+    in submission order on the driver. *)
+type sweep = {
+  sw_case : Testcase.t;
+  sw_key : int;  (** the case key the fault draws were keyed by *)
+  sw_execs :
+    (Engines.Engine.testbed * Jsinterp.Run.result Supervisor.outcome) list;
+}
+
+(** The worker half of one differential test: execute the case on every
+    applicable testbed under the fault plan and supervision policy.
+    [supervisor] is consulted only through its racy monotone quarantine
+    snapshot, to skip work {!judge} would discard. With no
+    [plan]/[policy] the per-testbed execution is the bare engine run. *)
+val sweep_case :
+  ?fuel:int ->
+  ?share:bool ->
+  ?resolve:bool ->
+  ?plan:Supervisor.Faultplan.t ->
+  ?policy:Supervisor.policy ->
+  ?supervisor:Supervisor.t ->
+  ?case_key:int ->
+  Engines.Engine.testbed list ->
+  Testcase.t ->
+  sweep
+
+(** The driver half: discard results from quarantined testbeds, feed the
+    supervisor its per-testbed observations (updating consecutive-fault
+    counters and the quarantine set), then vote over the surviving runs
+    exactly as an unsupervised sweep would. Must be called in case
+    submission order when a supervisor is threaded through. *)
+val judge : ?supervisor:Supervisor.t -> sweep -> case_report
+
+(** Run one test case across the given testbeds and vote —
+    [judge (sweep_case ...)]. [share] (default {!share_by_default})
+    collapses the sweep into behavioural equivalence classes via
+    {!Engines.Engine.Exec}, executing once per class instead of once per
+    testbed; the report is byte-identical either way (DESIGN.md §8).
+    [resolve] (default {!Jsinterp.Run.resolve_by_default}) selects the
+    slot-compiled interpreter core for reference executions (DESIGN.md
+    §9); the report is byte-identical either way. [plan]/[policy]/
+    [supervisor] enable supervised execution (DESIGN.md §10); with all
+    three absent the report is exactly the pre-supervision one. *)
 val run_case :
   ?fuel:int ->
   ?share:bool ->
   ?resolve:bool ->
+  ?plan:Supervisor.Faultplan.t ->
+  ?policy:Supervisor.policy ->
+  ?supervisor:Supervisor.t ->
+  ?case_key:int ->
   Engines.Engine.testbed list ->
   Testcase.t ->
   case_report

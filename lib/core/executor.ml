@@ -11,9 +11,10 @@
    Domain-safety contract for submitted work: a job must only touch state
    it owns (each engine run builds a fresh realm; per-case caches live in
    the worker that owns the case). The few process-wide counters the jobs
-   reach (AST node ids, object ids, the parse counter) are atomics. Jobs
-   must not force shared lazies — the campaign forces the spec database
-   and the LM before any job is submitted.
+   reach (AST node ids, object ids, the parse counter) are atomics. The
+   shared lazies every job reads (the spec database, the language model)
+   are forced by [create] itself before any worker domain exists, so
+   callers no longer have to remember.
 
    The pool holds [jobs] worker domains pulling thunks from one queue; the
    submitting domain never blocks inside a worker's critical section. With
@@ -28,6 +29,7 @@ type t = {
   lock : Mutex.t;
   has_task : Condition.t;
   workers : unit Domain.t array;  (* empty when jobs <= 1 *)
+  mutable stopped : bool;         (* set (under [lock]) by [shutdown] *)
 }
 
 let default_jobs () =
@@ -46,10 +48,16 @@ let create ?(jobs = default_jobs ()) () : t =
       lock = Mutex.create ();
       has_task = Condition.create ();
       workers = [||];
+      stopped = false;
     }
   in
   if jobs <= 1 then t
   else begin
+    (* force the process-wide lazies before any worker domain exists: a
+       lazy forced concurrently from two domains raises Lazy.Undefined on
+       the loser, and these two are the ones every campaign job reads *)
+    ignore (Lazy.force Specdb.Db.standard);
+    ignore (Lazy.force Lm.Model.comfort);
     let worker () =
       let rec loop () =
         Mutex.lock t.lock;
@@ -77,14 +85,23 @@ let submit (t : t) (f : unit -> unit) : unit =
   Condition.signal t.has_task;
   Mutex.unlock t.lock
 
+(* Idempotent for every pool size: the first call drains pending work and
+   joins every worker; later calls (and calls racing the first from the
+   same driver, e.g. an exception handler followed by [with_pool]'s
+   [finally]) see [stopped] and return. *)
 let shutdown (t : t) : unit =
   if Array.length t.workers > 0 then begin
     Mutex.lock t.lock;
-    Array.iter (fun _ -> Queue.add Quit t.queue) t.workers;
-    Condition.broadcast t.has_task;
+    let first = not t.stopped in
+    if first then begin
+      t.stopped <- true;
+      Array.iter (fun _ -> Queue.add Quit t.queue) t.workers;
+      Condition.broadcast t.has_task
+    end;
     Mutex.unlock t.lock;
-    Array.iter Domain.join t.workers
+    if first then Array.iter Domain.join t.workers
   end
+  else t.stopped <- true
 
 let with_pool ?jobs (f : t -> 'a) : 'a =
   let t = create ?jobs () in
@@ -94,11 +111,40 @@ let with_pool ?jobs (f : t -> 'a) : 'a =
    on the calling domain in submission order (i = 0, 1, 2, ...). The
    window is a ring of result slots: job [i] lands in slot [i mod window],
    and slot [i mod window] is guaranteed free when job [i] is submitted
-   because job [i - window] was consumed first. Worker exceptions are
-   re-raised at the job's consumption point, preserving order. *)
-let run_ordered (t : t) ?window (f : 'a -> 'b) (xs : 'a list)
-    ~(consume : int -> 'a -> 'b -> unit) : unit =
-  if t.jobs <= 1 then List.iteri (fun i x -> consume i x (f x)) xs
+   because job [i - window] was consumed first.
+
+   Failure handling: a worker exception is re-raised at the job's
+   consumption point, preserving order — unless [on_exn] is given, in
+   which case the exception is mapped to an ordinary consumable value and
+   the sweep carries on (the supervised mode: one poisoned item must not
+   kill a campaign). Either way, before [run_ordered] returns or raises it
+   waits for every in-flight job to land, so no worker still references
+   the ring afterwards and the pool is immediately reusable or
+   shutdown-able.
+
+   [stop], polled after each consumption, halts the fan-out early: no new
+   jobs are submitted, the in-flight tail is drained without being
+   consumed, and the call returns. Used by the campaign driver to abort
+   when every testbed is quarantined (and by checkpoint halts) without
+   poisoning the pool. *)
+let run_ordered (t : t) ?window ?on_exn ?(stop = fun () -> false)
+    (f : 'a -> 'b) (xs : 'a list) ~(consume : int -> 'a -> 'b -> unit) : unit
+    =
+  if t.jobs <= 1 then begin
+    let rec seq i = function
+      | [] -> ()
+      | x :: rest ->
+          let y =
+            match f x with
+            | y -> y
+            | exception e -> (
+                match on_exn with Some h -> h i x e | None -> raise e)
+          in
+          consume i x y;
+          if not (stop ()) then seq (i + 1) rest
+    in
+    seq 0 xs
+  end
   else begin
     let arr = Array.of_list xs in
     let n = Array.length arr in
@@ -111,7 +157,9 @@ let run_ordered (t : t) ?window (f : 'a -> 'b) (xs : 'a list)
         Array.make window None
       in
       let slot_done = Condition.create () in
+      let submitted = ref 0 in
       let submit_job i =
+        incr submitted;
         submit t (fun () ->
             let r = try Ok (f arr.(i)) with e -> Error e in
             Mutex.lock t.lock;
@@ -119,10 +167,9 @@ let run_ordered (t : t) ?window (f : 'a -> 'b) (xs : 'a list)
             Condition.broadcast slot_done;
             Mutex.unlock t.lock)
       in
-      for i = 0 to min window n - 1 do
-        submit_job i
-      done;
-      for i = 0 to n - 1 do
+      (* take job [i]'s landed result out of the ring, blocking until the
+         worker has delivered it *)
+      let take i =
         Mutex.lock t.lock;
         while Option.is_none slots.(i mod window) do
           Condition.wait slot_done t.lock
@@ -130,11 +177,43 @@ let run_ordered (t : t) ?window (f : 'a -> 'b) (xs : 'a list)
         let r = Option.get slots.(i mod window) in
         slots.(i mod window) <- None;
         Mutex.unlock t.lock;
-        (* refill the freed slot before consuming so workers stay busy
-           while the driver runs its (potentially slow) stateful stage *)
-        if i + window < n then submit_job (i + window);
-        match r with Ok y -> consume i arr.(i) y | Error e -> raise e
-      done
+        r
+      in
+      (* wait out jobs submitted but not yet consumed, discarding their
+         results: the exception/early-stop path must leave no worker
+         holding a reference into the ring *)
+      let drain from =
+        for j = from to !submitted - 1 do
+          ignore (take j)
+        done
+      in
+      for i = 0 to min window n - 1 do
+        submit_job i
+      done;
+      let i = ref 0 in
+      let halted = ref false in
+      (try
+         while (not !halted) && !i < n do
+           let r = take !i in
+           (* refill the freed slot before consuming so workers stay busy
+              while the driver runs its (potentially slow) stateful stage *)
+           if !i + window < n then submit_job (!i + window);
+           let y =
+             match r with
+             | Ok y -> y
+             | Error e -> (
+                 match on_exn with
+                 | Some h -> h !i arr.(!i) e
+                 | None -> raise e)
+           in
+           consume !i arr.(!i) y;
+           incr i;
+           if stop () then halted := true
+         done
+       with e ->
+         drain (!i + 1);
+         raise e);
+      if !halted then drain !i
     end
   end
 

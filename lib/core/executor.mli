@@ -9,8 +9,9 @@
     Submitted work must only touch state it owns: each engine run builds a
     fresh realm, per-case caches stay inside the worker that owns the
     case, and the process-wide id counters the jobs reach are atomics.
-    Shared lazies (spec database, language model) must be forced before
-    work is submitted.
+    The shared lazies every campaign job reads (the spec database, the
+    language model) are forced by {!create} before any worker domain is
+    spawned, so callers need not remember to.
 
     With [jobs <= 1] no domain is spawned and everything degrades to the
     plain sequential loop. *)
@@ -20,8 +21,9 @@ type t
 (** [COMFORT_JOBS] from the environment, else 1 (sequential). *)
 val default_jobs : unit -> int
 
-(** Spawn a pool of [jobs] worker domains (default {!default_jobs}).
-    Must be {!shutdown}; prefer {!with_pool}. *)
+(** Spawn a pool of [jobs] worker domains (default {!default_jobs}),
+    forcing the process-wide lazies (spec database, language model) first
+    when [jobs > 1]. Must be {!shutdown}; prefer {!with_pool}. *)
 val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
@@ -30,8 +32,9 @@ val jobs : t -> int
     {!run_ordered}). *)
 val submit : t -> (unit -> unit) -> unit
 
-(** Drain pending work, stop and join every worker. Idempotent only for
-    [jobs <= 1] pools; call exactly once otherwise. *)
+(** Drain pending work, stop and join every worker. Idempotent at every
+    pool size: the first call joins the workers, later calls return
+    immediately. *)
 val shutdown : t -> unit
 
 (** [with_pool ?jobs f] = [create], [f], guaranteed [shutdown]. *)
@@ -40,11 +43,24 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [run_ordered t f xs ~consume] computes [f x] for every element on the
     pool, keeping at most [window] (default [4 * jobs]) items in flight,
     and calls [consume i x (f x)] on the calling domain in strict
-    submission order. A worker exception is re-raised at that item's
-    consumption point. *)
+    submission order.
+
+    A worker exception is re-raised at that item's consumption point —
+    unless [on_exn] is given, in which case [on_exn i x e] supplies the
+    value consumed for the failed item and the fan-out carries on (the
+    supervised mode: one poisoned item is recorded, not fatal). On every
+    exit path — normal, exception, early stop — all in-flight work is
+    drained first, so the pool is left immediately reusable and
+    {!shutdown}-safe.
+
+    [stop], polled after each consumption, halts the fan-out early: no
+    further jobs are submitted and un-consumed in-flight results are
+    discarded. *)
 val run_ordered :
   t ->
   ?window:int ->
+  ?on_exn:(int -> 'a -> exn -> 'b) ->
+  ?stop:(unit -> bool) ->
   ('a -> 'b) ->
   'a list ->
   consume:(int -> 'a -> 'b -> unit) ->

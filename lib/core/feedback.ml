@@ -140,6 +140,25 @@ let run_rounds ?(testbeds = Campaign.default_testbeds ()) ?(rounds = 4)
                  |> List.sort (fun (a, _) (b, _) -> compare a b));
               cp_repaired =
                 acc.Campaign.cp_repaired + res.Campaign.cp_repaired;
+              cp_skipped_cases =
+                acc.Campaign.cp_skipped_cases + res.Campaign.cp_skipped_cases;
+              cp_faults =
+                (let a = acc.Campaign.cp_faults
+                 and b = res.Campaign.cp_faults in
+                 {
+                   Supervisor.st_injected = a.Supervisor.st_injected + b.Supervisor.st_injected;
+                   st_retried = a.Supervisor.st_retried + b.Supervisor.st_retried;
+                   st_faulted = a.Supervisor.st_faulted + b.Supervisor.st_faulted;
+                   st_skipped = a.Supervisor.st_skipped + b.Supervisor.st_skipped;
+                   st_slow = a.Supervisor.st_slow + b.Supervisor.st_slow;
+                   st_backoff = a.Supervisor.st_backoff + b.Supervisor.st_backoff;
+                 });
+              cp_quarantined =
+                acc.Campaign.cp_quarantined @ res.Campaign.cp_quarantined;
+              cp_aborted =
+                (match acc.Campaign.cp_aborted with
+                | Some _ as a -> a
+                | None -> res.Campaign.cp_aborted);
             })
   done;
   Option.get !merged

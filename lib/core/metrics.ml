@@ -121,3 +121,32 @@ let runtime_exception_rate (fz : Campaign.fuzzer) ~(n : int) : float =
           valid
       in
       Float.of_int (List.length throwing) /. Float.of_int (List.length valid)
+
+(* Coverage degradation of a supervised campaign: how many testbeds the
+   quarantine removed from the vote, and how many executions the fault
+   layer absorbed, relative to the sweep the campaign started with. *)
+type availability = {
+  av_testbeds : int;
+  av_quarantined : int;
+  av_live : int;
+  av_cases : int;
+  av_skipped_cases : int;
+  av_lost_executions : int;
+  av_ratio : float;
+}
+
+let availability ~(testbeds : int) (c : Campaign.result) : availability =
+  let quarantined = List.length c.Campaign.cp_quarantined in
+  let live = max 0 (testbeds - quarantined) in
+  let s = c.Campaign.cp_faults in
+  {
+    av_testbeds = testbeds;
+    av_quarantined = quarantined;
+    av_live = live;
+    av_cases = c.Campaign.cp_cases_run;
+    av_skipped_cases = c.Campaign.cp_skipped_cases;
+    av_lost_executions = s.Supervisor.st_faulted + s.Supervisor.st_skipped;
+    av_ratio =
+      (if testbeds <= 0 then 1.0
+       else Float.of_int live /. Float.of_int testbeds);
+  }

@@ -30,3 +30,20 @@ val screen_stats : Campaign.fuzzer -> n:int -> screening
 (** Share of valid generated cases that raise a runtime exception (the
     paper reports ~18% for Comfort). *)
 val runtime_exception_rate : Campaign.fuzzer -> n:int -> float
+
+(** How much coverage a supervised campaign retained in the face of
+    faults (DESIGN.md §10): graceful degradation, quantified. *)
+type availability = {
+  av_testbeds : int;         (** testbeds the campaign started with *)
+  av_quarantined : int;      (** dropped by quarantine along the way *)
+  av_live : int;             (** still voting when the campaign ended *)
+  av_cases : int;            (** cases consumed *)
+  av_skipped_cases : int;    (** whole cases lost to worker failures *)
+  av_lost_executions : int;  (** per-testbed executions faulted or skipped *)
+  av_ratio : float;          (** live / started (1.0 when nothing faulted) *)
+}
+
+(** Summarise a campaign's degradation. [testbeds] is the size of the
+    sweep the campaign was launched with (the result only records the
+    losses). *)
+val availability : testbeds:int -> Campaign.result -> availability

@@ -151,5 +151,22 @@ let screening_summary (c : Campaign.result) : (string * int) list =
        (fun (reason, n) -> ("drop:" ^ reason, n))
        c.Campaign.cp_screen_reasons
 
+(* Supervision summary: what the fault-injection/retry/quarantine layer
+   absorbed during the campaign, as (label, count) rows mirroring
+   [screening_summary]. Quarantined testbeds get one row each so a chaos
+   report names the degraded coverage explicitly. *)
+let supervision_summary (c : Campaign.result) : (string * int) list =
+  let s = c.Campaign.cp_faults in
+  ("faulted attempts", s.Supervisor.st_injected)
+  :: ("retried ok", s.Supervisor.st_retried)
+  :: ("gave up", s.Supervisor.st_faulted)
+  :: ("skipped (quarantine)", s.Supervisor.st_skipped)
+  :: ("slow starts absorbed", s.Supervisor.st_slow)
+  :: ("backoff units", s.Supervisor.st_backoff)
+  :: ("cases failed-and-skipped", c.Campaign.cp_skipped_cases)
+  :: List.map
+       (fun (id, at) -> ("quarantined:" ^ id, at))
+       c.Campaign.cp_quarantined
+
 (* Ground-truth totals, for "found X of Y seeded bugs" summaries. *)
 let ground_truth_total () = List.length Registry.all_bugs

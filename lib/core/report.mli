@@ -25,5 +25,11 @@ val fig7 : Campaign.result -> (string * int * int) list
     followed by the per-reason drop histogram (["drop:<reason>"]). *)
 val screening_summary : Campaign.result -> (string * int) list
 
+(** Supervision summary rows: aggregate fault/retry/quarantine counters,
+    cases lost to worker failures, then one ["quarantined:<testbed>"] row
+    per dropped testbed (value = the case index that tripped the
+    threshold). All-zero/empty for an unsupervised campaign. *)
+val supervision_summary : Campaign.result -> (string * int) list
+
 (** Size of the seeded ground-truth bug population. *)
 val ground_truth_total : unit -> int

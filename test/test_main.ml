@@ -24,6 +24,7 @@ let () =
       ("paper listings", Test_listings.suite);
       ("properties", Test_properties.suite);
       ("feedback", Test_feedback.suite);
+      ("supervisor", Test_supervisor.suite);
       ("coercions", Test_coercion.suite);
       ("ground truth", Test_groundtruth.suite);
     ]

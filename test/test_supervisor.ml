@@ -1,0 +1,533 @@
+(* Supervised execution: fault injection, retry, quarantine, checkpoint.
+
+   The properties that matter, each covered directly:
+
+   - fault plans are deterministic pure functions of (seed, testbed, case,
+     attempt) and round-trip through their spec syntax;
+   - [Supervisor.execute] retries transient faults with deterministic
+     backoff, gives up on persistent ones, and injected faults can never
+     surface as engine behaviour;
+   - the driver quarantines testbeds after K consecutive faulted cases
+     and an intervening success resets the counter;
+   - the supervised executor records a poisoned item as failed-and-skipped
+     instead of killing the fan-out, halts early on [stop], and shutdown
+     is idempotent;
+   - a chaos campaign completes, quarantines the persistent faulter,
+     reports the degraded coverage, leaks zero injected faults into the
+     discoveries, and is byte-identical at any job count;
+   - a campaign halted at a checkpoint and resumed produces a result
+     identical to the uninterrupted run's. *)
+
+module Supervisor = Comfort.Supervisor
+module Faultplan = Comfort.Supervisor.Faultplan
+module Campaign = Comfort.Campaign
+module Executor = Comfort.Executor
+
+(* The library reads COMFORT_FAULTS when no explicit plan is passed; make
+   sure ambient chaos-job configuration cannot leak into the baselines. *)
+let () = Unix.putenv "COMFORT_FAULTS" ""
+
+let plan_of_spec spec =
+  match Faultplan.of_spec spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "spec %S rejected: %s" spec e
+
+let contains haystack needle =
+  let lh = String.lowercase_ascii haystack
+  and ln = String.lowercase_ascii needle in
+  let nh = String.length lh and nn = String.length ln in
+  let rec scan i = i + nn <= nh && (String.sub lh i nn = ln || scan (i + 1)) in
+  scan 0
+
+(* --- fault plans --- *)
+
+let plan_spec_round_trip () =
+  let spec = "seed=9;targets=V8|Hermes;crash=0.1;hang=0.05;flaky=0.3;flaky_tries=2;slow=0.2" in
+  let p = plan_of_spec spec in
+  let p' = plan_of_spec (Faultplan.to_spec p) in
+  Alcotest.(check string) "to_spec is a fixpoint" (Faultplan.to_spec p)
+    (Faultplan.to_spec p');
+  Alcotest.(check bool) "unknown key rejected" true
+    (Result.is_error (Faultplan.of_spec "seed=1;crsh=0.5"));
+  Alcotest.(check bool) "probability out of range rejected" true
+    (Result.is_error (Faultplan.of_spec "crash=1.5"));
+  Alcotest.(check bool) "malformed field rejected" true
+    (Result.is_error (Faultplan.of_spec "seed"))
+
+let plan_from_env () =
+  Unix.putenv "COMFORT_FAULTS" "seed=3;crash=0.5";
+  (match Faultplan.from_env () with
+  | Some p ->
+      Alcotest.(check string) "env plan parsed" "seed=3;crash=0.5"
+        (Faultplan.to_spec p)
+  | None -> Alcotest.fail "COMFORT_FAULTS ignored");
+  Unix.putenv "COMFORT_FAULTS" "nonsense";
+  Alcotest.check_raises "malformed env spec fails loudly"
+    (Invalid_argument
+       "COMFORT_FAULTS: malformed field \"nonsense\" (want key=value)")
+    (fun () -> ignore (Faultplan.from_env ()));
+  Unix.putenv "COMFORT_FAULTS" "";
+  Alcotest.(check bool) "empty env means no plan" true
+    (Faultplan.from_env () = None)
+
+let plan_draw_is_deterministic () =
+  let p = plan_of_spec "seed=9;crash=0.3;hang=0.1;flaky=0.2;slow=0.2" in
+  let draw tb ck a = Faultplan.draw p ~testbed_id:tb ~case_key:ck ~attempt:a in
+  (* pure: the same key always yields the same fault *)
+  for ck = 0 to 40 do
+    for a = 0 to 3 do
+      Alcotest.(check bool) "same key, same draw" true
+        (draw "v8-8.0[normal]" ck a = draw "v8-8.0[normal]" ck a)
+    done
+  done;
+  (* non-degenerate: across keys the plan both faults and spares *)
+  let faults =
+    List.length
+      (List.filter
+         (fun ck -> draw "v8-8.0[normal]" ck 0 <> None)
+         (List.init 200 (fun i -> i)))
+  in
+  Alcotest.(check bool) "some draws fault" true (faults > 0);
+  Alcotest.(check bool) "some draws pass" true (faults < 200)
+
+let plan_targets_filter () =
+  let p = plan_of_spec "seed=1;targets=Hermes;crash=1.0" in
+  Alcotest.(check bool) "targeted (case-insensitive substring)" true
+    (Faultplan.targets p "hermes-0.7[strict]");
+  Alcotest.(check bool) "untargeted" false (Faultplan.targets p "v8-8.0[normal]");
+  Alcotest.(check bool) "untargeted testbeds never draw faults" true
+    (List.for_all
+       (fun ck ->
+         Faultplan.draw p ~testbed_id:"v8-8.0[normal]" ~case_key:ck ~attempt:0
+         = None)
+       (List.init 50 (fun i -> i)))
+
+(* --- supervised execution --- *)
+
+let execute_retry_then_succeed () =
+  (* flaky with certainty for 2 attempts: burns both retries, then runs *)
+  let p = plan_of_spec "seed=5;flaky=1.0;flaky_tries=2" in
+  match
+    Supervisor.execute ~plan:p ~testbed_id:"tb" ~case_key:0 (fun () -> 42)
+  with
+  | Supervisor.Done (v, meta) ->
+      Alcotest.(check int) "value" 42 v;
+      Alcotest.(check int) "two failed attempts absorbed" 2
+        meta.Supervisor.em_retries;
+      (* deterministic backoff: base * 2^0 + base * 2^1 = 30 *)
+      Alcotest.(check int) "backoff accounted" 30 meta.Supervisor.em_backoff
+  | Supervisor.Faulted _ -> Alcotest.fail "transient fault should clear"
+  | Supervisor.Skipped -> Alcotest.fail "nothing quarantined here"
+
+let execute_gives_up_on_persistent_fault () =
+  let p = plan_of_spec "seed=5;crash=1.0" in
+  match
+    Supervisor.execute ~plan:p ~testbed_id:"tb" ~case_key:0 (fun () -> 42)
+  with
+  | Supervisor.Faulted fr ->
+      Alcotest.(check bool) "crash" true (fr.Supervisor.fr_kind = Supervisor.F_crash);
+      Alcotest.(check int) "first try + default 2 retries" 3
+        fr.Supervisor.fr_attempts;
+      Alcotest.(check int) "trail records every attempt" 3
+        (List.length fr.Supervisor.fr_trail);
+      Alcotest.(check int) "backoff accounted" 30 fr.Supervisor.fr_backoff
+  | _ -> Alcotest.fail "a certain crash must exhaust the budget"
+
+let execute_retries_real_exceptions () =
+  (* a real escaped exception is retried like an injected crash: a
+     transient harness flake clears, a deterministic bug becomes F_exn *)
+  let calls = ref 0 in
+  (match
+     Supervisor.execute ~testbed_id:"tb" ~case_key:0
+       ~policy:Supervisor.default_policy (fun () ->
+         incr calls;
+         if !calls = 1 then failwith "transient flake" else 7)
+   with
+  | Supervisor.Done (7, meta) ->
+      Alcotest.(check int) "one retry" 1 meta.Supervisor.em_retries
+  | _ -> Alcotest.fail "flake should clear on retry");
+  match
+    Supervisor.execute ~testbed_id:"tb" ~case_key:0
+      ~policy:Supervisor.default_policy (fun () -> failwith "always")
+  with
+  | Supervisor.Faulted fr -> (
+      match fr.Supervisor.fr_kind with
+      | Supervisor.F_exn _ -> ()
+      | k ->
+          Alcotest.failf "wrong kind %s" (Supervisor.fault_kind_to_string k))
+  | _ -> Alcotest.fail "deterministic exception must fault"
+
+let execute_slow_start_vs_watchdog () =
+  let p = plan_of_spec "seed=5;slow=1.0;slow_max=50" in
+  (* within the default 100-unit watchdog budget: merely slow *)
+  (match
+     Supervisor.execute ~plan:p ~testbed_id:"tb" ~case_key:0 (fun () -> 1)
+   with
+  | Supervisor.Done (1, meta) ->
+      Alcotest.(check int) "slow start absorbed" 1 meta.Supervisor.em_slow
+  | _ -> Alcotest.fail "slow start within budget should proceed");
+  (* watchdog budget 0: indistinguishable from a hang, killed every try *)
+  let strict = { Supervisor.default_policy with Supervisor.p_watchdog = 0 } in
+  match
+    Supervisor.execute ~plan:p ~policy:strict ~testbed_id:"tb" ~case_key:0
+      (fun () -> 1)
+  with
+  | Supervisor.Faulted fr -> (
+      match fr.Supervisor.fr_kind with
+      | Supervisor.F_slow _ -> ()
+      | k ->
+          Alcotest.failf "wrong kind %s" (Supervisor.fault_kind_to_string k))
+  | _ -> Alcotest.fail "slow start beyond the watchdog must be killed"
+
+let injected_faults_never_return_values () =
+  (* the carrier exception is caught by the supervisor, not the engine:
+     a thunk that raises [Injected] can only fault, never produce *)
+  match
+    Supervisor.execute ~testbed_id:"tb" ~case_key:0
+      ~policy:Supervisor.default_policy (fun () ->
+        raise (Supervisor.Injected Supervisor.F_hang))
+  with
+  | Supervisor.Faulted fr ->
+      Alcotest.(check bool) "hang preserved" true
+        (fr.Supervisor.fr_kind = Supervisor.F_hang)
+  | _ -> Alcotest.fail "injected fault leaked"
+
+(* --- quarantine --- *)
+
+let quarantine_after_consecutive_faults () =
+  let sup = Supervisor.create () in  (* default threshold: 3 *)
+  let fr =
+    {
+      Supervisor.fr_kind = Supervisor.F_crash;
+      fr_attempts = 3;
+      fr_trail = [ Supervisor.F_crash ];
+      fr_backoff = 30;
+    }
+  in
+  let fault ck = Supervisor.observe sup ~case_key:ck [ ("tb", Supervisor.Ob_faulted fr) ] in
+  let ok ck = Supervisor.observe sup ~case_key:ck [ ("tb", Supervisor.Ob_ok Supervisor.ok_meta) ] in
+  fault 1; fault 2;
+  Alcotest.(check bool) "not yet" false (Supervisor.quarantined sup "tb");
+  ok 3;  (* success resets the consecutive counter *)
+  fault 4; fault 5;
+  Alcotest.(check bool) "reset worked" false (Supervisor.quarantined sup "tb");
+  fault 6;
+  Alcotest.(check bool) "third consecutive fault trips" true
+    (Supervisor.quarantined sup "tb");
+  Alcotest.(check bool) "worker snapshot agrees" true
+    (Supervisor.quarantined_now sup "tb");
+  Alcotest.(check (list (pair string int))) "list records the tripping case"
+    [ ("tb", 6) ]
+    (Supervisor.quarantine_list sup);
+  Alcotest.(check int) "faulted count" 5 (Supervisor.stats sup).Supervisor.st_faulted;
+  (* freeze/thaw round-trips the whole driver state *)
+  let sup' = Supervisor.thaw (Supervisor.freeze sup) in
+  Alcotest.(check bool) "thawed quarantine" true (Supervisor.quarantined sup' "tb");
+  Alcotest.(check bool) "thawed stats" true
+    (Supervisor.stats sup' = Supervisor.stats sup)
+
+(* --- the supervised executor --- *)
+
+let executor_on_exn_marks_failed_and_skipped () =
+  Executor.with_pool ~jobs:3 (fun pool ->
+      let consumed = ref [] in
+      let skipped = ref 0 in
+      Executor.run_ordered pool
+        ~on_exn:(fun _ _ _ -> incr skipped; -1)
+        (fun x -> if x mod 3 = 0 then raise Exit else x * 10)
+        (List.init 20 (fun i -> i))
+        ~consume:(fun _ _ y -> consumed := y :: !consumed);
+      Alcotest.(check int) "every item consumed" 20 (List.length !consumed);
+      Alcotest.(check int) "poisoned items recorded" 7 !skipped;
+      Alcotest.(check bool) "failed items carry the marker" true
+        (List.for_all
+           (fun y -> y = -1 || y mod 10 = 0)
+           !consumed);
+      (* the pool survived the poisoned items: run again on the same pool *)
+      let n = ref 0 in
+      Executor.run_ordered pool (fun x -> x) [ 1; 2; 3 ]
+        ~consume:(fun _ _ _ -> incr n);
+      Alcotest.(check int) "pool reusable" 3 !n)
+
+let executor_stop_halts_early () =
+  Executor.with_pool ~jobs:4 (fun pool ->
+      let stop = ref false in
+      let consumed = ref 0 in
+      Executor.run_ordered pool ~stop:(fun () -> !stop)
+        (fun x -> x)
+        (List.init 100 (fun i -> i))
+        ~consume:(fun i _ _ ->
+          consumed := i + 1;
+          if i = 9 then stop := true);
+      Alcotest.(check int) "halted right after the stop signal" 10 !consumed)
+
+let executor_shutdown_is_idempotent () =
+  List.iter
+    (fun jobs ->
+      let pool = Executor.create ~jobs () in
+      Executor.shutdown pool;
+      Executor.shutdown pool;
+      Executor.shutdown pool)
+    [ 1; 2; 4 ];
+  (* shutdown is also guaranteed when run_ordered raises *)
+  let pool = Executor.create ~jobs:3 () in
+  (try
+     Executor.run_ordered pool
+       (fun x -> if x = 5 then raise Exit else x)
+       (List.init 10 (fun i -> i))
+       ~consume:(fun _ _ _ -> ())
+   with Exit -> ());
+  Executor.shutdown pool;
+  Executor.shutdown pool
+
+(* --- chaos campaigns --- *)
+
+let testbeds = lazy (Campaign.default_testbeds ())
+
+let chaos_plan =
+  (* crashes, hangs and flakes on 6 of the 20 testbeds; crash=1.0 means
+     every attempt on a targeted testbed faults one way or another, so
+     all six must retry, exhaust the budget, and end up quarantined after
+     the default 3 consecutive faulted cases — while each mode group
+     keeps 7 live testbeds, so the campaign itself completes *)
+  lazy
+    (plan_of_spec
+       "seed=11;targets=Hermes|Rhino|Nashorn;crash=1.0;hang=0.3;flaky=0.4")
+
+let chaos_targets = [ "hermes"; "rhino"; "nashorn" ]
+
+let run_chaos ?(jobs = 1) ?checkpoint ?halt_after () =
+  Campaign.run
+    ~testbeds:(Lazy.force testbeds)
+    ~budget:20 ~jobs
+    ~faults:(Lazy.force chaos_plan)
+    ?checkpoint ?halt_after
+    (Campaign.comfort_fuzzer ~seed:23 ())
+
+let disc_key (d : Campaign.discovery) =
+  ( Engines.Registry.engine_name d.Campaign.disc_engine,
+    Jsinterp.Quirk.to_string d.Campaign.disc_quirk,
+    d.Campaign.disc_at,
+    d.Campaign.disc_behavior,
+    d.Campaign.disc_version,
+    Engines.Engine.mode_to_string d.Campaign.disc_mode,
+    d.Campaign.disc_case.Comfort.Testcase.tc_source )
+
+(* Field-wise result comparison (test-case ids are allocation counters,
+   so discoveries are compared through [disc_key]). *)
+let check_results_equal label (a : Campaign.result) (b : Campaign.result) =
+  Alcotest.(check int) (label ^ ": cases") a.Campaign.cp_cases_run b.Campaign.cp_cases_run;
+  Alcotest.(check bool) (label ^ ": discoveries") true
+    (List.map disc_key a.Campaign.cp_discoveries
+    = List.map disc_key b.Campaign.cp_discoveries);
+  Alcotest.(check bool) (label ^ ": timeline") true
+    (a.Campaign.cp_timeline = b.Campaign.cp_timeline);
+  Alcotest.(check int) (label ^ ": filtered") a.Campaign.cp_filtered_repeats
+    b.Campaign.cp_filtered_repeats;
+  Alcotest.(check int) (label ^ ": unattributed") a.Campaign.cp_unattributed
+    b.Campaign.cp_unattributed;
+  Alcotest.(check int) (label ^ ": screened out") a.Campaign.cp_screened_out
+    b.Campaign.cp_screened_out;
+  Alcotest.(check bool) (label ^ ": screen reasons") true
+    (a.Campaign.cp_screen_reasons = b.Campaign.cp_screen_reasons);
+  Alcotest.(check int) (label ^ ": repaired") a.Campaign.cp_repaired
+    b.Campaign.cp_repaired;
+  Alcotest.(check int) (label ^ ": skipped cases") a.Campaign.cp_skipped_cases
+    b.Campaign.cp_skipped_cases;
+  Alcotest.(check bool) (label ^ ": fault stats") true
+    (a.Campaign.cp_faults = b.Campaign.cp_faults);
+  Alcotest.(check bool) (label ^ ": quarantine") true
+    (a.Campaign.cp_quarantined = b.Campaign.cp_quarantined);
+  Alcotest.(check bool) (label ^ ": aborted") true
+    (a.Campaign.cp_aborted = b.Campaign.cp_aborted)
+
+let chaos_campaign_quarantines_and_stays_clean () =
+  let res = run_chaos () in
+  let baseline =
+    Campaign.run ~testbeds:(Lazy.force testbeds) ~budget:20
+      (Campaign.comfort_fuzzer ~seed:23 ())
+  in
+  Alcotest.(check bool) "campaign completed" true
+    (res.Campaign.cp_aborted = None);
+  Alcotest.(check int) "all cases consumed" 20 res.Campaign.cp_cases_run;
+  (* both Hermes testbeds fault persistently and are quarantined *)
+  let quarantined = List.map fst res.Campaign.cp_quarantined in
+  Alcotest.(check int) "all six targeted testbeds dropped" 6
+    (List.length quarantined);
+  Alcotest.(check bool) "only targeted testbeds were quarantined" true
+    (List.for_all
+       (fun id -> List.exists (contains id) chaos_targets)
+       quarantined);
+  let s = res.Campaign.cp_faults in
+  Alcotest.(check bool) "faults were injected" true (s.Supervisor.st_faulted > 0);
+  Alcotest.(check bool) "quarantine then skipped the faulter" true
+    (s.Supervisor.st_skipped > 0);
+  (* degraded coverage is quantified *)
+  let av =
+    Comfort.Metrics.availability
+      ~testbeds:(List.length (Lazy.force testbeds))
+      res
+  in
+  Alcotest.(check int) "six testbeds lost" 6 av.Comfort.Metrics.av_quarantined;
+  Alcotest.(check bool) "availability below 1" true
+    (av.Comfort.Metrics.av_ratio < 1.0);
+  (* zero injected faults leak into the bug statistics: every discovery
+     is a ground-truth (engine, quirk) pair, none is attributed to the
+     faulted engine, and the discovery set is a subset of the no-fault
+     baseline's *)
+  Alcotest.(check bool) "discoveries are ground-truth bugs" true
+    (List.for_all
+       (fun (d : Campaign.discovery) ->
+         List.mem
+           (d.Campaign.disc_engine, d.Campaign.disc_quirk)
+           Engines.Registry.all_bugs)
+       res.Campaign.cp_discoveries);
+  let base_keys = List.map disc_key baseline.Campaign.cp_discoveries in
+  Alcotest.(check bool) "no fault-invented discoveries" true
+    (List.for_all
+       (fun d -> List.mem (disc_key d) base_keys)
+       res.Campaign.cp_discoveries)
+
+let chaos_campaign_is_jobs_invariant () =
+  check_results_equal "jobs 1 vs 3" (run_chaos ~jobs:1 ()) (run_chaos ~jobs:3 ())
+
+let all_testbeds_quarantined_aborts () =
+  (* every testbed crashes on every attempt: by the time the quarantine
+     threshold trips everywhere, no mode group can vote and the campaign
+     winds down instead of burning the rest of the budget *)
+  let res =
+    Campaign.run
+      ~testbeds:(Lazy.force testbeds)
+      ~budget:20
+      ~faults:(plan_of_spec "seed=2;crash=1.0")
+      (Campaign.comfort_fuzzer ~seed:23 ())
+  in
+  Alcotest.(check bool) "aborted" true (res.Campaign.cp_aborted <> None);
+  Alcotest.(check bool) "stopped early" true (res.Campaign.cp_cases_run < 20);
+  Alcotest.(check bool) "no discoveries from injected faults" true
+    (res.Campaign.cp_discoveries = []);
+  Alcotest.(check int) "whole pool quarantined"
+    (List.length (Lazy.force testbeds))
+    (List.length res.Campaign.cp_quarantined)
+
+let fuzzer_exhaustion_aborts () =
+  let remaining = ref 5 in
+  let fz =
+    {
+      Campaign.fz_name = "drained";
+      fz_raw = None;
+      fz_batch =
+        (fun n ->
+          if !remaining = 0 then failwith "out of test cases"
+          else begin
+            let take = min n !remaining in
+            remaining := !remaining - take;
+            List.init take (fun i ->
+                Comfort.Testcase.make
+                  (Printf.sprintf "print(%d + %d);" i (!remaining)))
+          end);
+    }
+  in
+  let res =
+    Campaign.run ~testbeds:(Lazy.force testbeds) ~budget:10 fz
+  in
+  Alcotest.(check bool) "aborted with a reason" true
+    (match res.Campaign.cp_aborted with
+    | Some r -> contains r "fuzzer exhausted"
+    | None -> false);
+  Alcotest.(check int) "the gathered cases still ran" 5
+    res.Campaign.cp_cases_run
+
+(* --- checkpoint / resume --- *)
+
+let ckpt_path name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let checkpoint_load_rejects_garbage () =
+  let path = ckpt_path "comfort-test-garbage.ckpt" in
+  let oc = open_out_bin path in
+  output_string oc "not a checkpoint\njunk";
+  close_out oc;
+  Alcotest.(check bool) "bad header rejected" true
+    (Result.is_error (Campaign.Checkpoint.load path));
+  Sys.remove path;
+  Alcotest.(check bool) "missing file rejected" true
+    (Result.is_error (Campaign.Checkpoint.load path))
+
+let halt_and_resume_matches_uninterrupted () =
+  let path = ckpt_path "comfort-test-resume.ckpt" in
+  let uninterrupted = run_chaos () in
+  (* the same campaign, killed (deterministically) after 7 cases *)
+  (match run_chaos ~checkpoint:(path, 5) ~halt_after:7 () with
+  | _ -> Alcotest.fail "halt_after must raise"
+  | exception Campaign.Halted { halted_at; halted_checkpoint } ->
+      Alcotest.(check int) "halted where asked" 7 halted_at;
+      Alcotest.(check (option string)) "checkpoint written" (Some path)
+        halted_checkpoint);
+  (match Campaign.Checkpoint.load path with
+  | Error e -> Alcotest.failf "checkpoint unreadable: %s" e
+  | Ok st ->
+      Alcotest.(check int) "snapshot is at the halt point" 7
+        (Campaign.Checkpoint.consumed st);
+      Alcotest.(check int) "full case list stored" 20
+        (Campaign.Checkpoint.total st);
+      let resumed = Campaign.resume st in
+      check_results_equal "resumed vs uninterrupted" uninterrupted resumed);
+  (* resuming the finished campaign's final checkpoint is a no-op that
+     reproduces the result *)
+  (match run_chaos ~checkpoint:(path, 1000) () with
+  | res -> (
+      match Campaign.Checkpoint.load path with
+      | Error e -> Alcotest.failf "final checkpoint unreadable: %s" e
+      | Ok st ->
+          Alcotest.(check int) "final checkpoint is complete" 20
+            (Campaign.Checkpoint.consumed st);
+          check_results_equal "re-finished" res (Campaign.resume st)));
+  Sys.remove path
+
+let resume_can_halt_again () =
+  (* two kills in a row: 4 cases, then 11, then to the end — still equal *)
+  let path = ckpt_path "comfort-test-double-resume.ckpt" in
+  let uninterrupted = run_chaos () in
+  (try ignore (run_chaos ~checkpoint:(path, 3) ~halt_after:4 ()) with
+  | Campaign.Halted _ -> ());
+  let st1 =
+    match Campaign.Checkpoint.load path with
+    | Ok st -> st
+    | Error e -> Alcotest.failf "first checkpoint: %s" e
+  in
+  (try ignore (Campaign.resume ~checkpoint:(path, 3) ~halt_after:11 st1) with
+  | Campaign.Halted _ -> ());
+  let st2 =
+    match Campaign.Checkpoint.load path with
+    | Ok st -> st
+    | Error e -> Alcotest.failf "second checkpoint: %s" e
+  in
+  Alcotest.(check int) "second snapshot is later" 11
+    (Campaign.Checkpoint.consumed st2);
+  check_results_equal "twice-killed vs uninterrupted" uninterrupted
+    (Campaign.resume st2);
+  Sys.remove path
+
+let suite =
+  [
+    Helpers.case "fault plan: spec round-trip and validation" plan_spec_round_trip;
+    Helpers.case "fault plan: COMFORT_FAULTS parsing" plan_from_env;
+    Helpers.case "fault plan: draws are pure and non-degenerate" plan_draw_is_deterministic;
+    Helpers.case "fault plan: targets filter" plan_targets_filter;
+    Helpers.case "execute: retry then succeed, backoff accounted" execute_retry_then_succeed;
+    Helpers.case "execute: persistent fault exhausts the budget" execute_gives_up_on_persistent_fault;
+    Helpers.case "execute: real exceptions retried as faults" execute_retries_real_exceptions;
+    Helpers.case "execute: slow start vs watchdog" execute_slow_start_vs_watchdog;
+    Helpers.case "execute: injected faults cannot produce values" injected_faults_never_return_values;
+    Helpers.case "quarantine: threshold, reset, freeze/thaw" quarantine_after_consecutive_faults;
+    Helpers.case "executor: poisoned item is failed-and-skipped" executor_on_exn_marks_failed_and_skipped;
+    Helpers.case "executor: stop halts the fan-out" executor_stop_halts_early;
+    Helpers.case "executor: shutdown is idempotent" executor_shutdown_is_idempotent;
+    Helpers.case "chaos campaign: quarantine, degradation, no leaks" chaos_campaign_quarantines_and_stays_clean;
+    Helpers.case "chaos campaign: jobs-invariant" chaos_campaign_is_jobs_invariant;
+    Helpers.case "chaos campaign: pool exhaustion aborts" all_testbeds_quarantined_aborts;
+    Helpers.case "campaign: fuzzer exhaustion aborts gracefully" fuzzer_exhaustion_aborts;
+    Helpers.case "checkpoint: garbage rejected" checkpoint_load_rejects_garbage;
+    Helpers.case "checkpoint: halt + resume = uninterrupted" halt_and_resume_matches_uninterrupted;
+    Helpers.case "checkpoint: resume can halt and resume again" resume_can_halt_again;
+  ]
