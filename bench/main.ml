@@ -536,13 +536,16 @@ let ablate () =
 
 (* End-to-end campaign wall-clock against the full 102-testbed setup,
    across the (execution sharing on/off) x (slot compilation on/off) x
-   (1 job / N jobs) grid. Verifies on the way that every combination
-   found the same discoveries in the same order (the executor's ordering
-   guarantee, the sharing soundness argument of DESIGN.md §8, and the
-   compilation parity argument of §9), counts real interpreter executions
-   via [Run.run_count] to report executions-per-case with and without
-   sharing, then emits the numbers as machine-readable
-   BENCH_campaign.json for CI and EXPERIMENTS.md.
+   (static reach analysis on/off) x (1 job / N jobs) grid. Verifies on
+   the way that every combination found the same discoveries in the same
+   order (the executor's ordering guarantee, the sharing soundness
+   argument of DESIGN.md §8, the compilation parity argument of §9, and
+   the reach invariance argument of §11), counts real interpreter
+   executions via [Run.run_count] to report executions-per-case with and
+   without sharing — the reach row must execute exactly as often as the
+   share row, since the partition only changes the lookup path — then
+   emits the numbers as machine-readable BENCH_campaign.json for CI and
+   EXPERIMENTS.md.
 
    On a single-CPU container the jobs>1 row is pure scheduling overhead,
    not a measurement of the executor, so it is skipped (and flagged in
@@ -557,19 +560,21 @@ let campaign_bench () =
     if env > 1 then env else min 4 cores
   in
   let multi = cores > 1 && njobs > 1 in
-  let measure ~jobs ~share ~resolve =
+  let measure ~jobs ~share ~resolve ~reach =
     let fz = Comfort.Campaign.comfort_fuzzer ~seed:11 () in
     let e0 = Jsinterp.Run.run_count () in
     let t0 = Unix.gettimeofday () in
-    let res = Comfort.Campaign.run ~testbeds ~budget ~jobs ~share ~resolve fz in
+    let res =
+      Comfort.Campaign.run ~testbeds ~budget ~jobs ~share ~resolve ~reach fz
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let execs = Jsinterp.Run.run_count () - e0 in
     let per_case =
       Float.of_int execs /. Float.of_int res.Comfort.Campaign.cp_cases_run
     in
     Printf.printf
-      "  share=%-5b resolve=%-5b jobs=%d: %6.2fs wall, %6.1f cases/s, %5.1f executions/case, %d unique bugs\n%!"
-      share resolve jobs dt
+      "  share=%-5b resolve=%-5b reach=%-5b jobs=%d: %6.2fs wall, %6.1f cases/s, %5.1f executions/case, %d unique bugs\n%!"
+      share resolve reach jobs dt
       (Float.of_int res.Comfort.Campaign.cp_cases_run /. dt)
       per_case
       (List.length res.Comfort.Campaign.cp_discoveries);
@@ -583,21 +588,22 @@ let campaign_bench () =
        would measure scheduling overhead, not the executor)\n%!";
   let combos =
     [
-      (false, false, 1);
-      (true, false, 1);
-      (false, true, 1);
-      (true, true, 1);
+      (false, false, false, 1);
+      (true, false, false, 1);
+      (false, true, false, 1);
+      (true, true, false, 1);
+      (true, true, true, 1);
     ]
-    @ (if multi then [ (true, true, njobs) ] else [])
+    @ (if multi then [ (true, true, true, njobs) ] else [])
   in
   let runs =
     List.map
-      (fun (share, resolve, jobs) ->
-        ((share, resolve, jobs), measure ~jobs ~share ~resolve))
+      (fun (share, resolve, reach, jobs) ->
+        ((share, resolve, reach, jobs), measure ~jobs ~share ~resolve ~reach))
       combos
   in
   let key d = (d.Comfort.Campaign.disc_engine, d.Comfort.Campaign.disc_quirk) in
-  let base, _, _, _ = List.assoc (false, false, 1) runs in
+  let base, _, _, _ = List.assoc (false, false, false, 1) runs in
   let same =
     List.for_all
       (fun (_, (r, _, _, _)) ->
@@ -608,10 +614,17 @@ let campaign_bench () =
            = base.Comfort.Campaign.cp_filtered_repeats)
       runs
   in
-  let _, direct_dt, direct_execs, direct_pc = List.assoc (false, false, 1) runs in
-  let _, shared_dt, shared_execs, shared_pc = List.assoc (true, false, 1) runs in
-  let _, resolved_dt, _, _ = List.assoc (false, true, 1) runs in
-  let _, both_dt, _, _ = List.assoc (true, true, 1) runs in
+  let _, direct_dt, direct_execs, direct_pc =
+    List.assoc (false, false, false, 1) runs
+  in
+  let _, shared_dt, shared_execs, shared_pc =
+    List.assoc (true, false, false, 1) runs
+  in
+  let _, resolved_dt, _, _ = List.assoc (false, true, false, 1) runs in
+  let _, both_dt, _, _ = List.assoc (true, true, false, 1) runs in
+  let reach_res, reach_dt, reach_execs, reach_pc =
+    List.assoc (true, true, true, 1) runs
+  in
   let reduction = Float.of_int direct_execs /. Float.of_int shared_execs in
   Printf.printf
     "execution sharing: %.1f -> %.1f executions/case (%.1fx fewer), %.2fx faster at 1 job\n"
@@ -620,20 +633,26 @@ let campaign_bench () =
     "slot compilation: %.2fx over tree-walking direct, %.2fx on top of sharing (share+resolve vs share-only)\n"
     (direct_dt /. resolved_dt)
     (shared_dt /. both_dt);
+  Printf.printf
+    "static reach: %.1f executions/case (same executions as share+resolve: %b), %.2fx vs share+resolve, %d reach-seeded shares\n"
+    reach_pc
+    (reach_execs = shared_execs)
+    (both_dt /. reach_dt)
+    reach_res.Comfort.Campaign.cp_reach_seeded;
   (if multi then
-     let _, par_dt, _, _ = List.assoc (true, true, njobs) runs in
+     let _, par_dt, _, _ = List.assoc (true, true, true, njobs) runs in
      Printf.printf
-       "share+resolve+%d jobs vs direct sequential: %.2fx; all results identical: %b\n"
+       "share+resolve+reach+%d jobs vs direct sequential: %.2fx; all results identical: %b\n"
        njobs (direct_dt /. par_dt) same
    else
      Printf.printf "share+resolve vs direct sequential: %.2fx; all results identical: %b\n"
        (direct_dt /. both_dt) same);
-  let json_run ((share, resolve, jobs), (r, dt, execs, per_case)) =
+  let json_run ((share, resolve, reach, jobs), (r, dt, execs, per_case)) =
     Printf.sprintf
-      {|    { "share": %b, "resolve": %b, "jobs": %d, "wall_s": %.3f, "cases_per_s": %.1f, "executions": %d, "executions_per_case": %.1f, "discoveries": %d }|}
-      share resolve jobs dt
+      {|    { "share": %b, "resolve": %b, "reach": %b, "jobs": %d, "wall_s": %.3f, "cases_per_s": %.1f, "executions": %d, "executions_per_case": %.1f, "reach_seeded": %d, "discoveries": %d }|}
+      share resolve reach jobs dt
       (Float.of_int r.Comfort.Campaign.cp_cases_run /. dt)
-      execs per_case
+      execs per_case r.Comfort.Campaign.cp_reach_seeded
       (List.length r.Comfort.Campaign.cp_discoveries)
   in
   let json =
@@ -651,6 +670,8 @@ let campaign_bench () =
   "resolve_speedup_direct": %.2f,
   "resolve_speedup_shared": %.2f,
   "speedup_share_resolve_vs_direct": %.2f,
+  "reach_executions_match_share": %b,
+  "reach_seeded": %d,
   "identical_results": %b
 }
 |}
@@ -661,6 +682,8 @@ let campaign_bench () =
       (direct_dt /. resolved_dt)
       (shared_dt /. both_dt)
       (direct_dt /. both_dt)
+      (reach_execs = shared_execs)
+      reach_res.Comfort.Campaign.cp_reach_seeded
       same
   in
   let oc = open_out "BENCH_campaign.json" in

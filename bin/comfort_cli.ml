@@ -67,6 +67,22 @@ let no_resolve_arg =
 (* [None] defers to the COMFORT_NO_RESOLVE-aware library default *)
 let resolve_resolve no_resolve = if no_resolve then Some false else None
 
+(* [--no-reach] disables the static checkpoint-reachability analysis for
+   one invocation; without it the default comes from COMFORT_NO_REACH
+   (analysis on if unset). *)
+let no_reach_arg =
+  Arg.(
+    value & flag
+    & info [ "no-reach" ]
+        ~doc:
+          "Skip the static checkpoint-reachability analysis (sharing-cell \
+           seeding and checkpoint folding). Results are byte-identical \
+           either way; this is the analysis escape hatch (env: \
+           $(b,COMFORT_NO_REACH)).")
+
+(* [None] defers to the COMFORT_NO_REACH-aware library default *)
+let resolve_reach no_reach = if no_reach then Some false else None
+
 let engine_conv =
   let parse s =
     match
@@ -178,13 +194,14 @@ let run_cmd =
 
 (* --- difftest --- *)
 
-let difftest file no_share no_resolve =
+let difftest file no_share no_resolve no_reach =
   let src = read_file file in
   let tc = Comfort.Testcase.make src in
   let report =
     Comfort.Difftest.run_case
       ?share:(resolve_share no_share)
       ?resolve:(resolve_resolve no_resolve)
+      ?reach:(resolve_reach no_reach)
       (Engines.Engine.latest_testbeds ()) tc
   in
   Printf.printf "testbeds run: %d\n" report.Comfort.Difftest.cr_tested;
@@ -206,15 +223,17 @@ let difftest_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "difftest" ~doc:"Differential-test one file across the latest engines")
-    Term.(const difftest $ file $ no_share_arg $ no_resolve_arg)
+    Term.(const difftest $ file $ no_share_arg $ no_resolve_arg $ no_reach_arg)
 
 (* --- fuzz --- *)
 
-let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve
-    audit_share faults checkpoint checkpoint_every resume halt_after =
+let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
+    audit_share audit_reach faults checkpoint checkpoint_every resume
+    halt_after =
   let jobs = resolve_jobs jobs in
   let share = resolve_share no_share in
   let resolve = resolve_resolve no_resolve in
+  let reach = resolve_reach no_reach in
   let plan =
     match faults with
     | None -> (
@@ -273,10 +292,11 @@ let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve
             let t = Comfort.Feedback.create fz in
             Comfort.Feedback.run_rounds ~rounds:4
               ~budget_per_round:(max 1 (budget / 4))
-              ~jobs ?share ?resolve t
+              ~jobs ?share ?resolve ?reach t
           else
-            Comfort.Campaign.run ~budget ~jobs ?share ?resolve ~audit_share
-              ?faults:plan ?checkpoint ?halt_after fz)
+            Comfort.Campaign.run ~budget ~jobs ?share ?resolve ?reach
+              ~audit_share ~audit_reach ?faults:plan ?checkpoint ?halt_after
+              fz)
     with Comfort.Campaign.Halted { halted_at; halted_checkpoint } ->
       Printf.printf "campaign halted after %d cases%s\n" halted_at
         (match halted_checkpoint with
@@ -290,6 +310,9 @@ let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve
     res.Comfort.Campaign.cp_filtered_repeats;
   Printf.printf "screened out: %d (repaired %d)\n"
     res.Comfort.Campaign.cp_screened_out res.Comfort.Campaign.cp_repaired;
+  if res.Comfort.Campaign.cp_reach_seeded > 0 then
+    Printf.printf "reach-seeded shares: %d\n"
+      res.Comfort.Campaign.cp_reach_seeded;
   List.iter
     (fun (reason, n) -> Printf.printf "  %-35s %d\n" reason n)
     res.Comfort.Campaign.cp_screen_reasons;
@@ -337,6 +360,18 @@ let fuzz_cmd =
              every case when the option is given bare; 0 = off) runs down \
              both the shared and the direct path and the campaign aborts \
              on any divergence. Incompatible with $(b,--feedback).")
+  in
+  let audit_reach =
+    Arg.(
+      value
+      & opt ~vopt:1 int 0
+      & info [ "audit-reach" ] ~docv:"N"
+          ~doc:
+            "Audit the static reachability analysis: every $(docv)-th case \
+             (1 = every case when the option is given bare; 0 = off) \
+             additionally executes directly on every testbed and the \
+             campaign aborts if any run consults a checkpoint outside its \
+             static reach set. Incompatible with $(b,--feedback).")
   in
   let faults =
     Arg.(
@@ -388,8 +423,9 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against the simulated engines")
     Term.(const fuzz $ budget $ fuzzer $ seed $ feedback $ jobs_arg
-          $ no_share_arg $ no_resolve_arg $ audit_share $ faults $ checkpoint
-          $ checkpoint_every $ resume $ halt_after)
+          $ no_share_arg $ no_resolve_arg $ no_reach_arg $ audit_share
+          $ audit_reach $ faults $ checkpoint $ checkpoint_every $ resume
+          $ halt_after)
 
 (* --- analyze --- *)
 
@@ -422,15 +458,79 @@ let print_analysis label src =
         diag.Analysis.d_lint;
       Printf.printf "verdict: %s\n" (Analysis.verdict_to_string verdict)
 
-let analyze file generate seed =
+(* [--quirks]: the static checkpoint-reachability view of a case — which
+   quirk checkpoints any testbed's execution could consult, and which of
+   the 102 testbeds are therefore statically distinguishable on it. Rows
+   use the same label/count format as the Report summaries. *)
+let print_quirk_reach label src =
+  (match label with Some l -> Printf.printf "// %s\n" l | None -> ());
+  let fe_sloppy = Jsinterp.Run.parse_frontend ~strict:false src in
+  match fe_sloppy.Jsinterp.Run.fe_program with
+  | Error (msg, _) -> Printf.printf "syntax error: %s\n" msg
+  | Ok _ ->
+      let s_sloppy = Jsinterp.Run.reach_set fe_sloppy in
+      let fe_strict = Jsinterp.Run.parse_frontend ~strict:true src in
+      let s_strict =
+        (* a program the strict front end rejects reaches no execution
+           checkpoint on strict testbeds — only its parse-stage quirks *)
+        match fe_strict.Jsinterp.Run.fe_program with
+        | Ok _ -> Jsinterp.Run.reach_set fe_strict
+        | Error _ -> fe_strict.Jsinterp.Run.fe_fired
+      in
+      let union = Jsinterp.Quirk.Set.union s_sloppy s_strict in
+      if Analysis.Reach.is_top union then
+        print_endline
+          "static quirk reach: TOP (dynamic construct — every checkpoint \
+           presumed consultable)"
+      else begin
+        Printf.printf "static quirk reach: %d of %d checkpoints\n"
+          (Jsinterp.Quirk.Set.cardinal union)
+          (List.length Jsinterp.Quirk.all);
+        Jsinterp.Quirk.Set.iter
+          (fun q ->
+            let modes =
+              match
+                ( Jsinterp.Quirk.Set.mem q s_sloppy,
+                  Jsinterp.Quirk.Set.mem q s_strict )
+              with
+              | true, true -> "both modes"
+              | true, false -> "normal only"
+              | _ -> "strict only"
+            in
+            Printf.printf "  %-45s %s\n" (Jsinterp.Quirk.to_string q) modes)
+          union
+      end;
+      let distinguishable =
+        List.filter
+          (fun (tb : Engines.Engine.testbed) ->
+            let s =
+              if tb.Engines.Engine.tb_mode = Engines.Engine.Strict then
+                s_strict
+              else s_sloppy
+            in
+            not
+              (Jsinterp.Quirk.Set.is_empty
+                 (Jsinterp.Quirk.Set.inter
+                    tb.Engines.Engine.tb_config.Engines.Registry.cfg_quirks s)))
+          Engines.Engine.all_testbeds
+      in
+      Printf.printf "distinguishable testbeds: %d of %d\n"
+        (List.length distinguishable)
+        (List.length Engines.Engine.all_testbeds);
+      List.iter
+        (fun tb -> Printf.printf "  %s\n" (Engines.Engine.testbed_id tb))
+        distinguishable
+
+let analyze file generate seed quirks =
+  let print = if quirks then print_quirk_reach else print_analysis in
   match (file, generate) with
-  | Some f, _ -> print_analysis None (read_file f)
+  | Some f, _ -> print None (read_file f)
   | None, n when n > 0 ->
       let g = Comfort.Generator.create ~seed () in
       List.iteri
         (fun i (tc : Comfort.Testcase.t) ->
           if i > 0 then print_newline ();
-          print_analysis
+          print
             (Some (Printf.sprintf "sample %d" (i + 1)))
             tc.Comfort.Testcase.tc_source)
         (Comfort.Generator.generate g ~n)
@@ -446,19 +546,27 @@ let analyze_cmd =
            ~docv:"N")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let quirks =
+    Arg.(value & flag & info [ "quirks" ]
+           ~doc:
+             "Show the static checkpoint-reachability view instead: the \
+              quirk checkpoints any execution of the case could consult \
+              (per mode) and the statically distinguishable testbeds.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Static analysis of a JS program: scope, early errors, lint, verdict")
-    Term.(const analyze $ file $ generate $ seed)
+    Term.(const analyze $ file $ generate $ seed $ quirks)
 
 (* --- export --- *)
 
-let export budget seed dir jobs no_share no_resolve =
+let export budget seed dir jobs no_share no_resolve no_reach =
   let fz = Comfort.Campaign.comfort_fuzzer ~seed () in
   let res =
     Comfort.Campaign.run ~budget ~jobs:(resolve_jobs jobs)
       ?share:(resolve_share no_share)
-      ?resolve:(resolve_resolve no_resolve) fz
+      ?resolve:(resolve_resolve no_resolve)
+      ?reach:(resolve_reach no_reach) fz
   in
   let files = Comfort.Test262_export.export res in
   (match dir with
@@ -491,11 +599,11 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Fuzz, then render discoveries as Test262-style conformance tests")
     Term.(const export $ budget $ seed $ dir $ jobs_arg $ no_share_arg
-          $ no_resolve_arg)
+          $ no_resolve_arg $ no_reach_arg)
 
 (* --- reduce --- *)
 
-let reduce file engine version jobs no_share no_resolve =
+let reduce file engine version jobs no_share no_resolve no_reach =
   let src = read_file file in
   let cfg =
     match version with
@@ -509,8 +617,9 @@ let reduce file engine version jobs no_share no_resolve =
   | Some cfg -> (
       let tb = { Engines.Engine.tb_config = cfg; tb_mode = Engines.Engine.Normal } in
       let resolve = resolve_resolve no_resolve in
-      let target = Engines.Engine.run ?resolve tb src in
-      let reference = Engines.Engine.run_reference ?resolve src in
+      let reach = resolve_reach no_reach in
+      let target = Engines.Engine.run ?resolve ?reach tb src in
+      let reference = Engines.Engine.run_reference ?resolve ?reach src in
       let tsig = Comfort.Difftest.signature_of_result target in
       let rsig = Comfort.Difftest.signature_of_result reference in
       if tsig = rsig then print_endline "// no deviation on that engine; nothing to reduce"
@@ -529,7 +638,7 @@ let reduce file engine version jobs no_share no_resolve =
           Comfort.Reducer.reduce ~jobs:(resolve_jobs jobs)
             ~still_triggers:
               (Comfort.Reducer.still_triggers_deviation
-                 ?share:(resolve_share no_share) ?resolve tb dev)
+                 ?share:(resolve_share no_share) ?resolve ?reach tb dev)
             src
         in
         Printf.printf "// reduced from %d to %d bytes\n%s"
@@ -545,7 +654,7 @@ let reduce_cmd =
   in
   Cmd.v (Cmd.info "reduce" ~doc:"Reduce a bug-exposing test case")
     Term.(const reduce $ file $ engine $ version $ jobs_arg $ no_share_arg
-          $ no_resolve_arg)
+          $ no_resolve_arg $ no_reach_arg)
 
 (* --- spec --- *)
 

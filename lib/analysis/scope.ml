@@ -120,41 +120,15 @@ let reference (t : st) ~(write : bool) (name : string) : unit =
   look t.frames false
 
 (* --- hoisting: [var] and function declarations of a function body,
-   stopping at nested function boundaries --- *)
+   stopping at nested function boundaries. The traversal is the shared
+   [Jsast.Visit.hoist_stmt] — the same walk the interpreter uses to build
+   its environments, so resolver and engine cannot drift. --- *)
 
-let rec hoist_stmt (t : st) (fr : frame) (s : stmt) : unit =
-  let hoist = hoist_stmt t fr in
-  match s.s with
-  | Var_decl (Var, decls) ->
-      List.iter (fun (n, _) -> declare t fr n Bvar) decls
-  | Var_decl ((Let | Const), _) -> ()
-  | Func_decl { fname = Some n; _ } -> declare t fr n Bfunc
-  | Func_decl { fname = None; _ } -> ()
-  | If (_, a, b) ->
-      hoist a;
-      Option.iter hoist b
-  | Block body -> List.iter hoist body
-  | For (init, _, _, body) ->
-      (match init with
-      | Some (FI_decl (Var, decls)) ->
-          List.iter (fun (n, _) -> declare t fr n Bvar) decls
-      | _ -> ());
-      hoist body
-  | For_in (Some Var, n, _, body) | For_of (Some Var, n, _, body) ->
-      declare t fr n Bvar;
-      hoist body
-  | For_in (_, _, _, body) | For_of (_, _, _, body) -> hoist body
-  | While (_, body) -> hoist body
-  | Do_while (body, _) -> hoist body
-  | Try (b, h, f) ->
-      List.iter hoist b;
-      Option.iter (fun (_, hb) -> List.iter hoist hb) h;
-      Option.iter (List.iter hoist) f
-  | Switch (_, cases) -> List.iter (fun (_, body) -> List.iter hoist body) cases
-  | Labeled (_, body) -> hoist body
-  | Expr_stmt _ | Return _ | Break _ | Continue _ | Throw _ | Empty | Debugger
-    ->
-      ()
+let hoist_stmt (t : st) (fr : frame) (s : stmt) : unit =
+  Jsast.Visit.hoist_stmt s
+    ~on_var:(fun n -> declare t fr n Bvar)
+    ~on_func:(fun (_, f) ->
+      match f.fname with Some n -> declare t fr n Bfunc | None -> ())
 
 (* Pre-register a block's immediate let/const declarations (their TDZ spans
    the whole block). *)

@@ -51,6 +51,10 @@ type result = {
   cp_screened_out : int;       (** cases dropped by the static-analysis screen *)
   cp_screen_reasons : (string * int) list;  (** drop reason -> count *)
   cp_repaired : int;           (** cases kept after free-variable repair *)
+  cp_reach_seeded : int;
+      (** shared runs answered by the static reach partition's fast path
+          (0 with the analysis off); executions and reports are identical
+          either way — see [Engines.Engine.Exec.seeded] *)
   cp_skipped_cases : int;      (** cases lost to worker failures (supervised
                                    executor: recorded, not fatal) *)
   cp_faults : Supervisor.stats;    (** aggregate supervision counters *)
@@ -160,14 +164,14 @@ let api_of_deviation (dev : Difftest.deviation) (tc : Testcase.t)
    executed but produced the same observable output) from inflating the
    bug count. The per-quirk re-executions are independent, so [jobs > 1]
    probes them in parallel; the returned order is identical either way. *)
-let causal_quirks ?(jobs = 1) ?resolve (tb : Engines.Engine.testbed)
+let causal_quirks ?(jobs = 1) ?resolve ?reach (tb : Engines.Engine.testbed)
     (src : string) (dev : Difftest.deviation) ~fuel : Quirk.t list =
   let cfg = tb.Engines.Engine.tb_config in
   let base_sig = dev.Difftest.d_actual in
   let changes q =
     let quirks = Quirk.Set.remove q cfg.Engines.Registry.cfg_quirks in
     let r =
-      Run.run ~quirks ?resolve
+      Run.run ~quirks ?resolve ?reach
         ~parse_opts:(Engines.Registry.parse_opts_of_config cfg)
         ~strict:(tb.Engines.Engine.tb_mode = Engines.Engine.Strict)
         ~fuel src
@@ -204,15 +208,22 @@ module Checkpoint = struct
      resume. *)
 
   let magic = "COMFORT-CKPT"
-  let version = 1
+
+  (* v2: added ck_reach / ck_audit_reach / ck_reach_seeded (the static
+     reachability analysis). The header check rejects v1 files rather than
+     guess defaults for fields that change what a resumed campaign runs. *)
+  let version = 2
 
   type state = {
     ck_fuzzer : string;
     ck_fuel : int;
     ck_share : bool;
     ck_resolve : bool option;
+    ck_reach : bool option;
     ck_reduce : bool;
     ck_audit_share : int;
+    ck_audit_reach : int;
+    ck_reach_seeded : int;  (* seeded-share tally accumulated so far *)
     ck_testbeds : string list;       (* Engine.testbed_id, sweep order *)
     ck_plan : string option;         (* Faultplan.to_spec *)
     ck_cases : Testcase.t list;      (* the full drawn case list *)
@@ -280,8 +291,13 @@ type st = {
   d_fuel : int;
   d_share : bool;
   d_resolve : bool option;
+  d_reach : bool option;
   d_reduce : bool;
   d_audit_share : int;
+  d_audit_reach : int;
+  mutable d_reach_seeded : int;
+      (* seeded shares attributable to this campaign, synced from the
+         process-wide counter by the driver before every checkpoint *)
   d_testbeds : Engines.Engine.testbed list;
   d_plan : Supervisor.Faultplan.t option;
   d_sup : Supervisor.t option;  (* Some iff supervision is on *)
@@ -315,8 +331,11 @@ let snapshot (d : st) : Checkpoint.state =
     ck_fuel = d.d_fuel;
     ck_share = d.d_share;
     ck_resolve = d.d_resolve;
+    ck_reach = d.d_reach;
     ck_reduce = d.d_reduce;
     ck_audit_share = d.d_audit_share;
+    ck_audit_reach = d.d_audit_reach;
+    ck_reach_seeded = d.d_reach_seeded;
     ck_testbeds = List.map Engines.Engine.testbed_id d.d_testbeds;
     ck_plan = Option.map Supervisor.Faultplan.to_spec d.d_plan;
     ck_cases = d.d_cases;
@@ -344,6 +363,7 @@ let final (d : st) : result =
     cp_screened_out = d.d_screened_out;
     cp_screen_reasons = d.d_screen_reasons;
     cp_repaired = d.d_repaired;
+    cp_reach_seeded = d.d_reach_seeded;
     cp_skipped_cases = d.d_skipped_cases;
     cp_faults =
       (match d.d_sup with
@@ -373,9 +393,20 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
     |> List.filter (fun l -> l <> [])
   in
   let total = List.length d.d_cases in
+  (* seeded-share accounting: per-case Exec caches die with their worker,
+     so the campaign's tally is a before/after delta of the process-wide
+     counter, folded into [d] (on top of any checkpointed prior) before
+     every snapshot and before the final result *)
+  let seeded0 = Engines.Engine.Exec.seeded_count () in
+  let seeded_prior = d.d_reach_seeded in
+  let sync_seeded () =
+    d.d_reach_seeded <-
+      seeded_prior + (Engines.Engine.Exec.seeded_count () - seeded0)
+  in
   let save_ck () =
     match checkpoint with
     | Some (path, _) ->
+        sync_seeded ();
         Checkpoint.save path (snapshot d);
         Some path
     | None -> None
@@ -427,7 +458,7 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
               d.d_unattributed <- d.d_unattributed + 1
             else
               let causal =
-                causal_quirks ~jobs ?resolve:d.d_resolve tb
+                causal_quirks ~jobs ?resolve:d.d_resolve ?reach:d.d_reach tb
                   tc.Testcase.tc_source dev ~fuel:d.d_fuel
               in
               if causal = [] then d.d_unattributed <- d.d_unattributed + 1
@@ -442,7 +473,8 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
                           (Reducer.reduce ~jobs
                              ~still_triggers:
                                (Reducer.still_triggers_deviation
-                                  ~share:d.d_share ?resolve:d.d_resolve tb dev)
+                                  ~share:d.d_share ?resolve:d.d_resolve
+                                  ?reach:d.d_reach tb dev)
                              tc.Testcase.tc_source)
                       else None
                     in
@@ -493,6 +525,7 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
     | _ -> ());
     (match checkpoint with
     | Some (path, every) when (i + 1) mod every = 0 && i + 1 < total ->
+        sync_seeded ();
         Checkpoint.save path (snapshot d)
     | _ -> ());
     match halt_after with
@@ -508,23 +541,29 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
           (List.map
              (fun tbs ->
                Difftest.sweep_case ~fuel:d.d_fuel ~share:d.d_share
-                 ?resolve:d.d_resolve ?plan:d.d_plan
+                 ?resolve:d.d_resolve ?reach:d.d_reach ?plan:d.d_plan
                  ~policy:(Supervisor.policy sup) ~supervisor:sup ~case_key:i
                  tbs tc)
              by_mode)
     | None ->
-        (* cases are keyed by their submission index, so the audit sample
-           is deterministic — the same cases are cross-checked at any job
-           count and across resume *)
+        (* cases are keyed by their submission index, so the audit samples
+           are deterministic — the same cases are cross-checked at any job
+           count and across resume; a case matching both audit strides is
+           share-audited (the pre-existing behaviour), never both *)
         let audit = d.d_audit_share > 0 && i mod d.d_audit_share = 0 in
+        let audit_reach = d.d_audit_reach > 0 && i mod d.d_audit_reach = 0 in
         W_judged
           (List.map
              (fun tbs ->
                if audit then
-                 Difftest.audit_case ~fuel:d.d_fuel ?resolve:d.d_resolve tbs tc
+                 Difftest.audit_case ~fuel:d.d_fuel ?resolve:d.d_resolve
+                   ?reach:d.d_reach tbs tc
+               else if audit_reach then
+                 Difftest.audit_reach_case ~fuel:d.d_fuel ~share:d.d_share
+                   ?resolve:d.d_resolve ?reach:d.d_reach tbs tc
                else
                  Difftest.run_case ~fuel:d.d_fuel ~share:d.d_share
-                   ?resolve:d.d_resolve tbs tc)
+                   ?resolve:d.d_resolve ?reach:d.d_reach tbs tc)
              by_mode)
   in
   let items =
@@ -535,14 +574,15 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
   Executor.with_pool ~jobs (fun pool ->
       Executor.run_ordered pool
         ~on_exn:(fun _ _ e ->
-          (* a share-audit divergence is a soundness bug, never a fault to
+          (* an audit divergence is a soundness bug, never a fault to
              absorb — let it poison the run loudly *)
           match e with
-          | Difftest.Share_mismatch _ -> raise e
+          | Difftest.Share_mismatch _ | Difftest.Reach_unsound _ -> raise e
           | e -> W_failed e)
         ~stop:(fun () -> d.d_stop)
         worker items
         ~consume:(fun _ (i, tc) w -> consume i tc w));
+  sync_seeded ();
   (* final checkpoint: resuming a finished campaign is a cheap no-op that
      reproduces its result *)
   ignore (save_ck ());
@@ -550,8 +590,9 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
 
 let run ?(testbeds = default_testbeds ()) ?(budget = 200)
     ?(fuel = Difftest.campaign_fuel) ?(reduce = false) ?(screen = true)
-    ?(jobs = Executor.default_jobs ()) ?share ?resolve ?(audit_share = 0)
-    ?faults ?policy ?checkpoint ?halt_after (fz : fuzzer) : result =
+    ?(jobs = Executor.default_jobs ()) ?share ?resolve ?reach
+    ?(audit_share = 0) ?(audit_reach = 0) ?faults ?policy ?checkpoint
+    ?halt_after (fz : fuzzer) : result =
   let share =
     match share with Some s -> s | None -> Difftest.share_by_default ()
   in
@@ -562,6 +603,10 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
   if audit_share > 0 && supervised then
     invalid_arg
       "Campaign.run: audit_share cannot be combined with fault injection \
+       or supervision";
+  if audit_reach > 0 && supervised then
+    invalid_arg
+      "Campaign.run: audit_reach cannot be combined with fault injection \
        or supervision";
   let sup = if supervised then Some (Supervisor.create ?policy ()) else None in
   let aborted = ref None in
@@ -625,8 +670,11 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
       d_fuel = fuel;
       d_share = share;
       d_resolve = resolve;
+      d_reach = reach;
       d_reduce = reduce;
       d_audit_share = audit_share;
+      d_audit_reach = audit_reach;
+      d_reach_seeded = 0;
       d_testbeds = testbeds;
       d_plan = plan;
       d_sup = sup;
@@ -680,8 +728,11 @@ let resume ?(jobs = Executor.default_jobs ()) ?checkpoint ?halt_after
       d_fuel = ck.Checkpoint.ck_fuel;
       d_share = ck.Checkpoint.ck_share;
       d_resolve = ck.Checkpoint.ck_resolve;
+      d_reach = ck.Checkpoint.ck_reach;
       d_reduce = ck.Checkpoint.ck_reduce;
       d_audit_share = ck.Checkpoint.ck_audit_share;
+      d_audit_reach = ck.Checkpoint.ck_audit_reach;
+      d_reach_seeded = ck.Checkpoint.ck_reach_seeded;
       d_testbeds = testbeds;
       d_plan = plan;
       d_sup = Option.map Supervisor.thaw ck.Checkpoint.ck_supervisor;

@@ -45,6 +45,10 @@ type result = {
   cp_screened_out : int;              (** dropped by the static-analysis screen *)
   cp_screen_reasons : (string * int) list;  (** drop reason -> count, sorted *)
   cp_repaired : int;                  (** kept after free-variable repair *)
+  cp_reach_seeded : int;
+      (** shared runs answered by the static reach partition's fast path
+          (DESIGN.md §11); 0 with the analysis off. Statistics only:
+          executions, discoveries and reports are identical either way *)
   cp_skipped_cases : int;
       (** cases lost to worker failures: the supervised executor records
           them as failed-and-skipped instead of letting one poisoned case
@@ -123,10 +127,22 @@ end
                      interpreter core (default
                      {!Jsinterp.Run.resolve_by_default}); reports are
                      byte-identical either way (DESIGN.md §9)
+    @param reach     consult the static checkpoint-reachability analysis
+                     (default {!Jsinterp.Run.reach_by_default}): sharing
+                     cells are pre-partitioned by the static reach set
+                     and the compiler folds provably-unreachable
+                     checkpoint consultations; reports are byte-identical
+                     either way (DESIGN.md §11)
     @param audit_share when positive, every [audit_share]-th case (by
                      submission index, so the sample is deterministic)
                      runs down both the shared and the direct path and
                      raises {!Difftest.Share_mismatch} on any divergence.
+                     Incompatible with [faults]/[policy]
+    @param audit_reach when positive, every [audit_reach]-th case
+                     additionally asserts static ⊇ dynamic touched on
+                     every testbed's direct execution, raising
+                     {!Difftest.Reach_unsound} on a violation (a case
+                     matching both audit strides is share-audited).
                      Incompatible with [faults]/[policy]
     @param faults    deterministic fault-injection plan applied to every
                      supervised testbed execution (chaos campaigns);
@@ -154,7 +170,9 @@ val run :
   ?jobs:int ->
   ?share:bool ->
   ?resolve:bool ->
+  ?reach:bool ->
   ?audit_share:int ->
+  ?audit_reach:int ->
   ?faults:Supervisor.Faultplan.t ->
   ?policy:Supervisor.policy ->
   ?checkpoint:string * int ->

@@ -153,7 +153,7 @@ type sweep = {
     (Engines.Engine.testbed * Jsinterp.Run.result Supervisor.outcome) list;
 }
 
-let sweep_case ?(fuel = campaign_fuel) ?share ?resolve ?plan ?policy
+let sweep_case ?(fuel = campaign_fuel) ?share ?resolve ?reach ?plan ?policy
     ?supervisor ?(case_key = 0) (testbeds : Engines.Engine.testbed list)
     (tc : Testcase.t) : sweep =
   let share =
@@ -186,9 +186,10 @@ let sweep_case ?(fuel = campaign_fuel) ?share ?resolve ?plan ?policy
               Supervisor.Skipped
           | _ ->
               let thunk () =
-                if share then Engines.Engine.Exec.run ~fuel ?resolve ec tb
+                if share then
+                  Engines.Engine.Exec.run ~fuel ?resolve ?reach ec tb
                 else
-                  Engines.Engine.run ~fuel ?resolve
+                  Engines.Engine.run ~fuel ?resolve ?reach
                     ~frontend:(Engines.Engine.Frontend.frontend fc tb)
                     tb tc.Testcase.tc_source
               in
@@ -319,11 +320,11 @@ let judge ?supervisor (sw : sweep) : case_report =
    everything that tests a case outside a supervised campaign loop. With
    no [plan]/[policy]/[supervisor] this computes exactly what it did
    before the supervision layer existed. *)
-let run_case ?fuel ?share ?resolve ?plan ?policy ?supervisor ?case_key
+let run_case ?fuel ?share ?resolve ?reach ?plan ?policy ?supervisor ?case_key
     (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : case_report =
   judge ?supervisor
-    (sweep_case ?fuel ?share ?resolve ?plan ?policy ?supervisor ?case_key
-       testbeds tc)
+    (sweep_case ?fuel ?share ?resolve ?reach ?plan ?policy ?supervisor
+       ?case_key testbeds tc)
 
 (* Field-wise report equality. [Quirk.Set.t] is a balanced tree whose
    shape depends on insertion order, so structural [(=)] on the whole
@@ -352,10 +353,10 @@ exception Share_mismatch of string
 (* The audit mode: run the case down both paths and fail loudly on any
    divergence. Returns the shared report so an auditing campaign can use
    it as the real result of the case. *)
-let audit_case ?(fuel = campaign_fuel) ?resolve
+let audit_case ?(fuel = campaign_fuel) ?resolve ?reach
     (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : case_report =
-  let shared = run_case ~fuel ~share:true ?resolve testbeds tc in
-  let direct = run_case ~fuel ~share:false ?resolve testbeds tc in
+  let shared = run_case ~fuel ~share:true ?resolve ?reach testbeds tc in
+  let direct = run_case ~fuel ~share:false ?resolve ?reach testbeds tc in
   if not (report_equal shared direct) then
     raise
       (Share_mismatch
@@ -367,3 +368,43 @@ let audit_case ?(fuel = campaign_fuel) ?resolve
             (List.length direct.cr_deviations)
             tc.Testcase.tc_source));
   shared
+
+exception Reach_unsound of string
+
+(* The reach-audit mode: before producing the case's ordinary report,
+   execute the case *directly* (no sharing, so every testbed's own
+   r_touched is observed, not inherited) on every applicable testbed and
+   assert the static reach set of its parse group covers the dynamic
+   touched set. A violation is a soundness bug in [Analysis.Reach] —
+   never a fault to absorb. *)
+let audit_reach_case ?(fuel = campaign_fuel) ?share ?resolve ?reach
+    (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : case_report =
+  let fc = Engines.Engine.Frontend.cache tc.Testcase.tc_source in
+  List.iter
+    (fun (tb : Engines.Engine.testbed) ->
+      if Engines.Engine.Frontend.supports fc tb.Engines.Engine.tb_config
+      then begin
+        let fe = Engines.Engine.Frontend.frontend fc tb in
+        let r =
+          Engines.Engine.run ~fuel ?resolve ?reach ~frontend:fe tb
+            tc.Testcase.tc_source
+        in
+        let static = Jsinterp.Run.reach_set fe in
+        if not (Jsinterp.Quirk.Set.subset r.Run.r_touched static) then
+          let missing =
+            Jsinterp.Quirk.Set.diff r.Run.r_touched static
+            |> Jsinterp.Quirk.Set.elements
+            |> List.map Jsinterp.Quirk.to_string
+            |> String.concat ", "
+          in
+          raise
+            (Reach_unsound
+               (Printf.sprintf
+                  "static reach set of case %d misses checkpoints consulted \
+                   on %s: %s\nsource:\n%s"
+                  tc.Testcase.tc_id
+                  (Engines.Engine.testbed_id tb)
+                  missing tc.Testcase.tc_source))
+      end)
+    testbeds;
+  run_case ~fuel ?share ?resolve ?reach testbeds tc

@@ -93,6 +93,7 @@ val sweep_case :
   ?fuel:int ->
   ?share:bool ->
   ?resolve:bool ->
+  ?reach:bool ->
   ?plan:Supervisor.Faultplan.t ->
   ?policy:Supervisor.policy ->
   ?supervisor:Supervisor.t ->
@@ -115,13 +116,18 @@ val judge : ?supervisor:Supervisor.t -> sweep -> case_report
     testbed; the report is byte-identical either way (DESIGN.md §8).
     [resolve] (default {!Jsinterp.Run.resolve_by_default}) selects the
     slot-compiled interpreter core for reference executions (DESIGN.md
-    §9); the report is byte-identical either way. [plan]/[policy]/
-    [supervisor] enable supervised execution (DESIGN.md §10); with all
-    three absent the report is exactly the pre-supervision one. *)
+    §9); the report is byte-identical either way. [reach] (default
+    {!Jsinterp.Run.reach_by_default}) consults the static checkpoint
+    reachability analysis (DESIGN.md §11) to seed sharing cells and fold
+    unreachable checkpoint consultations; the report is byte-identical
+    either way. [plan]/[policy]/[supervisor] enable supervised execution
+    (DESIGN.md §10); with all three absent the report is exactly the
+    pre-supervision one. *)
 val run_case :
   ?fuel:int ->
   ?share:bool ->
   ?resolve:bool ->
+  ?reach:bool ->
   ?plan:Supervisor.Faultplan.t ->
   ?policy:Supervisor.policy ->
   ?supervisor:Supervisor.t ->
@@ -145,6 +151,23 @@ exception Share_mismatch of string
 val audit_case :
   ?fuel:int ->
   ?resolve:bool ->
+  ?reach:bool ->
+  Engines.Engine.testbed list ->
+  Testcase.t ->
+  case_report
+
+exception Reach_unsound of string
+
+(** Soundness-audit mode for the static reachability analysis: execute
+    the case directly (no sharing) on every applicable testbed, raise
+    {!Reach_unsound} if any run consulted a checkpoint outside the static
+    reach set of its parse group ([Run.reach_set]), and return the
+    ordinary {!run_case} report otherwise. *)
+val audit_reach_case :
+  ?fuel:int ->
+  ?share:bool ->
+  ?resolve:bool ->
+  ?reach:bool ->
   Engines.Engine.testbed list ->
   Testcase.t ->
   case_report

@@ -88,13 +88,13 @@ let fuzzer (t : t) : Campaign.fuzzer =
    accumulated over all rounds. *)
 let run_rounds ?(testbeds = Campaign.default_testbeds ()) ?(rounds = 4)
     ?(budget_per_round = 500) ?(fuel = Difftest.campaign_fuel)
-    ?(jobs = Executor.default_jobs ()) ?share ?resolve (t : t) :
+    ?(jobs = Executor.default_jobs ()) ?share ?resolve ?reach (t : t) :
     Campaign.result =
   let merged : Campaign.result option ref = ref None in
   for _ = 1 to rounds do
     let res =
       Campaign.run ~testbeds ~budget:budget_per_round ~fuel ~jobs ?share
-        ?resolve (fuzzer t)
+        ?resolve ?reach (fuzzer t)
     in
     (* bank this round's exposing cases *)
     List.iter (fun d -> record t d.Campaign.disc_case) res.Campaign.cp_discoveries;
@@ -140,6 +140,8 @@ let run_rounds ?(testbeds = Campaign.default_testbeds ()) ?(rounds = 4)
                  |> List.sort (fun (a, _) (b, _) -> compare a b));
               cp_repaired =
                 acc.Campaign.cp_repaired + res.Campaign.cp_repaired;
+              cp_reach_seeded =
+                acc.Campaign.cp_reach_seeded + res.Campaign.cp_reach_seeded;
               cp_skipped_cases =
                 acc.Campaign.cp_skipped_cases + res.Campaign.cp_skipped_cases;
               cp_faults =

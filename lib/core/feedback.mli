@@ -22,8 +22,8 @@ val fuzzer : t -> Campaign.fuzzer
 
 (** A complete feedback campaign: [rounds] campaigns of
     [budget_per_round] cases, banking each round's exposing cases before
-    the next; results are merged with (engine, bug) dedup. [share] and
-    [resolve] are forwarded to {!Campaign.run}. *)
+    the next; results are merged with (engine, bug) dedup. [share],
+    [resolve] and [reach] are forwarded to {!Campaign.run}. *)
 val run_rounds :
   ?testbeds:Engines.Engine.testbed list ->
   ?rounds:int ->
@@ -32,5 +32,6 @@ val run_rounds :
   ?jobs:int ->
   ?share:bool ->
   ?resolve:bool ->
+  ?reach:bool ->
   t ->
   Campaign.result

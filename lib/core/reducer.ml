@@ -151,8 +151,9 @@ let reduce ?(jobs = 1) ~(still_triggers : string -> bool) (src : string) :
 (* Convenience: build the predicate from a deviation observed on a testbed.
    The reduced program must still fire the same quirks and produce the same
    behaviour class on that testbed. *)
-let still_triggers_deviation ?share ?resolve (tb : Engines.Engine.testbed)
-    (original : Difftest.deviation) : string -> bool =
+let still_triggers_deviation ?share ?resolve ?reach
+    (tb : Engines.Engine.testbed) (original : Difftest.deviation) :
+    string -> bool =
   let share =
     match share with Some s -> s | None -> Difftest.share_by_default ()
   in
@@ -166,12 +167,12 @@ let still_triggers_deviation ?share ?resolve (tb : Engines.Engine.testbed)
   let target, reference =
     if share then begin
       let ec = Engines.Engine.Exec.cache src in
-      let target = Engines.Engine.Exec.run ?resolve ec tb in
-      (target, Engines.Engine.Exec.run_reference ?resolve ec)
+      let target = Engines.Engine.Exec.run ?resolve ?reach ec tb in
+      (target, Engines.Engine.Exec.run_reference ?resolve ?reach ec)
     end
     else
-      ( Engines.Engine.run ?resolve tb src,
-        Engines.Engine.run_reference ?resolve src )
+      ( Engines.Engine.run ?resolve ?reach tb src,
+        Engines.Engine.run_reference ?resolve ?reach src )
   in
   let tsig = Difftest.signature_of_result target in
   let rsig = Difftest.signature_of_result reference in

@@ -19,10 +19,12 @@ val reduce : ?jobs:int -> still_triggers:(string -> bool) -> string -> string
     reference runs through one per-candidate {!Engines.Engine.Exec}
     cache, sharing the parse and often the execution itself. [resolve]
     selects the slot-compiled interpreter core for both runs (default
-    {!Jsinterp.Run.resolve_by_default}). *)
+    {!Jsinterp.Run.resolve_by_default}); [reach] consults the static
+    reachability analysis (default {!Jsinterp.Run.reach_by_default}). *)
 val still_triggers_deviation :
   ?share:bool ->
   ?resolve:bool ->
+  ?reach:bool ->
   Engines.Engine.testbed ->
   Difftest.deviation ->
   string ->

@@ -48,19 +48,19 @@ let latest_testbeds ?(mode = Normal) () : testbed list =
     (fun e -> { tb_config = Registry.latest e; tb_mode = mode })
     Registry.all_engines
 
-let run ?(fuel = Run.default_fuel) ?(coverage = false) ?resolve ?frontend
-    (tb : testbed) (src : string) : Run.result =
+let run ?(fuel = Run.default_fuel) ?(coverage = false) ?resolve ?reach
+    ?frontend (tb : testbed) (src : string) : Run.result =
   Run.run
     ~quirks:tb.tb_config.Registry.cfg_quirks
     ~parse_opts:(Registry.parse_opts_of_config tb.tb_config)
     ~strict:(tb.tb_mode = Strict)
-    ~fuel ~coverage ?resolve ?frontend src
+    ~fuel ~coverage ?resolve ?reach ?frontend src
 
 (* A reference run: the standard-conforming engine with no quirks. Used by
    the reducer and by examples as the "expected" behaviour. *)
-let run_reference ?(fuel = Run.default_fuel) ?(strict = false) ?resolve
+let run_reference ?(fuel = Run.default_fuel) ?(strict = false) ?resolve ?reach
     (src : string) : Run.result =
-  Run.run ~strict ~fuel ?resolve src
+  Run.run ~strict ~fuel ?resolve ?reach src
 
 (* Can this configuration's front end parse the program at all? Used by the
    campaign to honour the paper's rule of only testing engines against
@@ -182,30 +182,63 @@ module Exec = struct
       (Registry.parse_key * bool * int, Run.exec list ref) Hashtbl.t;
         (* (parse group, strict, fuel) -> class representatives, oldest
            first; fuel is in the key so a cache survives mixed budgets *)
+    ec_buckets :
+      (Registry.parse_key * bool * int * Quirk.t list, Run.exec list ref)
+      Hashtbl.t;
+        (* static partition: (class key, quirks ∩ static reach set, as a
+           sorted element list — Quirk.Set.t itself has order-dependent
+           tree shape and cannot key a hashtable) -> representatives known
+           to serve that partition cell. The static reach set over-
+           approximates every touched set of the parse group, so two quirk
+           sets in one cell agree on every checkpoint any execution can
+           consult — a cell hit shares without scanning the full class
+           list. Purely an acceleration: the class list stays the ground
+           truth, so executions performed are identical with or without
+           the analysis. *)
     mutable ec_executed : int;  (* real interpreter executions *)
     mutable ec_shared : int;    (* runs answered by class inheritance *)
+    mutable ec_seeded : int;    (* shared runs answered by the static cell *)
   }
+
+  (* Process-wide tally of cell-hit shares, the analogue of
+     [Run.run_count]: per-case caches die with their worker, so campaign
+     stats read a before/after delta of this counter instead. *)
+  let seeded_total = Atomic.make 0
+  let seeded_count () = Atomic.get seeded_total
 
   let cache (src : string) : cache =
     {
       ec_frontend = Frontend.cache src;
       ec_classes = Hashtbl.create 8;
+      ec_buckets = Hashtbl.create 8;
       ec_executed = 0;
       ec_shared = 0;
+      ec_seeded = 0;
     }
 
   let of_frontend (fc : Frontend.cache) : cache =
-    { ec_frontend = fc; ec_classes = Hashtbl.create 8; ec_executed = 0; ec_shared = 0 }
+    {
+      ec_frontend = fc;
+      ec_classes = Hashtbl.create 8;
+      ec_buckets = Hashtbl.create 8;
+      ec_executed = 0;
+      ec_shared = 0;
+      ec_seeded = 0;
+    }
 
   let frontend_cache (ec : cache) = ec.ec_frontend
   let supports (ec : cache) (c : Registry.config) =
     Frontend.supports ec.ec_frontend c
 
   let stats (ec : cache) = (ec.ec_executed, ec.ec_shared)
+  let seeded (ec : cache) = ec.ec_seeded
 
-  let run_keyed ?resolve (ec : cache) ~(pkey : Registry.parse_key)
+  let run_keyed ?resolve ?reach (ec : cache) ~(pkey : Registry.parse_key)
       ~(quirks : Quirk.Set.t) ~(parse_opts : Jsparse.Parser.options)
       ~(strict : bool) ~(fuel : int) : Run.result =
+    let reach =
+      match reach with Some r -> r | None -> Run.reach_by_default ()
+    in
     let fe =
       Frontend.frontend_for ec.ec_frontend ~key:(pkey, strict) ~quirks
         ~parse_opts ~strict
@@ -214,7 +247,7 @@ module Exec = struct
     | Error _ ->
         (* nothing executes; [run ~frontend] only renders the stored
            syntax error and filters the sunk parse quirks *)
-        Run.run ~quirks ~parse_opts ~strict ~fuel ?resolve ~frontend:fe
+        Run.run ~quirks ~parse_opts ~strict ~fuel ?resolve ~reach ~frontend:fe
           (Frontend.source ec.ec_frontend)
     | Ok _ -> (
         let ckey = (pkey, strict, fuel) in
@@ -226,26 +259,68 @@ module Exec = struct
               Hashtbl.replace ec.ec_classes ckey l;
               l
         in
-        match List.find_opt (Run.shares_class ~quirks) !classes with
-        | Some ex ->
-            ec.ec_shared <- ec.ec_shared + 1;
-            Run.share ~frontend:fe ~quirks ex
-        | None ->
-            (* split: no representative's touched set validates this quirk
-               set, so it seeds a new class with a direct execution *)
-            let ex =
-              Run.run_exec ~quirks ~parse_opts ~strict ~fuel ?resolve
-                ~frontend:fe
-                (Frontend.source ec.ec_frontend)
+        (* the static cell of this quirk set, when the analysis is on *)
+        let bucket =
+          if not reach then None
+          else
+            let cell =
+              Quirk.Set.elements
+                (Quirk.Set.inter quirks (Run.reach_set fe))
             in
-            ec.ec_executed <- ec.ec_executed + 1;
-            classes := !classes @ [ ex ];
-            ex.Run.ex_result)
+            let bkey = (pkey, strict, fuel, cell) in
+            match Hashtbl.find_opt ec.ec_buckets bkey with
+            | Some l -> Some l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace ec.ec_buckets bkey l;
+                Some l
+        in
+        let cell_hit =
+          match bucket with
+          | Some l -> List.find_opt (Run.shares_class ~quirks) !l
+          | None -> None
+        in
+        match cell_hit with
+        | Some ex ->
+            (* same-cell representative: [shares_class] is implied by the
+               cell equality (touched ⊆ reach set), and re-checked above
+               as a cheap defence against an unsound analysis *)
+            ec.ec_shared <- ec.ec_shared + 1;
+            ec.ec_seeded <- ec.ec_seeded + 1;
+            Atomic.incr seeded_total;
+            Run.share ~frontend:fe ~quirks ex
+        | None -> (
+            match List.find_opt (Run.shares_class ~quirks) !classes with
+            | Some ex ->
+                (* cross-cell share (the representative's cell differs on
+                   some statically-reachable but dynamically-untouched
+                   checkpoint): remember it in this cell too, so the next
+                   same-cell member hits without the full scan *)
+                ec.ec_shared <- ec.ec_shared + 1;
+                (match bucket with
+                | Some l -> l := !l @ [ ex ]
+                | None -> ());
+                Run.share ~frontend:fe ~quirks ex
+            | None ->
+                (* split: no representative's touched set validates this
+                   quirk set, so it seeds a new class with a direct
+                   execution *)
+                let ex =
+                  Run.run_exec ~quirks ~parse_opts ~strict ~fuel ?resolve
+                    ~reach ~frontend:fe
+                    (Frontend.source ec.ec_frontend)
+                in
+                ec.ec_executed <- ec.ec_executed + 1;
+                classes := !classes @ [ ex ];
+                (match bucket with
+                | Some l -> l := !l @ [ ex ]
+                | None -> ());
+                ex.Run.ex_result))
 
-  let run ?(fuel = Run.default_fuel) ?resolve (ec : cache) (tb : testbed) :
-      Run.result =
+  let run ?(fuel = Run.default_fuel) ?resolve ?reach (ec : cache)
+      (tb : testbed) : Run.result =
     let cfg = tb.tb_config in
-    run_keyed ?resolve ec ~pkey:(Registry.parse_key cfg)
+    run_keyed ?resolve ?reach ec ~pkey:(Registry.parse_key cfg)
       ~quirks:cfg.Registry.cfg_quirks
       ~parse_opts:(Registry.parse_opts_of_config cfg)
       ~strict:(tb.tb_mode = Strict) ~fuel
@@ -254,8 +329,8 @@ module Exec = struct
      standard-front-end, quirk-free parse group and (having no quirks at
      all) shares any class whose representative fired nothing it touched. *)
   let run_reference ?(fuel = Run.default_fuel) ?(strict = false) ?resolve
-      (ec : cache) : Run.result =
-    run_keyed ?resolve ec ~pkey:Registry.reference_parse_key
+      ?reach (ec : cache) : Run.result =
+    run_keyed ?resolve ?reach ec ~pkey:Registry.reference_parse_key
       ~quirks:Quirk.Set.empty
       ~parse_opts:Jsparse.Parser.default_options ~strict ~fuel
 end

@@ -23,11 +23,14 @@ val latest_testbeds : ?mode:mode -> unit -> testbed list
 (** Execute a source program on a testbed. [frontend] reuses a pre-parsed
     front end (see {!Frontend}), skipping this run's own parse. [resolve]
     selects slot-compiled execution (default [Run.resolve_by_default]);
-    results are bit-for-bit identical either way. *)
+    [reach] lets the compiler fold statically-unreachable checkpoint
+    consultations (default [Run.reach_by_default]); results are
+    bit-for-bit identical either way. *)
 val run :
   ?fuel:int ->
   ?coverage:bool ->
   ?resolve:bool ->
+  ?reach:bool ->
   ?frontend:Jsinterp.Run.frontend ->
   testbed ->
   string ->
@@ -36,7 +39,12 @@ val run :
 (** The standard-conforming engine with no quirks — the oracle used by the
     reducer and examples. *)
 val run_reference :
-  ?fuel:int -> ?strict:bool -> ?resolve:bool -> string -> Jsinterp.Run.result
+  ?fuel:int ->
+  ?strict:bool ->
+  ?resolve:bool ->
+  ?reach:bool ->
+  string ->
+  Jsinterp.Run.result
 
 (** Can this configuration's front end express the program at all? Used to
     honour the paper's rule of only testing engines against programs within
@@ -103,13 +111,34 @@ module Exec : sig
       runs answered by class inheritance. *)
   val stats : cache -> int * int
 
+  (** Shared runs answered by the static reach partition's fast path
+      (a subset of the shares counted by {!stats}) — with the analysis
+      off, always 0. Sharing decisions and execution counts are
+      identical either way; only the lookup path differs. *)
+  val seeded : cache -> int
+
+  (** Process-wide cumulative {!seeded} across all caches (the analogue
+      of [Run.run_count]); campaign statistics read before/after
+      deltas. *)
+  val seeded_count : unit -> int
+
   (** Execute [tb] on the cached source, sharing across the testbed's
       equivalence class. Same contract as {!Engine.run} on that source. *)
   val run :
-    ?fuel:int -> ?resolve:bool -> cache -> testbed -> Jsinterp.Run.result
+    ?fuel:int ->
+    ?resolve:bool ->
+    ?reach:bool ->
+    cache ->
+    testbed ->
+    Jsinterp.Run.result
 
   (** The conforming reference engine through the same cache (same
       contract as {!Engine.run_reference} on the cached source). *)
   val run_reference :
-    ?fuel:int -> ?strict:bool -> ?resolve:bool -> cache -> Jsinterp.Run.result
+    ?fuel:int ->
+    ?strict:bool ->
+    ?resolve:bool ->
+    ?reach:bool ->
+    cache ->
+    Jsinterp.Run.result
 end

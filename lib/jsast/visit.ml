@@ -89,6 +89,42 @@ and iter_stmt ~fe ~fs (st : stmt) =
 let iter_program ?(fe = ignore) ?(fs = ignore) (p : program) =
   List.iter (iter_stmt ~fe ~fs) p.prog_body
 
+(* The [var]/function-declaration hoisting traversal of one function (or
+   program) body: visits every statement var-scoped to it, stopping at
+   nested function boundaries. This single definition backs both the
+   interpreter's environment set-up ([Jsinterp.Interp]) and the scope
+   resolver ([Analysis.Scope]) — the binding structure the static analyses
+   reason about is by construction the one the engine executes.
+   [on_var] receives each hoisted [var] name; [on_func] receives each
+   function declaration as [(sid, func)]. *)
+let rec hoist_stmt ~on_var ~on_func (st : stmt) =
+  let hoist = hoist_stmt ~on_var ~on_func in
+  match st.s with
+  | Var_decl (Var, decls) -> List.iter (fun (n, _) -> on_var n) decls
+  | Var_decl ((Let | Const), _) -> ()
+  | Func_decl f -> on_func (st.sid, f)
+  | If (_, t, f) ->
+      hoist t;
+      Option.iter hoist f
+  | Block body -> List.iter hoist body
+  | For (init, _, _, body) ->
+      (match init with
+      | Some (FI_decl (Var, decls)) -> List.iter (fun (n, _) -> on_var n) decls
+      | _ -> ());
+      hoist body
+  | For_in (k, n, _, body) | For_of (k, n, _, body) ->
+      if k = Some Var then on_var n;
+      hoist body
+  | While (_, body) | Do_while (body, _) | Labeled (_, body) -> hoist body
+  | Try (b, h, f) ->
+      List.iter hoist b;
+      Option.iter (fun (_, hb) -> List.iter hoist hb) h;
+      Option.iter (List.iter hoist) f
+  | Switch (_, cases) -> List.iter (fun (_, body) -> List.iter hoist body) cases
+  | Expr_stmt _ | Return _ | Break _ | Continue _ | Throw _ | Empty | Debugger
+    ->
+      ()
+
 (* Counting helpers used by the coverage metrics (denominators). *)
 
 let count_statements p =

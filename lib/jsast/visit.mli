@@ -14,6 +14,18 @@ val iter_stmt :
 val iter_program :
   ?fe:(Ast.expr -> unit) -> ?fs:(Ast.stmt -> unit) -> Ast.program -> unit
 
+(** The [var]/function-declaration hoisting traversal of one function (or
+    program) body: calls [on_var] on each hoisted [var] name and [on_func]
+    on each function declaration (as [(sid, func)]), stopping at nested
+    function boundaries. Shared by the interpreter's environment set-up
+    and [Analysis.Scope], so binding structure cannot drift between the
+    engine and the static analyses. *)
+val hoist_stmt :
+  on_var:(string -> unit) ->
+  on_func:(int * Ast.func -> unit) ->
+  Ast.stmt ->
+  unit
+
 (** {2 Static counts (coverage denominators)} *)
 
 val count_statements : Ast.program -> int

@@ -36,7 +36,25 @@ type frame = {
   mutable bridge : scope option;
 }
 
-type gstate = { mutable gs_deopts : int }
+type gstate = {
+  mutable gs_deopts : int;
+  gs_folded : Quirk.Set.t;
+      (** checkpoints the static reachability analysis proved unreachable;
+          their compiled consultation sites are folded to [Deopt_to_tree]
+          traps (see [checkpoint]) *)
+}
+
+(* Checkpoint consultation at a compiled deviation site. When the static
+   reachability analysis ([Analysis.Reach]) proved the checkpoint
+   unreachable for this program, the consultation is constant-folded away:
+   the site collapses to a [Deopt_to_tree] trap, so if the analysis was
+   ever wrong the execution discards its context and replays tree-walked —
+   results stay exact and the soundness audit still sees the true touched
+   set. Resolved per site at compile time: the common case (not folded)
+   compiles to the plain [fire] consultation with zero overhead. *)
+let checkpoint (gs : gstate) (q : Quirk.t) : ctx -> bool =
+  if Quirk.Set.mem q gs.gs_folded then fun _ -> raise Deopt_to_tree
+  else fun ctx -> fire ctx q
 
 let mk_frame (names : string array) (frz : string list) (parent : frame option)
     : frame =
@@ -171,8 +189,9 @@ let compile_typeof_ident (env : R.level list) (name : string) :
 (* Assignment to a bare identifier — the static image of
    [Interp.assign_ident], with the same frozen-binding checkpoint
    ([Q_named_funcexpr_binding_mutable]) at a frozen terminal. *)
-let compile_assign_ident (env : R.level list) ~strict (name : string) :
-    ctx -> frame -> value -> unit =
+let compile_assign_ident (gs : gstate) (env : R.level list) ~strict
+    (name : string) : ctx -> frame -> value -> unit =
+  let chk_nfe = checkpoint gs Quirk.Q_named_funcexpr_binding_mutable in
   let acc = R.resolve_access env name in
   match (acc.R.ac_candidates, acc.R.ac_terminal) with
   | [], Some { R.tg_depth = d; tg_slot = i; tg_frozen = false } ->
@@ -192,8 +211,7 @@ let compile_assign_ident (env : R.level list) ~strict (name : string) :
             match term with
             | Some { R.tg_depth = d; tg_slot = i; tg_frozen } ->
                 if tg_frozen then begin
-                  if fire ctx Quirk.Q_named_funcexpr_binding_mutable then
-                    (frame_at d fr).slots.(i) := v
+                  if chk_nfe ctx then (frame_at d fr).slots.(i) := v
                   else if strict then
                     Ops.type_error ctx
                       ("assignment to constant variable " ^ name)
@@ -362,12 +380,12 @@ let rec compile_expr (gs : gstate) (env : R.level list) ~strict
         Bool (not (Ops.to_boolean (oc ctx fr)))
   | Ast.Unary (Ast.Uneg, ox) ->
       let oc = ce ox in
+      let chk_negz = checkpoint gs Quirk.Q_codegen_neg_zero_positive in
       fun ctx fr ->
         burn ctx 1;
         let f = Ops.to_number ctx (oc ctx fr) in
         let r = -.f in
-        if r = 0.0 && fire ctx Quirk.Q_codegen_neg_zero_positive then Num 0.0
-        else Num r
+        if r = 0.0 && chk_negz ctx then Num 0.0 else Num r
   | Ast.Unary (Ast.Uplus, ox) ->
       let oc = ce ox in
       fun ctx fr ->
@@ -426,6 +444,7 @@ let rec compile_expr (gs : gstate) (env : R.level list) ~strict
             v
       | Some bop ->
           let lread = ce lhs in
+          let chk_concat = checkpoint gs Quirk.Q_opt_loop_strconcat_drops in
           fun ctx fr ->
             burn ctx 1;
             let rv = rc ctx fr in
@@ -437,7 +456,7 @@ let rec compile_expr (gs : gstate) (env : R.level list) ~strict
               match (result, bop) with
               | Str _, Ast.Add
                 when ctx.loop_trip > 100 && ctx.strconcat_drop_armed
-                     && fire ctx Quirk.Q_opt_loop_strconcat_drops ->
+                     && chk_concat ctx ->
                   ctx.strconcat_drop_armed <- false;
                   old
               | _ -> result
@@ -552,12 +571,13 @@ let rec compile_expr (gs : gstate) (env : R.level list) ~strict
 and compile_assign_target gs env ~strict ~frz (lhs : Ast.expr) :
     ctx -> frame -> value -> unit =
   match lhs.Ast.e with
-  | Ast.Ident name -> compile_assign_ident env ~strict name
+  | Ast.Ident name -> compile_assign_ident gs env ~strict name
   | Ast.Member (ox, prop) -> (
       let oc = compile_expr gs env ~strict ~frz ox in
       match prop with
       | Ast.Pindex ix ->
           let kc = compile_expr gs env ~strict ~frz ix in
+          let chk_bool = checkpoint gs Quirk.Q_bool_prop_appends_to_array in
           fun ctx fr v -> (
             let ov = oc ctx fr in
             (* QuickJS quirk (Listing 6): boolean key on an array appends *)
@@ -565,9 +585,7 @@ and compile_assign_target gs env ~strict ~frz (lhs : Ast.expr) :
             | Obj ({ arr = Some arr; _ } as o) -> (
                 let kv = kc ctx fr in
                 match kv with
-                | Bool true
-                  when arr.ty = None
-                       && fire ctx Quirk.Q_bool_prop_appends_to_array ->
+                | Bool true when arr.ty = None && chk_bool ctx ->
                     Ops.array_store ctx o arr arr.alen v
                 | _ -> Ops.set ctx ~strict ov (Ops.to_string ctx kv) v)
             | _ ->
@@ -951,6 +969,7 @@ and compile_function gs env ~strict ~frz ~node_id (f : Ast.func) :
   end
   else begin
     let strict_f = strict || Interp.body_is_strict f.Ast.body in
+    let chk_this = checkpoint gs Quirk.Q_strict_this_is_global in
     (* named function expressions (and declarations) see their own name as
        an immutable binding in a scope of its own *)
     let self, env, frz =
@@ -1031,9 +1050,7 @@ and compile_function gs env ~strict ~frz ~node_id (f : Ast.func) :
               match this with
               | Undefined | Null ->
                   if strict_f then
-                    if fire ctx Quirk.Q_strict_this_is_global then
-                      Obj ctx.global
-                    else Undefined
+                    if chk_this ctx then Obj ctx.global else Undefined
                   else Obj ctx.global
               | v -> v)
         in
@@ -1090,21 +1107,43 @@ type t = {
       (** execute; returns the completion value like [Interp.exec_in_scope] *)
   cp_slotted : bool;  (** false: the whole program deopted to the tree *)
   cp_deopt_fns : int; (** function definition sites that deopted *)
+  cp_folded : int;
+      (** compiled deviation checkpoints folded away as statically
+          unreachable (0 when compiled without a reach set) *)
   cp_shadows_specials : bool;
 }
 
-let compile (prog : Ast.program) : t =
+(* The deviation checkpoints compiled inline (everything else funnels
+   through [Interp]/[Ops]/builtin code shared with the tree-walker, where
+   the consultations stay as written). Only these are fold candidates. *)
+let compiled_checkpoints =
+  Quirk.Set.of_list
+    [
+      Quirk.Q_named_funcexpr_binding_mutable;
+      Quirk.Q_codegen_neg_zero_positive;
+      Quirk.Q_opt_loop_strconcat_drops;
+      Quirk.Q_bool_prop_appends_to_array;
+      Quirk.Q_strict_this_is_global;
+    ]
+
+let compile ?reach (prog : Ast.program) : t =
+  let folded =
+    match reach with
+    | None -> Quirk.Set.empty
+    | Some s -> Quirk.Set.diff compiled_checkpoints s
+  in
   let shadows = Interp.binds_specials prog in
   if R.program_deopts prog then
     {
       cp_run = (fun ctx -> Interp.exec_program ctx prog);
       cp_slotted = false;
       cp_deopt_fns = 0;
+      cp_folded = 0;
       cp_shadows_specials = shadows;
     }
   else begin
     let strict = prog.Ast.prog_strict in
-    let gs = { gs_deopts = 0 } in
+    let gs = { gs_deopts = 0; gs_folded = folded } in
     let plevel = R.new_level () in
     let vars, funcs = R.hoisted prog.Ast.prog_body in
     let var_slots =
@@ -1175,6 +1214,7 @@ let compile (prog : Ast.program) : t =
       cp_run = run;
       cp_slotted = true;
       cp_deopt_fns = gs.gs_deopts;
+      cp_folded = Quirk.Set.cardinal folded;
       cp_shadows_specials = shadows;
     }
   end

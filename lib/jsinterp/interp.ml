@@ -181,35 +181,12 @@ let binds_specials (prog : Ast.program) : bool =
   | () -> false
   | exception Found_special -> true
 
-(* --- hoisting: [var] and function declarations are function-scoped --- *)
+(* --- hoisting: [var] and function declarations are function-scoped.
+   The traversal itself is shared with the scope resolver (see
+   [Jsast.Visit.hoist_stmt]) so the analyses and the engine agree on
+   binding structure by construction. --- *)
 
-let rec hoist_stmt ~on_var ~on_func (st : Ast.stmt) =
-  match st.Ast.s with
-  | Ast.Var_decl (Ast.Var, decls) -> List.iter (fun (n, _) -> on_var n) decls
-  | Ast.Var_decl (_, _) -> ()
-  | Ast.Func_decl f -> on_func (st.Ast.sid, f)
-  | Ast.If (_, t, f) ->
-      hoist_stmt ~on_var ~on_func t;
-      Option.iter (hoist_stmt ~on_var ~on_func) f
-  | Ast.Block body -> List.iter (hoist_stmt ~on_var ~on_func) body
-  | Ast.For (init, _, _, body) ->
-      (match init with
-      | Some (Ast.FI_decl (Ast.Var, decls)) ->
-          List.iter (fun (n, _) -> on_var n) decls
-      | _ -> ());
-      hoist_stmt ~on_var ~on_func body
-  | Ast.For_in (k, n, _, body) | Ast.For_of (k, n, _, body) ->
-      (if k = Some Ast.Var then on_var n);
-      hoist_stmt ~on_var ~on_func body
-  | Ast.While (_, body) | Ast.Do_while (body, _) | Ast.Labeled (_, body) ->
-      hoist_stmt ~on_var ~on_func body
-  | Ast.Try (b, h, f) ->
-      List.iter (hoist_stmt ~on_var ~on_func) b;
-      Option.iter (fun (_, hb) -> List.iter (hoist_stmt ~on_var ~on_func) hb) h;
-      Option.iter (List.iter (hoist_stmt ~on_var ~on_func)) f
-  | Ast.Switch (_, cases) ->
-      List.iter (fun (_, body) -> List.iter (hoist_stmt ~on_var ~on_func) body) cases
-  | _ -> ()
+let hoist_stmt = Jsast.Visit.hoist_stmt
 
 (* --- coverage helpers --- *)
 

@@ -49,6 +49,14 @@ let resolve_by_default () =
   | None | Some "" -> true
   | Some _ -> false
 
+(* Static quirk-reachability ([Analysis.Reach]) is on unless
+   COMFORT_NO_REACH is set to a non-empty value — same contract as
+   COMFORT_NO_SHARE / COMFORT_NO_RESOLVE. *)
+let reach_by_default () =
+  match Sys.getenv_opt "COMFORT_NO_REACH" with
+  | None | Some "" -> true
+  | Some _ -> false
+
 (* Parser-level quirks live in the front end: derive the engine's parse
    options from its quirk set so a profile is a single source of truth. *)
 let parse_opts_of ~(base : Jsparse.Parser.options) (quirks : Quirk.Set.t) :
@@ -152,11 +160,18 @@ type frontend = {
   fe_fired : Quirk.Set.t;
       (** parse-stage quirks sunk by the front end, unfiltered; callers
           intersect with their own quirk set *)
-  fe_compiled : (bool * Compile.t) option ref;
+  fe_compiled : (bool * bool * Compile.t) option ref;
       (** slot-compiled program, cached per front end (keyed by the strict
-          mode it was compiled under, since a strict override rewrites the
-          program). Testbeds sharing a front end share one compilation —
-          the compile-stage analogue of sharing the parse. *)
+          mode and reach setting it was compiled under, since a strict
+          override rewrites the program and reach folds checkpoints).
+          Testbeds sharing a front end share one compilation — the
+          compile-stage analogue of sharing the parse. *)
+  fe_reach : Quirk.Set.t Lazy.t;
+      (** static over-approximation of the checkpoints any execution of
+          this front end's program can consult: the [Analysis.Reach] set
+          of the parsed program joined with the parse-stage quirks sunk by
+          the front end (a parse failure consults nothing at run time).
+          Lazy: only forced when the reach layer is on. *)
 }
 
 let parse_frontend ?(quirks = Quirk.Set.empty)
@@ -174,10 +189,27 @@ let parse_frontend ?(quirks = Quirk.Set.empty)
           | None -> ());
     }
   in
+  let frontend fe_program fe_fired =
+    {
+      fe_program;
+      fe_fired;
+      fe_compiled = ref None;
+      fe_reach =
+        lazy
+          (match fe_program with
+          | Error _ -> fe_fired
+          | Ok prog ->
+              Quirk.Set.union fe_fired
+                (Analysis.Reach.checkpoints ~strict prog));
+    }
+  in
   match Jsparse.Parser.parse_program ~opts ~force_strict:strict src with
-  | prog -> { fe_program = Ok prog; fe_fired = !fired; fe_compiled = ref None }
+  | prog -> frontend (Ok prog) !fired
   | exception Jsparse.Parser.Syntax_error (msg, line) ->
-      { fe_program = Error (msg, line); fe_fired = !fired; fe_compiled = ref None }
+      frontend (Error (msg, line)) !fired
+
+(* The front end's static touch-set (forces the lazy analysis). *)
+let reach_set (fe : frontend) : Quirk.Set.t = Lazy.force fe.fe_reach
 
 (* --- execution, separable from the engine that ran it ---
 
@@ -199,11 +231,12 @@ type exec = {
 
 let run_exec ?(quirks = Quirk.Set.empty)
     ?(parse_opts = Jsparse.Parser.default_options) ?(strict = false)
-    ?(fuel = default_fuel) ?(coverage = false) ?resolve ?frontend (src : string)
-    : exec =
+    ?(fuel = default_fuel) ?(coverage = false) ?resolve ?reach ?frontend
+    (src : string) : exec =
   let resolve =
     match resolve with Some r -> r | None -> resolve_by_default ()
   in
+  let reach = match reach with Some r -> r | None -> reach_by_default () in
   let fe =
     match frontend with
     | Some fe -> fe
@@ -243,10 +276,13 @@ let run_exec ?(quirks = Quirk.Set.empty)
         if not resolve then None
         else
           match !(fe.fe_compiled) with
-          | Some (s, cp) when s = strict -> Some cp
+          | Some (s, r, cp) when s = strict && r = reach -> Some cp
           | _ ->
-              let cp = Compile.compile prog in
-              fe.fe_compiled := Some (strict, cp);
+              let reach_arg =
+                if reach then Some (Lazy.force fe.fe_reach) else None
+              in
+              let cp = Compile.compile ?reach:reach_arg prog in
+              fe.fe_compiled := Some (strict, reach, cp);
               Some cp
       in
       let run_with runner =
@@ -311,9 +347,10 @@ let run_exec ?(quirks = Quirk.Set.empty)
         ex_touched = ctx.Value.touched;
       }
 
-let run ?quirks ?parse_opts ?strict ?fuel ?coverage ?resolve ?frontend
+let run ?quirks ?parse_opts ?strict ?fuel ?coverage ?resolve ?reach ?frontend
     (src : string) : result =
-  (run_exec ?quirks ?parse_opts ?strict ?fuel ?coverage ?resolve ?frontend src)
+  (run_exec ?quirks ?parse_opts ?strict ?fuel ?coverage ?resolve ?reach
+     ?frontend src)
     .ex_result
 
 (* Does an engine carrying [quirks] belong to [ex]'s behavioural

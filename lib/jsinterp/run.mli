@@ -41,6 +41,10 @@ val run_count : unit -> int
     the compile-stage analogue of COMFORT_NO_SHARE. *)
 val resolve_by_default : unit -> bool
 
+(** Is the static reachability analysis ({!Analysis.Reach}) consulted by
+    default? True unless COMFORT_NO_REACH is set to a non-empty value. *)
+val reach_by_default : unit -> bool
+
 (** Derive front-end options from a quirk set (parser-level bugs live in
     the front end, so a quirk profile is a single source of truth). *)
 val parse_opts_of :
@@ -55,10 +59,16 @@ type frontend = {
   fe_fired : Quirk.Set.t;
       (** parse-stage quirks sunk by the front end, {e unfiltered};
           {!run} intersects them with the executing engine's quirk set *)
-  fe_compiled : (bool * Compile.t) option ref;
-      (** slot-compiled program cached per front end, keyed by the strict
-          mode it was compiled under; testbeds sharing a front end share
-          one compilation *)
+  fe_compiled : (bool * bool * Compile.t) option ref;
+      (** slot-compiled program cached per front end, keyed by the
+          (strict mode, reach enabled) pair it was compiled under;
+          testbeds sharing a front end share one compilation *)
+  fe_reach : Quirk.Set.t Lazy.t;
+      (** static over-approximation of every quirk checkpoint any
+          execution of this front end can consult
+          ({!Analysis.Reach.checkpoints} joined with the parse-stage
+          [fe_fired]); forced on first use, shared by all testbeds of the
+          parse group *)
 }
 
 (** Parse once with the effective options derived from [parse_opts] and
@@ -71,6 +81,11 @@ val parse_frontend :
   string ->
   frontend
 
+(** The front end's static checkpoint reach set (forces [fe_reach]).
+    Sound: for every execution of this front end on any testbed of its
+    parse group, [r_touched] is a subset of [reach_set fe]. *)
+val reach_set : frontend -> Quirk.Set.t
+
 (** Execute a program.
     @param quirks     the engine's bug set (empty = conforming reference)
     @param parse_opts front-end profile (ES edition gates)
@@ -80,6 +95,11 @@ val parse_frontend :
                       {!resolve_by_default}. Results are bit-for-bit
                       identical either way — this only selects the engine
                       core
+    @param reach      let the compiler constant-fold checkpoint
+                      consultations the static analysis proves
+                      unreachable (with a deopt-to-tree escape hatch);
+                      defaults to {!reach_by_default}. Results are
+                      bit-for-bit identical either way
     @param frontend   a pre-parsed front end to reuse (skips this run's
                       own parse); must have been produced with the same
                       effective options and strictness *)
@@ -90,6 +110,7 @@ val run :
   ?fuel:int ->
   ?coverage:bool ->
   ?resolve:bool ->
+  ?reach:bool ->
   ?frontend:frontend ->
   string ->
   result
@@ -115,6 +136,7 @@ val run_exec :
   ?fuel:int ->
   ?coverage:bool ->
   ?resolve:bool ->
+  ?reach:bool ->
   ?frontend:frontend ->
   string ->
   exec

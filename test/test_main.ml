@@ -17,6 +17,7 @@ let () =
       ("core", Test_core.suite);
       ("executor", Test_executor.suite);
       ("sharing", Test_sharing.suite);
+      ("reach", Test_reach.suite);
       ("resolve", Test_resolve.suite);
       ("pipeline", Test_pipeline.suite);
       ("util", Test_util.suite);
