@@ -536,22 +536,28 @@ let ablate () =
 
 (* End-to-end campaign wall-clock against the full 102-testbed setup,
    across the (execution sharing on/off) x (slot compilation on/off) x
-   (static reach analysis on/off) x (1 job / N jobs) grid. Verifies on
-   the way that every combination found the same discoveries in the same
-   order (the executor's ordering guarantee, the sharing soundness
-   argument of DESIGN.md §8, the compilation parity argument of §9, and
-   the reach invariance argument of §11), counts real interpreter
-   executions via [Run.run_count] to report executions-per-case with and
-   without sharing — the reach row must execute exactly as often as the
-   share row, since the partition only changes the lookup path — then
+   (static reach analysis on/off) x (quirk specialisation on/off) x
+   (1 job / N jobs) grid. Verifies on the way that every combination
+   found the same discoveries in the same order (the executor's ordering
+   guarantee, the sharing soundness argument of DESIGN.md §8, the
+   compilation parity argument of §9, the reach invariance argument of
+   §11, and the specialisation invisibility argument of §12), counts
+   real interpreter executions via [Run.run_count] to report
+   executions-per-case — the reach and specialize rows must execute
+   exactly as often as the share+resolve row, since neither changes a
+   sharing decision — records a per-stage wall-clock breakdown
+   (parse / compile / realm-install / execute) via [Run.Stage], then
    emits the numbers as machine-readable BENCH_campaign.json for CI and
    EXPERIMENTS.md.
 
    On a single-CPU container the jobs>1 row is pure scheduling overhead,
    not a measurement of the executor, so it is skipped (and flagged in
-   the JSON) when [Domain.recommended_domain_count] reports one core. *)
+   the JSON) when [Domain.recommended_domain_count] reports one core.
+   Every row is measured as the best of three interleaved passes — see
+   the comment at the measurement loop. *)
 let campaign_bench () =
-  header "Campaign throughput: sharing x slot compilation x parallel executor";
+  header
+    "Campaign throughput: sharing x compilation x reach x specialisation";
   let budget = 400 * scale in
   let testbeds = Engines.Engine.all_testbeds in
   let cores = Domain.recommended_domain_count () in
@@ -560,25 +566,29 @@ let campaign_bench () =
     if env > 1 then env else min 4 cores
   in
   let multi = cores > 1 && njobs > 1 in
-  let measure ~jobs ~share ~resolve ~reach =
+  Jsinterp.Run.Stage.enabled := true;
+  let measure ~jobs ~share ~resolve ~reach ~specialize =
     let fz = Comfort.Campaign.comfort_fuzzer ~seed:11 () in
     let e0 = Jsinterp.Run.run_count () in
+    Jsinterp.Run.Stage.reset ();
     let t0 = Unix.gettimeofday () in
     let res =
-      Comfort.Campaign.run ~testbeds ~budget ~jobs ~share ~resolve ~reach fz
+      Comfort.Campaign.run ~testbeds ~budget ~jobs ~share ~resolve ~reach
+        ~specialize fz
     in
     let dt = Unix.gettimeofday () -. t0 in
+    let stages = Jsinterp.Run.Stage.read () in
     let execs = Jsinterp.Run.run_count () - e0 in
     let per_case =
       Float.of_int execs /. Float.of_int res.Comfort.Campaign.cp_cases_run
     in
     Printf.printf
-      "  share=%-5b resolve=%-5b reach=%-5b jobs=%d: %6.2fs wall, %6.1f cases/s, %5.1f executions/case, %d unique bugs\n%!"
-      share resolve reach jobs dt
+      "  share=%-5b resolve=%-5b reach=%-5b specialize=%-5b jobs=%d: %6.2fs wall, %6.1f cases/s, %5.1f executions/case, %d unique bugs\n%!"
+      share resolve reach specialize jobs dt
       (Float.of_int res.Comfort.Campaign.cp_cases_run /. dt)
       per_case
       (List.length res.Comfort.Campaign.cp_discoveries);
-    (res, dt, execs, per_case)
+    (res, dt, execs, per_case, stages)
   in
   Printf.printf "budget=%d cases, %d testbeds, %d cores\n%!" budget
     (List.length testbeds) cores;
@@ -588,25 +598,44 @@ let campaign_bench () =
        would measure scheduling overhead, not the executor)\n%!";
   let combos =
     [
-      (false, false, false, 1);
-      (true, false, false, 1);
-      (false, true, false, 1);
-      (true, true, false, 1);
-      (true, true, true, 1);
+      (false, false, false, false, 1);
+      (true, false, false, false, 1);
+      (false, true, false, false, 1);
+      (true, true, false, false, 1);
+      (true, true, true, false, 1);
+      (true, true, true, true, 1);
     ]
-    @ (if multi then [ (true, true, true, njobs) ] else [])
+    @ (if multi then [ (true, true, true, true, njobs) ] else [])
   in
-  let runs =
-    List.map
-      (fun (share, resolve, reach, jobs) ->
-        ((share, resolve, reach, jobs), measure ~jobs ~share ~resolve ~reach))
+  (* Each row is the best of three interleaved passes. A campaign row is
+     deterministic (fixed fuzzer seed), so wall-clock spread between
+     passes is scheduler and cache noise — on a shared single-CPU
+     container it reaches ±30%, enough to flip the reach-vs-share+resolve
+     comparison on a single measurement. Interleaving the passes (round
+     robin over the combos, not three back-to-back runs of one combo)
+     cancels slow drift; the minimum is the run the machine interfered
+     with least. *)
+  let reps = 3 in
+  let best = Hashtbl.create 8 in
+  for rep = 1 to reps do
+    if reps > 1 then Printf.printf "  -- pass %d/%d --\n%!" rep reps;
+    List.iter
+      (fun ((share, resolve, reach, specialize, jobs) as c) ->
+        let ((_, dt, _, _, _) as m) =
+          measure ~jobs ~share ~resolve ~reach ~specialize
+        in
+        match Hashtbl.find_opt best c with
+        | Some (_, bdt, _, _, _) when bdt <= dt -> ()
+        | _ -> Hashtbl.replace best c m)
       combos
-  in
+  done;
+  let runs = List.map (fun c -> (c, Hashtbl.find best c)) combos in
+  Jsinterp.Run.Stage.enabled := false;
   let key d = (d.Comfort.Campaign.disc_engine, d.Comfort.Campaign.disc_quirk) in
-  let base, _, _, _ = List.assoc (false, false, false, 1) runs in
+  let base, _, _, _, _ = List.assoc (false, false, false, false, 1) runs in
   let same =
     List.for_all
-      (fun (_, (r, _, _, _)) ->
+      (fun (_, (r, _, _, _, _)) ->
         List.map key r.Comfort.Campaign.cp_discoveries
         = List.map key base.Comfort.Campaign.cp_discoveries
         && r.Comfort.Campaign.cp_timeline = base.Comfort.Campaign.cp_timeline
@@ -614,16 +643,19 @@ let campaign_bench () =
            = base.Comfort.Campaign.cp_filtered_repeats)
       runs
   in
-  let _, direct_dt, direct_execs, direct_pc =
-    List.assoc (false, false, false, 1) runs
+  let _, direct_dt, direct_execs, direct_pc, _ =
+    List.assoc (false, false, false, false, 1) runs
   in
-  let _, shared_dt, shared_execs, shared_pc =
-    List.assoc (true, false, false, 1) runs
+  let _, shared_dt, shared_execs, shared_pc, _ =
+    List.assoc (true, false, false, false, 1) runs
   in
-  let _, resolved_dt, _, _ = List.assoc (false, true, false, 1) runs in
-  let _, both_dt, _, _ = List.assoc (true, true, false, 1) runs in
-  let reach_res, reach_dt, reach_execs, reach_pc =
-    List.assoc (true, true, true, 1) runs
+  let _, resolved_dt, _, _, _ = List.assoc (false, true, false, false, 1) runs in
+  let _, both_dt, _, _, _ = List.assoc (true, true, false, false, 1) runs in
+  let reach_res, reach_dt, reach_execs, reach_pc, _ =
+    List.assoc (true, true, true, false, 1) runs
+  in
+  let spec_res, spec_dt, spec_execs, spec_pc, _ =
+    List.assoc (true, true, true, true, 1) runs
   in
   let reduction = Float.of_int direct_execs /. Float.of_int shared_execs in
   Printf.printf
@@ -634,26 +666,54 @@ let campaign_bench () =
     (direct_dt /. resolved_dt)
     (shared_dt /. both_dt);
   Printf.printf
-    "static reach: %.1f executions/case (same executions as share+resolve: %b), %.2fx vs share+resolve, %d reach-seeded shares\n"
+    "static reach: %.1f executions/case (same executions as share+resolve: %b), %.2fx vs share+resolve (not slower: %b), %d reach-seeded shares\n"
     reach_pc
     (reach_execs = shared_execs)
     (both_dt /. reach_dt)
+    (reach_dt <= both_dt)
     reach_res.Comfort.Campaign.cp_reach_seeded;
+  Printf.printf
+    "specialisation: %.1f executions/case (same executions as share+resolve: %b), %.2fx vs reach row; %d specialised compilations, %d COW clones, %d IC hits\n"
+    spec_pc
+    (spec_execs = shared_execs)
+    (reach_dt /. spec_dt)
+    spec_res.Comfort.Campaign.cp_specialized
+    spec_res.Comfort.Campaign.cp_cow_clones
+    spec_res.Comfort.Campaign.cp_ic_hits;
   (if multi then
-     let _, par_dt, _, _ = List.assoc (true, true, true, njobs) runs in
+     let _, par_dt, _, _, _ = List.assoc (true, true, true, true, njobs) runs in
      Printf.printf
-       "share+resolve+reach+%d jobs vs direct sequential: %.2fx; all results identical: %b\n"
+       "full fast path + %d jobs vs direct sequential: %.2fx; all results identical: %b\n"
        njobs (direct_dt /. par_dt) same
    else
-     Printf.printf "share+resolve vs direct sequential: %.2fx; all results identical: %b\n"
-       (direct_dt /. both_dt) same);
-  let json_run ((share, resolve, reach, jobs), (r, dt, execs, per_case)) =
+     Printf.printf
+       "full fast path vs direct sequential: %.2fx; all results identical: %b\n"
+       (direct_dt /. spec_dt) same);
+  (* the specialize row must not change a single sharing decision: same
+     executions as the share+resolve baseline or the bench fails loudly *)
+  if spec_execs <> shared_execs then begin
+    Printf.eprintf
+      "FAIL: specialisation changed the execution count (%d vs %d)\n"
+      spec_execs shared_execs;
+    exit 1
+  end;
+  if not same then begin
+    Printf.eprintf "FAIL: the combinations disagree on the campaign report\n";
+    exit 1
+  end;
+  let json_run
+      ( (share, resolve, reach, specialize, jobs),
+        (r, dt, execs, per_case, (parse_ns, compile_ns, realm_ns, exec_ns)) ) =
     Printf.sprintf
-      {|    { "share": %b, "resolve": %b, "reach": %b, "jobs": %d, "wall_s": %.3f, "cases_per_s": %.1f, "executions": %d, "executions_per_case": %.1f, "reach_seeded": %d, "discoveries": %d }|}
-      share resolve reach jobs dt
+      {|    { "share": %b, "resolve": %b, "reach": %b, "specialize": %b, "jobs": %d, "wall_s": %.3f, "cases_per_s": %.1f, "executions": %d, "executions_per_case": %.1f, "reach_seeded": %d, "specialized": %d, "cow_clones": %d, "ic_hits": %d, "discoveries": %d,
+      "stages_ns": { "parse": %d, "compile": %d, "realm": %d, "exec": %d } }|}
+      share resolve reach specialize jobs dt
       (Float.of_int r.Comfort.Campaign.cp_cases_run /. dt)
       execs per_case r.Comfort.Campaign.cp_reach_seeded
+      r.Comfort.Campaign.cp_specialized r.Comfort.Campaign.cp_cow_clones
+      r.Comfort.Campaign.cp_ic_hits
       (List.length r.Comfort.Campaign.cp_discoveries)
+      parse_ns compile_ns realm_ns exec_ns
   in
   let json =
     Printf.sprintf
@@ -671,7 +731,13 @@ let campaign_bench () =
   "resolve_speedup_shared": %.2f,
   "speedup_share_resolve_vs_direct": %.2f,
   "reach_executions_match_share": %b,
+  "reach_not_slower_than_share_resolve": %b,
   "reach_seeded": %d,
+  "specialize_executions_match_share": %b,
+  "specialize_speedup_vs_reach": %.2f,
+  "specialized": %d,
+  "cow_clones": %d,
+  "ic_hits": %d,
   "identical_results": %b
 }
 |}
@@ -683,7 +749,13 @@ let campaign_bench () =
       (shared_dt /. both_dt)
       (direct_dt /. both_dt)
       (reach_execs = shared_execs)
+      (reach_dt <= both_dt)
       reach_res.Comfort.Campaign.cp_reach_seeded
+      (spec_execs = shared_execs)
+      (reach_dt /. spec_dt)
+      spec_res.Comfort.Campaign.cp_specialized
+      spec_res.Comfort.Campaign.cp_cow_clones
+      spec_res.Comfort.Campaign.cp_ic_hits
       same
   in
   let oc = open_out "BENCH_campaign.json" in
@@ -693,13 +765,14 @@ let campaign_bench () =
 
 (* ---------- interpreter-core micro-benchmark ---------- *)
 
-(* ns/op for the slot-compiled core vs the tree walker on four workload
-   shapes, each stressing a different part of the interpreter: deep
-   lexical scope chains, function calls, string building, and property
-   traffic. Each program is parsed once up front; the timed body is
-   execution only (with [resolve] on, the closure compilation is cached
-   in the front end after the first run, matching production where one
-   compile serves a whole testbed sweep). Emits BENCH_interp.json. *)
+(* ns/op for the quirk-specialised and generic slot-compiled cores vs
+   the tree walker on four workload shapes, each stressing a different
+   part of the interpreter: deep lexical scope chains, function calls,
+   string building, and property traffic. Each program is parsed once up
+   front; the timed body is execution only (with [resolve] on, the
+   closure compilation is cached in the front end after the first run,
+   matching production where one compile serves a whole testbed sweep).
+   Emits BENCH_interp.json. *)
 let interp_programs =
   [
     ( "scope",
@@ -743,43 +816,56 @@ print(o.n + ":" + o.k3);|js}
   ]
 
 let interp_bench () =
-  header "Interpreter core: slot-compiled vs tree-walked (ns/op)";
+  header "Interpreter core: specialised vs slot-compiled vs tree-walked (ns/op)";
   let fuel = 5_000_000 in
-  (* parity sanity check before timing anything *)
+  (* three-way parity sanity check before timing anything: the
+     specialised core must be observationally identical to the generic
+     compiled core and the tree walker, fuel accounting included *)
   List.iter
     (fun (name, src) ->
-      let t = Jsinterp.Run.run ~fuel ~resolve:false src in
-      let c = Jsinterp.Run.run ~fuel ~resolve:true src in
+      let t = Jsinterp.Run.run ~fuel ~resolve:false ~specialize:false src in
+      let c = Jsinterp.Run.run ~fuel ~resolve:true ~specialize:false src in
+      let s = Jsinterp.Run.run ~fuel ~resolve:true ~specialize:true src in
+      let agrees (a : Jsinterp.Run.result) (b : Jsinterp.Run.result) =
+        a.Jsinterp.Run.r_status = b.Jsinterp.Run.r_status
+        && a.Jsinterp.Run.r_output = b.Jsinterp.Run.r_output
+        && a.Jsinterp.Run.r_fuel_used = b.Jsinterp.Run.r_fuel_used
+      in
       if
         t.Jsinterp.Run.r_status <> Jsinterp.Run.Sts_normal
-        || t.Jsinterp.Run.r_status <> c.Jsinterp.Run.r_status
-        || t.Jsinterp.Run.r_output <> c.Jsinterp.Run.r_output
-        || t.Jsinterp.Run.r_fuel_used <> c.Jsinterp.Run.r_fuel_used
+        || (not (agrees t c))
+        || not (agrees t s)
       then (
         Printf.eprintf
-          "interp bench %s: modes disagree (tree: %s %S fuel=%d / compiled: %s %S fuel=%d)\n"
+          "interp bench %s: modes disagree (tree: %s %S fuel=%d / compiled: %s %S fuel=%d / specialised: %s %S fuel=%d)\n"
           name
           (Jsinterp.Run.status_to_string t.Jsinterp.Run.r_status)
           t.Jsinterp.Run.r_output t.Jsinterp.Run.r_fuel_used
           (Jsinterp.Run.status_to_string c.Jsinterp.Run.r_status)
-          c.Jsinterp.Run.r_output c.Jsinterp.Run.r_fuel_used;
+          c.Jsinterp.Run.r_output c.Jsinterp.Run.r_fuel_used
+          (Jsinterp.Run.status_to_string s.Jsinterp.Run.r_status)
+          s.Jsinterp.Run.r_output s.Jsinterp.Run.r_fuel_used;
         exit 1))
     interp_programs;
   let open Bechamel in
   let open Toolkit in
-  let make_test ~resolve (name, src) =
-    (* one front end per (program, mode): resolve reuses its cached
-       compilation across iterations, tree mode never compiles *)
+  let make_test ~mode (name, src) =
+    (* one front end per (program, mode): compiled modes reuse their
+       cached compilation across iterations, tree mode never compiles *)
     let fe = Jsinterp.Run.parse_frontend src in
+    let resolve = mode <> "tree" in
+    let specialize = mode = "specialized" in
     Test.make
-      ~name:(Printf.sprintf "%s/%s" name (if resolve then "resolved" else "tree"))
+      ~name:(Printf.sprintf "%s/%s" name mode)
       (Staged.stage (fun () ->
-           ignore (Jsinterp.Run.run ~fuel ~resolve ~frontend:fe src)))
+           ignore
+             (Jsinterp.Run.run ~fuel ~resolve ~specialize ~frontend:fe src)))
   in
+  let modes = [ "tree"; "resolved"; "specialized" ] in
   let tests =
     Test.make_grouped ~name:"interp"
       (List.concat_map
-         (fun p -> [ make_test ~resolve:false p; make_test ~resolve:true p ])
+         (fun p -> List.map (fun mode -> make_test ~mode p) modes)
          interp_programs)
   in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) () in
@@ -799,16 +885,20 @@ let interp_bench () =
       (fun (name, _) ->
         match
           ( estimate (Printf.sprintf "interp/%s/tree" name),
-            estimate (Printf.sprintf "interp/%s/resolved" name) )
+            estimate (Printf.sprintf "interp/%s/resolved" name),
+            estimate (Printf.sprintf "interp/%s/specialized" name) )
         with
-        | Some tree, Some resolved -> Some (name, tree, resolved)
+        | Some tree, Some resolved, Some specialized ->
+            Some (name, tree, resolved, specialized)
         | _ -> None)
       interp_programs
   in
   List.iter
-    (fun (name, tree, resolved) ->
-      Printf.printf "  %-10s tree %12.0f ns/op   resolved %12.0f ns/op   %.2fx\n"
-        name tree resolved (tree /. resolved))
+    (fun (name, tree, resolved, specialized) ->
+      Printf.printf
+        "  %-10s tree %10.0f ns/op   resolved %10.0f ns/op (%.2fx)   specialized %10.0f ns/op (%.2fx)\n"
+        name tree resolved (tree /. resolved) specialized
+        (tree /. specialized))
     rows;
   let json =
     Printf.sprintf
@@ -822,10 +912,11 @@ let interp_bench () =
       fuel
       (String.concat ",\n"
          (List.map
-            (fun (name, tree, resolved) ->
+            (fun (name, tree, resolved, specialized) ->
               Printf.sprintf
-                {|    { "name": %S, "tree_ns_per_op": %.0f, "resolved_ns_per_op": %.0f, "speedup": %.2f }|}
-                name tree resolved (tree /. resolved))
+                {|    { "name": %S, "tree_ns_per_op": %.0f, "resolved_ns_per_op": %.0f, "specialized_ns_per_op": %.0f, "speedup": %.2f, "specialized_speedup": %.2f }|}
+                name tree resolved specialized (tree /. resolved)
+                (tree /. specialized))
             rows))
   in
   let oc = open_out "BENCH_interp.json" in

@@ -83,6 +83,24 @@ let no_reach_arg =
 (* [None] defers to the COMFORT_NO_REACH-aware library default *)
 let resolve_reach no_reach = if no_reach then Some false else None
 
+(* [--no-specialize] disables the quirk-specialised fast path for one
+   invocation; without it the default comes from COMFORT_NO_SPECIALIZE
+   (specialisation on if unset). *)
+let no_specialize_arg =
+  Arg.(
+    value & flag
+    & info [ "no-specialize" ]
+        ~doc:
+          "Skip the quirk-specialised fast path (copy-on-write realms, \
+           per-cell compiled closures, inline caches) and execute every \
+           run through the generic compiled form. Results are \
+           byte-identical either way; this is the specialisation escape \
+           hatch (env: $(b,COMFORT_NO_SPECIALIZE)).")
+
+(* [None] defers to the COMFORT_NO_SPECIALIZE-aware library default *)
+let resolve_specialize no_specialize =
+  if no_specialize then Some false else None
+
 let engine_conv =
   let parse s =
     match
@@ -194,7 +212,7 @@ let run_cmd =
 
 (* --- difftest --- *)
 
-let difftest file no_share no_resolve no_reach =
+let difftest file no_share no_resolve no_reach no_specialize =
   let src = read_file file in
   let tc = Comfort.Testcase.make src in
   let report =
@@ -202,6 +220,7 @@ let difftest file no_share no_resolve no_reach =
       ?share:(resolve_share no_share)
       ?resolve:(resolve_resolve no_resolve)
       ?reach:(resolve_reach no_reach)
+      ?specialize:(resolve_specialize no_specialize)
       (Engines.Engine.latest_testbeds ()) tc
   in
   Printf.printf "testbeds run: %d\n" report.Comfort.Difftest.cr_tested;
@@ -223,17 +242,19 @@ let difftest_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "difftest" ~doc:"Differential-test one file across the latest engines")
-    Term.(const difftest $ file $ no_share_arg $ no_resolve_arg $ no_reach_arg)
+    Term.(const difftest $ file $ no_share_arg $ no_resolve_arg $ no_reach_arg
+          $ no_specialize_arg)
 
 (* --- fuzz --- *)
 
 let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
-    audit_share audit_reach faults checkpoint checkpoint_every resume
-    halt_after =
+    no_specialize audit_share audit_reach audit_specialize faults checkpoint
+    checkpoint_every resume halt_after =
   let jobs = resolve_jobs jobs in
   let share = resolve_share no_share in
   let resolve = resolve_resolve no_resolve in
   let reach = resolve_reach no_reach in
+  let specialize = resolve_specialize no_specialize in
   let plan =
     match faults with
     | None -> (
@@ -292,11 +313,11 @@ let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
             let t = Comfort.Feedback.create fz in
             Comfort.Feedback.run_rounds ~rounds:4
               ~budget_per_round:(max 1 (budget / 4))
-              ~jobs ?share ?resolve ?reach t
+              ~jobs ?share ?resolve ?reach ?specialize t
           else
             Comfort.Campaign.run ~budget ~jobs ?share ?resolve ?reach
-              ~audit_share ~audit_reach ?faults:plan ?checkpoint ?halt_after
-              fz)
+              ?specialize ~audit_share ~audit_reach ~audit_specialize
+              ?faults:plan ?checkpoint ?halt_after fz)
     with Comfort.Campaign.Halted { halted_at; halted_checkpoint } ->
       Printf.printf "campaign halted after %d cases%s\n" halted_at
         (match halted_checkpoint with
@@ -313,6 +334,11 @@ let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
   if res.Comfort.Campaign.cp_reach_seeded > 0 then
     Printf.printf "reach-seeded shares: %d\n"
       res.Comfort.Campaign.cp_reach_seeded;
+  if res.Comfort.Campaign.cp_specialized > 0 then
+    Printf.printf
+      "specialized compilations: %d (COW clones %d, inline-cache hits %d)\n"
+      res.Comfort.Campaign.cp_specialized res.Comfort.Campaign.cp_cow_clones
+      res.Comfort.Campaign.cp_ic_hits;
   List.iter
     (fun (reason, n) -> Printf.printf "  %-35s %d\n" reason n)
     res.Comfort.Campaign.cp_screen_reasons;
@@ -373,6 +399,18 @@ let fuzz_cmd =
              campaign aborts if any run consults a checkpoint outside its \
              static reach set. Incompatible with $(b,--feedback).")
   in
+  let audit_specialize =
+    Arg.(
+      value
+      & opt ~vopt:1 int 0
+      & info [ "audit-specialize" ] ~docv:"N"
+          ~doc:
+            "Cross-check quirk specialisation: every $(docv)-th case (1 = \
+             every case when the option is given bare; 0 = off) runs once \
+             down the specialised fast path and once down the generic \
+             compiled path and the campaign aborts on any report \
+             divergence. Incompatible with $(b,--feedback).")
+  in
   let faults =
     Arg.(
       value
@@ -423,9 +461,9 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against the simulated engines")
     Term.(const fuzz $ budget $ fuzzer $ seed $ feedback $ jobs_arg
-          $ no_share_arg $ no_resolve_arg $ no_reach_arg $ audit_share
-          $ audit_reach $ faults $ checkpoint $ checkpoint_every $ resume
-          $ halt_after)
+          $ no_share_arg $ no_resolve_arg $ no_reach_arg $ no_specialize_arg
+          $ audit_share $ audit_reach $ audit_specialize $ faults
+          $ checkpoint $ checkpoint_every $ resume $ halt_after)
 
 (* --- analyze --- *)
 
@@ -560,13 +598,14 @@ let analyze_cmd =
 
 (* --- export --- *)
 
-let export budget seed dir jobs no_share no_resolve no_reach =
+let export budget seed dir jobs no_share no_resolve no_reach no_specialize =
   let fz = Comfort.Campaign.comfort_fuzzer ~seed () in
   let res =
     Comfort.Campaign.run ~budget ~jobs:(resolve_jobs jobs)
       ?share:(resolve_share no_share)
       ?resolve:(resolve_resolve no_resolve)
-      ?reach:(resolve_reach no_reach) fz
+      ?reach:(resolve_reach no_reach)
+      ?specialize:(resolve_specialize no_specialize) fz
   in
   let files = Comfort.Test262_export.export res in
   (match dir with
@@ -599,11 +638,12 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Fuzz, then render discoveries as Test262-style conformance tests")
     Term.(const export $ budget $ seed $ dir $ jobs_arg $ no_share_arg
-          $ no_resolve_arg $ no_reach_arg)
+          $ no_resolve_arg $ no_reach_arg $ no_specialize_arg)
 
 (* --- reduce --- *)
 
-let reduce file engine version jobs no_share no_resolve no_reach =
+let reduce file engine version jobs no_share no_resolve no_reach
+    no_specialize =
   let src = read_file file in
   let cfg =
     match version with
@@ -618,8 +658,11 @@ let reduce file engine version jobs no_share no_resolve no_reach =
       let tb = { Engines.Engine.tb_config = cfg; tb_mode = Engines.Engine.Normal } in
       let resolve = resolve_resolve no_resolve in
       let reach = resolve_reach no_reach in
-      let target = Engines.Engine.run ?resolve ?reach tb src in
-      let reference = Engines.Engine.run_reference ?resolve ?reach src in
+      let specialize = resolve_specialize no_specialize in
+      let target = Engines.Engine.run ?resolve ?reach ?specialize tb src in
+      let reference =
+        Engines.Engine.run_reference ?resolve ?reach ?specialize src
+      in
       let tsig = Comfort.Difftest.signature_of_result target in
       let rsig = Comfort.Difftest.signature_of_result reference in
       if tsig = rsig then print_endline "// no deviation on that engine; nothing to reduce"
@@ -638,7 +681,8 @@ let reduce file engine version jobs no_share no_resolve no_reach =
           Comfort.Reducer.reduce ~jobs:(resolve_jobs jobs)
             ~still_triggers:
               (Comfort.Reducer.still_triggers_deviation
-                 ?share:(resolve_share no_share) ?resolve ?reach tb dev)
+                 ?share:(resolve_share no_share) ?resolve ?reach ?specialize
+                 tb dev)
             src
         in
         Printf.printf "// reduced from %d to %d bytes\n%s"
@@ -654,7 +698,7 @@ let reduce_cmd =
   in
   Cmd.v (Cmd.info "reduce" ~doc:"Reduce a bug-exposing test case")
     Term.(const reduce $ file $ engine $ version $ jobs_arg $ no_share_arg
-          $ no_resolve_arg $ no_reach_arg)
+          $ no_resolve_arg $ no_reach_arg $ no_specialize_arg)
 
 (* --- spec --- *)
 

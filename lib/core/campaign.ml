@@ -55,6 +55,15 @@ type result = {
       (** shared runs answered by the static reach partition's fast path
           (0 with the analysis off); executions and reports are identical
           either way — see [Engines.Engine.Exec.seeded] *)
+  cp_specialized : int;
+      (** quirk-specialised compilations performed (0 with specialisation
+          off); reports are identical either way — see [Compile] *)
+  cp_cow_clones : int;
+      (** realm-template objects lazily journaled by the copy-on-write
+          write barrier (0 with specialisation off) *)
+  cp_ic_hits : int;
+      (** property accesses answered by a compiled site's inline cache
+          (0 with specialisation off) *)
   cp_skipped_cases : int;      (** cases lost to worker failures (supervised
                                    executor: recorded, not fatal) *)
   cp_faults : Supervisor.stats;    (** aggregate supervision counters *)
@@ -164,14 +173,15 @@ let api_of_deviation (dev : Difftest.deviation) (tc : Testcase.t)
    executed but produced the same observable output) from inflating the
    bug count. The per-quirk re-executions are independent, so [jobs > 1]
    probes them in parallel; the returned order is identical either way. *)
-let causal_quirks ?(jobs = 1) ?resolve ?reach (tb : Engines.Engine.testbed)
-    (src : string) (dev : Difftest.deviation) ~fuel : Quirk.t list =
+let causal_quirks ?(jobs = 1) ?resolve ?reach ?specialize
+    (tb : Engines.Engine.testbed) (src : string) (dev : Difftest.deviation)
+    ~fuel : Quirk.t list =
   let cfg = tb.Engines.Engine.tb_config in
   let base_sig = dev.Difftest.d_actual in
   let changes q =
     let quirks = Quirk.Set.remove q cfg.Engines.Registry.cfg_quirks in
     let r =
-      Run.run ~quirks ?resolve ?reach
+      Run.run ~quirks ?resolve ?reach ?specialize
         ~parse_opts:(Engines.Registry.parse_opts_of_config cfg)
         ~strict:(tb.Engines.Engine.tb_mode = Engines.Engine.Strict)
         ~fuel src
@@ -210,9 +220,12 @@ module Checkpoint = struct
   let magic = "COMFORT-CKPT"
 
   (* v2: added ck_reach / ck_audit_reach / ck_reach_seeded (the static
-     reachability analysis). The header check rejects v1 files rather than
-     guess defaults for fields that change what a resumed campaign runs. *)
-  let version = 2
+     reachability analysis). v3: added ck_specialize /
+     ck_audit_specialize and the specialisation counters (quirk-
+     specialised execution). The header check rejects older files rather
+     than guess defaults for fields that change what a resumed campaign
+     runs. *)
+  let version = 3
 
   type state = {
     ck_fuzzer : string;
@@ -220,10 +233,15 @@ module Checkpoint = struct
     ck_share : bool;
     ck_resolve : bool option;
     ck_reach : bool option;
+    ck_specialize : bool option;
     ck_reduce : bool;
     ck_audit_share : int;
     ck_audit_reach : int;
+    ck_audit_specialize : int;
     ck_reach_seeded : int;  (* seeded-share tally accumulated so far *)
+    ck_specialized : int;   (* specialised-compilation tally so far *)
+    ck_cow_clones : int;    (* COW write-barrier tally so far *)
+    ck_ic_hits : int;       (* inline-cache hit tally so far *)
     ck_testbeds : string list;       (* Engine.testbed_id, sweep order *)
     ck_plan : string option;         (* Faultplan.to_spec *)
     ck_cases : Testcase.t list;      (* the full drawn case list *)
@@ -292,12 +310,17 @@ type st = {
   d_share : bool;
   d_resolve : bool option;
   d_reach : bool option;
+  d_specialize : bool option;
   d_reduce : bool;
   d_audit_share : int;
   d_audit_reach : int;
+  d_audit_specialize : int;
   mutable d_reach_seeded : int;
       (* seeded shares attributable to this campaign, synced from the
          process-wide counter by the driver before every checkpoint *)
+  mutable d_specialized : int;  (* specialised compilations, same protocol *)
+  mutable d_cow_clones : int;   (* COW write-barrier journals, same protocol *)
+  mutable d_ic_hits : int;      (* inline-cache hits, same protocol *)
   d_testbeds : Engines.Engine.testbed list;
   d_plan : Supervisor.Faultplan.t option;
   d_sup : Supervisor.t option;  (* Some iff supervision is on *)
@@ -332,10 +355,15 @@ let snapshot (d : st) : Checkpoint.state =
     ck_share = d.d_share;
     ck_resolve = d.d_resolve;
     ck_reach = d.d_reach;
+    ck_specialize = d.d_specialize;
     ck_reduce = d.d_reduce;
     ck_audit_share = d.d_audit_share;
     ck_audit_reach = d.d_audit_reach;
+    ck_audit_specialize = d.d_audit_specialize;
     ck_reach_seeded = d.d_reach_seeded;
+    ck_specialized = d.d_specialized;
+    ck_cow_clones = d.d_cow_clones;
+    ck_ic_hits = d.d_ic_hits;
     ck_testbeds = List.map Engines.Engine.testbed_id d.d_testbeds;
     ck_plan = Option.map Supervisor.Faultplan.to_spec d.d_plan;
     ck_cases = d.d_cases;
@@ -364,6 +392,9 @@ let final (d : st) : result =
     cp_screen_reasons = d.d_screen_reasons;
     cp_repaired = d.d_repaired;
     cp_reach_seeded = d.d_reach_seeded;
+    cp_specialized = d.d_specialized;
+    cp_cow_clones = d.d_cow_clones;
+    cp_ic_hits = d.d_ic_hits;
     cp_skipped_cases = d.d_skipped_cases;
     cp_faults =
       (match d.d_sup with
@@ -398,10 +429,20 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
      counter, folded into [d] (on top of any checkpointed prior) before
      every snapshot and before the final result *)
   let seeded0 = Engines.Engine.Exec.seeded_count () in
+  let specialized0 = Compile.specialized_count () in
+  let cow0 = Value.cow_count () in
+  let ic0 = Value.ic_count () in
   let seeded_prior = d.d_reach_seeded in
+  let specialized_prior = d.d_specialized in
+  let cow_prior = d.d_cow_clones in
+  let ic_prior = d.d_ic_hits in
   let sync_seeded () =
     d.d_reach_seeded <-
-      seeded_prior + (Engines.Engine.Exec.seeded_count () - seeded0)
+      seeded_prior + (Engines.Engine.Exec.seeded_count () - seeded0);
+    d.d_specialized <-
+      specialized_prior + (Compile.specialized_count () - specialized0);
+    d.d_cow_clones <- cow_prior + (Value.cow_count () - cow0);
+    d.d_ic_hits <- ic_prior + (Value.ic_count () - ic0)
   in
   let save_ck () =
     match checkpoint with
@@ -457,9 +498,16 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
             if Quirk.Set.is_empty dev.Difftest.d_fired then
               d.d_unattributed <- d.d_unattributed + 1
             else
+              (* diagnostic re-executions (causal probes, reduction
+                 candidates) run the reach layer off: its static analysis
+                 only pays for itself across a wide per-case sweep, and a
+                 two-run probe on a fresh parse would fund it with nothing
+                 to amortize. Results are bit-identical either way, so the
+                 discovery stream does not depend on this choice. *)
               let causal =
-                causal_quirks ~jobs ?resolve:d.d_resolve ?reach:d.d_reach tb
-                  tc.Testcase.tc_source dev ~fuel:d.d_fuel
+                causal_quirks ~jobs ?resolve:d.d_resolve ~reach:false
+                  ?specialize:d.d_specialize tb tc.Testcase.tc_source dev
+                  ~fuel:d.d_fuel
               in
               if causal = [] then d.d_unattributed <- d.d_unattributed + 1
               else
@@ -474,7 +522,8 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
                              ~still_triggers:
                                (Reducer.still_triggers_deviation
                                   ~share:d.d_share ?resolve:d.d_resolve
-                                  ?reach:d.d_reach tb dev)
+                                  ~reach:false ?specialize:d.d_specialize
+                                  tb dev)
                              tc.Testcase.tc_source)
                       else None
                     in
@@ -541,29 +590,40 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
           (List.map
              (fun tbs ->
                Difftest.sweep_case ~fuel:d.d_fuel ~share:d.d_share
-                 ?resolve:d.d_resolve ?reach:d.d_reach ?plan:d.d_plan
+                 ?resolve:d.d_resolve ?reach:d.d_reach
+                 ?specialize:d.d_specialize ?plan:d.d_plan
                  ~policy:(Supervisor.policy sup) ~supervisor:sup ~case_key:i
                  tbs tc)
              by_mode)
     | None ->
         (* cases are keyed by their submission index, so the audit samples
            are deterministic — the same cases are cross-checked at any job
-           count and across resume; a case matching both audit strides is
-           share-audited (the pre-existing behaviour), never both *)
+           count and across resume; a case matching several audit strides
+           runs the first applicable audit (share, then reach, then
+           specialise), never more than one *)
         let audit = d.d_audit_share > 0 && i mod d.d_audit_share = 0 in
         let audit_reach = d.d_audit_reach > 0 && i mod d.d_audit_reach = 0 in
+        let audit_specialize =
+          d.d_audit_specialize > 0 && i mod d.d_audit_specialize = 0
+        in
         W_judged
           (List.map
              (fun tbs ->
                if audit then
                  Difftest.audit_case ~fuel:d.d_fuel ?resolve:d.d_resolve
-                   ?reach:d.d_reach tbs tc
+                   ?reach:d.d_reach ?specialize:d.d_specialize tbs tc
                else if audit_reach then
                  Difftest.audit_reach_case ~fuel:d.d_fuel ~share:d.d_share
-                   ?resolve:d.d_resolve ?reach:d.d_reach tbs tc
+                   ?resolve:d.d_resolve ?reach:d.d_reach
+                   ?specialize:d.d_specialize tbs tc
+               else if audit_specialize then
+                 Difftest.audit_specialize_case ~fuel:d.d_fuel
+                   ~share:d.d_share ?resolve:d.d_resolve ?reach:d.d_reach
+                   tbs tc
                else
                  Difftest.run_case ~fuel:d.d_fuel ~share:d.d_share
-                   ?resolve:d.d_resolve ?reach:d.d_reach tbs tc)
+                   ?resolve:d.d_resolve ?reach:d.d_reach
+                   ?specialize:d.d_specialize tbs tc)
              by_mode)
   in
   let items =
@@ -577,7 +637,9 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
           (* an audit divergence is a soundness bug, never a fault to
              absorb — let it poison the run loudly *)
           match e with
-          | Difftest.Share_mismatch _ | Difftest.Reach_unsound _ -> raise e
+          | Difftest.Share_mismatch _ | Difftest.Reach_unsound _
+          | Difftest.Specialize_mismatch _ ->
+              raise e
           | e -> W_failed e)
         ~stop:(fun () -> d.d_stop)
         worker items
@@ -590,9 +652,9 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
 
 let run ?(testbeds = default_testbeds ()) ?(budget = 200)
     ?(fuel = Difftest.campaign_fuel) ?(reduce = false) ?(screen = true)
-    ?(jobs = Executor.default_jobs ()) ?share ?resolve ?reach
-    ?(audit_share = 0) ?(audit_reach = 0) ?faults ?policy ?checkpoint
-    ?halt_after (fz : fuzzer) : result =
+    ?(jobs = Executor.default_jobs ()) ?share ?resolve ?reach ?specialize
+    ?(audit_share = 0) ?(audit_reach = 0) ?(audit_specialize = 0) ?faults
+    ?policy ?checkpoint ?halt_after (fz : fuzzer) : result =
   let share =
     match share with Some s -> s | None -> Difftest.share_by_default ()
   in
@@ -608,6 +670,10 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
     invalid_arg
       "Campaign.run: audit_reach cannot be combined with fault injection \
        or supervision";
+  if audit_specialize > 0 && supervised then
+    invalid_arg
+      "Campaign.run: audit_specialize cannot be combined with fault \
+       injection or supervision";
   let sup = if supervised then Some (Supervisor.create ?policy ()) else None in
   let aborted = ref None in
   (* a fuzzer that dies (e.g. the generator's refill cap) aborts the
@@ -671,10 +737,15 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
       d_share = share;
       d_resolve = resolve;
       d_reach = reach;
+      d_specialize = specialize;
       d_reduce = reduce;
       d_audit_share = audit_share;
       d_audit_reach = audit_reach;
+      d_audit_specialize = audit_specialize;
       d_reach_seeded = 0;
+      d_specialized = 0;
+      d_cow_clones = 0;
+      d_ic_hits = 0;
       d_testbeds = testbeds;
       d_plan = plan;
       d_sup = sup;
@@ -729,10 +800,15 @@ let resume ?(jobs = Executor.default_jobs ()) ?checkpoint ?halt_after
       d_share = ck.Checkpoint.ck_share;
       d_resolve = ck.Checkpoint.ck_resolve;
       d_reach = ck.Checkpoint.ck_reach;
+      d_specialize = ck.Checkpoint.ck_specialize;
       d_reduce = ck.Checkpoint.ck_reduce;
       d_audit_share = ck.Checkpoint.ck_audit_share;
       d_audit_reach = ck.Checkpoint.ck_audit_reach;
+      d_audit_specialize = ck.Checkpoint.ck_audit_specialize;
       d_reach_seeded = ck.Checkpoint.ck_reach_seeded;
+      d_specialized = ck.Checkpoint.ck_specialized;
+      d_cow_clones = ck.Checkpoint.ck_cow_clones;
+      d_ic_hits = ck.Checkpoint.ck_ic_hits;
       d_testbeds = testbeds;
       d_plan = plan;
       d_sup = Option.map Supervisor.thaw ck.Checkpoint.ck_supervisor;

@@ -49,6 +49,15 @@ type result = {
       (** shared runs answered by the static reach partition's fast path
           (DESIGN.md §11); 0 with the analysis off. Statistics only:
           executions, discoveries and reports are identical either way *)
+  cp_specialized : int;
+      (** quirk-specialised compilations performed (DESIGN.md §12); 0 with
+          specialisation off. Statistics only, like [cp_reach_seeded] *)
+  cp_cow_clones : int;
+      (** realm-template objects lazily journaled by the copy-on-write
+          write barrier; 0 with specialisation off. Statistics only *)
+  cp_ic_hits : int;
+      (** property accesses answered by a compiled site's inline cache;
+          0 with specialisation off. Statistics only *)
   cp_skipped_cases : int;
       (** cases lost to worker failures: the supervised executor records
           them as failed-and-skipped instead of letting one poisoned case
@@ -133,6 +142,11 @@ end
                      and the compiler folds provably-unreachable
                      checkpoint consultations; reports are byte-identical
                      either way (DESIGN.md §11)
+    @param specialize execute on the quirk-specialised fast path:
+                     copy-on-write realms, per-cell compiled closures with
+                     baked-in checkpoint answers, inline caches (default
+                     {!Jsinterp.Run.specialize_by_default}); reports are
+                     byte-identical either way (DESIGN.md §12)
     @param audit_share when positive, every [audit_share]-th case (by
                      submission index, so the sample is deterministic)
                      runs down both the shared and the direct path and
@@ -142,8 +156,14 @@ end
                      additionally asserts static ⊇ dynamic touched on
                      every testbed's direct execution, raising
                      {!Difftest.Reach_unsound} on a violation (a case
-                     matching both audit strides is share-audited).
-                     Incompatible with [faults]/[policy]
+                     matching several audit strides runs the first
+                     applicable audit: share, then reach, then
+                     specialise). Incompatible with [faults]/[policy]
+    @param audit_specialize when positive, every [audit_specialize]-th
+                     case runs once specialised and once generic and
+                     raises {!Difftest.Specialize_mismatch} on any
+                     report divergence. Incompatible with
+                     [faults]/[policy]
     @param faults    deterministic fault-injection plan applied to every
                      supervised testbed execution (chaos campaigns);
                      defaults to [COMFORT_FAULTS] from the environment.
@@ -171,8 +191,10 @@ val run :
   ?share:bool ->
   ?resolve:bool ->
   ?reach:bool ->
+  ?specialize:bool ->
   ?audit_share:int ->
   ?audit_reach:int ->
+  ?audit_specialize:int ->
   ?faults:Supervisor.Faultplan.t ->
   ?policy:Supervisor.policy ->
   ?checkpoint:string * int ->

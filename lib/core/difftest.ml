@@ -153,9 +153,9 @@ type sweep = {
     (Engines.Engine.testbed * Jsinterp.Run.result Supervisor.outcome) list;
 }
 
-let sweep_case ?(fuel = campaign_fuel) ?share ?resolve ?reach ?plan ?policy
-    ?supervisor ?(case_key = 0) (testbeds : Engines.Engine.testbed list)
-    (tc : Testcase.t) : sweep =
+let sweep_case ?(fuel = campaign_fuel) ?share ?resolve ?reach ?specialize
+    ?plan ?policy ?supervisor ?(case_key = 0)
+    (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : sweep =
   let share =
     match share with Some s -> s | None -> share_by_default ()
   in
@@ -187,9 +187,10 @@ let sweep_case ?(fuel = campaign_fuel) ?share ?resolve ?reach ?plan ?policy
           | _ ->
               let thunk () =
                 if share then
-                  Engines.Engine.Exec.run ~fuel ?resolve ?reach ec tb
+                  Engines.Engine.Exec.run ~fuel ?resolve ?reach ?specialize
+                    ec tb
                 else
-                  Engines.Engine.run ~fuel ?resolve ?reach
+                  Engines.Engine.run ~fuel ?resolve ?reach ?specialize
                     ~frontend:(Engines.Engine.Frontend.frontend fc tb)
                     tb tc.Testcase.tc_source
               in
@@ -320,11 +321,12 @@ let judge ?supervisor (sw : sweep) : case_report =
    everything that tests a case outside a supervised campaign loop. With
    no [plan]/[policy]/[supervisor] this computes exactly what it did
    before the supervision layer existed. *)
-let run_case ?fuel ?share ?resolve ?reach ?plan ?policy ?supervisor ?case_key
-    (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : case_report =
+let run_case ?fuel ?share ?resolve ?reach ?specialize ?plan ?policy
+    ?supervisor ?case_key (testbeds : Engines.Engine.testbed list)
+    (tc : Testcase.t) : case_report =
   judge ?supervisor
-    (sweep_case ?fuel ?share ?resolve ?reach ?plan ?policy ?supervisor
-       ?case_key testbeds tc)
+    (sweep_case ?fuel ?share ?resolve ?reach ?specialize ?plan ?policy
+       ?supervisor ?case_key testbeds tc)
 
 (* Field-wise report equality. [Quirk.Set.t] is a balanced tree whose
    shape depends on insertion order, so structural [(=)] on the whole
@@ -353,10 +355,14 @@ exception Share_mismatch of string
 (* The audit mode: run the case down both paths and fail loudly on any
    divergence. Returns the shared report so an auditing campaign can use
    it as the real result of the case. *)
-let audit_case ?(fuel = campaign_fuel) ?resolve ?reach
+let audit_case ?(fuel = campaign_fuel) ?resolve ?reach ?specialize
     (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : case_report =
-  let shared = run_case ~fuel ~share:true ?resolve ?reach testbeds tc in
-  let direct = run_case ~fuel ~share:false ?resolve ?reach testbeds tc in
+  let shared =
+    run_case ~fuel ~share:true ?resolve ?reach ?specialize testbeds tc
+  in
+  let direct =
+    run_case ~fuel ~share:false ?resolve ?reach ?specialize testbeds tc
+  in
   if not (report_equal shared direct) then
     raise
       (Share_mismatch
@@ -378,7 +384,8 @@ exception Reach_unsound of string
    touched set. A violation is a soundness bug in [Analysis.Reach] —
    never a fault to absorb. *)
 let audit_reach_case ?(fuel = campaign_fuel) ?share ?resolve ?reach
-    (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : case_report =
+    ?specialize (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) :
+    case_report =
   let fc = Engines.Engine.Frontend.cache tc.Testcase.tc_source in
   List.iter
     (fun (tb : Engines.Engine.testbed) ->
@@ -386,8 +393,12 @@ let audit_reach_case ?(fuel = campaign_fuel) ?share ?resolve ?reach
       then begin
         let fe = Engines.Engine.Frontend.frontend fc tb in
         let r =
-          Engines.Engine.run ~fuel ?resolve ?reach ~frontend:fe tb
-            tc.Testcase.tc_source
+          (* the dynamic touched set must be the testbed's own observation,
+             so this probe runs generic: a specialised closure's baked-in
+             answers record the same touched set, but the audit should not
+             have to trust that *)
+          Engines.Engine.run ~fuel ?resolve ?reach ~specialize:false
+            ~frontend:fe tb tc.Testcase.tc_source
         in
         let static = Jsinterp.Run.reach_set fe in
         if not (Jsinterp.Quirk.Set.subset r.Run.r_touched static) then
@@ -407,4 +418,33 @@ let audit_reach_case ?(fuel = campaign_fuel) ?share ?resolve ?reach
                   missing tc.Testcase.tc_source))
       end)
     testbeds;
-  run_case ~fuel ?share ?resolve ?reach testbeds tc
+  run_case ~fuel ?share ?resolve ?reach ?specialize testbeds tc
+
+exception Specialize_mismatch of string
+
+(* The specialise-audit mode: run the case once down the quirk-specialised
+   fast path and once down the generic compiled path, and fail loudly on
+   any field-wise report divergence. This is the dynamic check backing the
+   static argument of DESIGN.md §12: baked-in checkpoint answers, inline
+   caches and copy-on-write realm reuse must all be invisible in results.
+   Returns the specialised report so an auditing campaign can use it as
+   the real result of the case. *)
+let audit_specialize_case ?(fuel = campaign_fuel) ?share ?resolve ?reach
+    (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : case_report =
+  let fast =
+    run_case ~fuel ?share ?resolve ?reach ~specialize:true testbeds tc
+  in
+  let generic =
+    run_case ~fuel ?share ?resolve ?reach ~specialize:false testbeds tc
+  in
+  if not (report_equal fast generic) then
+    raise
+      (Specialize_mismatch
+         (Printf.sprintf
+            "quirk specialisation changed the report of case %d \
+             (specialised: %d deviations, generic: %d)\nsource:\n%s"
+            tc.Testcase.tc_id
+            (List.length fast.cr_deviations)
+            (List.length generic.cr_deviations)
+            tc.Testcase.tc_source));
+  fast

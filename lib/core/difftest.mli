@@ -94,6 +94,7 @@ val sweep_case :
   ?share:bool ->
   ?resolve:bool ->
   ?reach:bool ->
+  ?specialize:bool ->
   ?plan:Supervisor.Faultplan.t ->
   ?policy:Supervisor.policy ->
   ?supervisor:Supervisor.t ->
@@ -120,7 +121,12 @@ val judge : ?supervisor:Supervisor.t -> sweep -> case_report
     {!Jsinterp.Run.reach_by_default}) consults the static checkpoint
     reachability analysis (DESIGN.md §11) to seed sharing cells and fold
     unreachable checkpoint consultations; the report is byte-identical
-    either way. [plan]/[policy]/[supervisor] enable supervised execution
+    either way. [specialize] (default
+    {!Jsinterp.Run.specialize_by_default}) executes on the
+    quirk-specialised fast path — copy-on-write realms, per-cell compiled
+    closures with baked-in checkpoint answers, inline caches (DESIGN.md
+    §12); the report is byte-identical either way.
+    [plan]/[policy]/[supervisor] enable supervised execution
     (DESIGN.md §10); with all three absent the report is exactly the
     pre-supervision one. *)
 val run_case :
@@ -128,6 +134,7 @@ val run_case :
   ?share:bool ->
   ?resolve:bool ->
   ?reach:bool ->
+  ?specialize:bool ->
   ?plan:Supervisor.Faultplan.t ->
   ?policy:Supervisor.policy ->
   ?supervisor:Supervisor.t ->
@@ -152,6 +159,7 @@ val audit_case :
   ?fuel:int ->
   ?resolve:bool ->
   ?reach:bool ->
+  ?specialize:bool ->
   Engines.Engine.testbed list ->
   Testcase.t ->
   case_report
@@ -164,6 +172,23 @@ exception Reach_unsound of string
     reach set of its parse group ([Run.reach_set]), and return the
     ordinary {!run_case} report otherwise. *)
 val audit_reach_case :
+  ?fuel:int ->
+  ?share:bool ->
+  ?resolve:bool ->
+  ?reach:bool ->
+  ?specialize:bool ->
+  Engines.Engine.testbed list ->
+  Testcase.t ->
+  case_report
+
+exception Specialize_mismatch of string
+
+(** Cross-check mode for the quirk-specialised fast path: run the case
+    once specialised and once generic, raise {!Specialize_mismatch} if
+    the reports differ in any observable field, and return the
+    specialised report otherwise (the dynamic check behind DESIGN.md
+    §12's correctness ladder). *)
+val audit_specialize_case :
   ?fuel:int ->
   ?share:bool ->
   ?resolve:bool ->

@@ -23,7 +23,8 @@ val fuzzer : t -> Campaign.fuzzer
 (** A complete feedback campaign: [rounds] campaigns of
     [budget_per_round] cases, banking each round's exposing cases before
     the next; results are merged with (engine, bug) dedup. [share],
-    [resolve] and [reach] are forwarded to {!Campaign.run}. *)
+    [resolve], [reach] and [specialize] are forwarded to
+    {!Campaign.run}. *)
 val run_rounds :
   ?testbeds:Engines.Engine.testbed list ->
   ?rounds:int ->
@@ -33,5 +34,6 @@ val run_rounds :
   ?share:bool ->
   ?resolve:bool ->
   ?reach:bool ->
+  ?specialize:bool ->
   t ->
   Campaign.result

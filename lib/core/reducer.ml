@@ -151,7 +151,7 @@ let reduce ?(jobs = 1) ~(still_triggers : string -> bool) (src : string) :
 (* Convenience: build the predicate from a deviation observed on a testbed.
    The reduced program must still fire the same quirks and produce the same
    behaviour class on that testbed. *)
-let still_triggers_deviation ?share ?resolve ?reach
+let still_triggers_deviation ?share ?resolve ?reach ?specialize
     (tb : Engines.Engine.testbed) (original : Difftest.deviation) :
     string -> bool =
   let share =
@@ -167,12 +167,14 @@ let still_triggers_deviation ?share ?resolve ?reach
   let target, reference =
     if share then begin
       let ec = Engines.Engine.Exec.cache src in
-      let target = Engines.Engine.Exec.run ?resolve ?reach ec tb in
-      (target, Engines.Engine.Exec.run_reference ?resolve ?reach ec)
+      let target =
+        Engines.Engine.Exec.run ?resolve ?reach ?specialize ec tb
+      in
+      (target, Engines.Engine.Exec.run_reference ?resolve ?reach ?specialize ec)
     end
     else
-      ( Engines.Engine.run ?resolve ?reach tb src,
-        Engines.Engine.run_reference ?resolve ?reach src )
+      ( Engines.Engine.run ?resolve ?reach ?specialize tb src,
+        Engines.Engine.run_reference ?resolve ?reach ?specialize src )
   in
   let tsig = Difftest.signature_of_result target in
   let rsig = Difftest.signature_of_result reference in

@@ -20,11 +20,14 @@ val reduce : ?jobs:int -> still_triggers:(string -> bool) -> string -> string
     cache, sharing the parse and often the execution itself. [resolve]
     selects the slot-compiled interpreter core for both runs (default
     {!Jsinterp.Run.resolve_by_default}); [reach] consults the static
-    reachability analysis (default {!Jsinterp.Run.reach_by_default}). *)
+    reachability analysis (default {!Jsinterp.Run.reach_by_default});
+    [specialize] selects the quirk-specialised fast path (default
+    {!Jsinterp.Run.specialize_by_default}). *)
 val still_triggers_deviation :
   ?share:bool ->
   ?resolve:bool ->
   ?reach:bool ->
+  ?specialize:bool ->
   Engines.Engine.testbed ->
   Difftest.deviation ->
   string ->

@@ -49,18 +49,18 @@ let latest_testbeds ?(mode = Normal) () : testbed list =
     Registry.all_engines
 
 let run ?(fuel = Run.default_fuel) ?(coverage = false) ?resolve ?reach
-    ?frontend (tb : testbed) (src : string) : Run.result =
+    ?specialize ?frontend (tb : testbed) (src : string) : Run.result =
   Run.run
     ~quirks:tb.tb_config.Registry.cfg_quirks
     ~parse_opts:(Registry.parse_opts_of_config tb.tb_config)
     ~strict:(tb.tb_mode = Strict)
-    ~fuel ~coverage ?resolve ?reach ?frontend src
+    ~fuel ~coverage ?resolve ?reach ?specialize ?frontend src
 
 (* A reference run: the standard-conforming engine with no quirks. Used by
    the reducer and by examples as the "expected" behaviour. *)
 let run_reference ?(fuel = Run.default_fuel) ?(strict = false) ?resolve ?reach
-    (src : string) : Run.result =
-  Run.run ~strict ~fuel ?resolve ?reach src
+    ?specialize (src : string) : Run.result =
+  Run.run ~strict ~fuel ?resolve ?reach ?specialize src
 
 (* Can this configuration's front end parse the program at all? Used by the
    campaign to honour the paper's rule of only testing engines against
@@ -81,12 +81,22 @@ let supports (c : Registry.config) (src : string) : bool =
    parses (edition gating parses once or twice, the run itself once more).
    A [Frontend.cache] is built once per test case and shares:
 
-   - the [supports] verdict, per base front-end profile ([supports]
-     ignores quirk-level options, so only the ES5/standard split matters);
-   - the syntactic-validity check backing [supports]'s feature-gap probe;
-   - the parsed program plus sunk parse-stage quirks, per distinct
-     [(Registry.parse_key, mode)] group — [Run.run ~frontend] then skips
-     its own parse and re-filters the quirks per engine.
+   - one *permissive base parse* per profile (ES5 / standard): parsed
+     sloppy with every parser-level quirk acceptance enabled. Because
+     each quirk decision point either sinks its quirk (accept on) or
+     raises (accept off), and each strict-divergent construct reports
+     through [strict_sensitive_sink], the base parse proves its own
+     reuse conditions: any [(parse_key, mode)] group whose quirk set
+     covers the sunk quirks — and, for strict groups, whose source
+     contains no strict-sensitive construct (or opts into strict
+     itself) — parses identically and shares the base front end
+     outright, compilations, reach analysis and all. In the common case
+     the whole 100-testbed sweep costs one or two parses;
+   - the [supports] verdict and the syntactic-validity check backing its
+     feature-gap probe, both derived from the base parses for free;
+   - a real parse per [(Registry.parse_key, mode)] group whose
+     difference from the base is actually observable (rare: the source
+     must contain the quirky or strict-sensitive syntax).
 
    A cache is a plain mutable value tied to one source string. It is NOT
    domain-safe: the campaign executor builds one cache per case inside the
@@ -94,7 +104,8 @@ let supports (c : Registry.config) (src : string) : bool =
 module Frontend = struct
   type cache = {
     fc_src : string;
-    fc_valid : bool Lazy.t;
+    fc_base : (bool, Run.frontend) Hashtbl.t;
+        (* permissive sloppy parse, keyed by "is the ES5 profile?" *)
     fc_supports : (bool, bool) Hashtbl.t;
         (* keyed by "is the ES5 profile?" — all [supports] depends on *)
     fc_groups : (Registry.parse_key * bool, Run.frontend) Hashtbl.t;
@@ -104,25 +115,53 @@ module Frontend = struct
   let cache (src : string) : cache =
     {
       fc_src = src;
-      fc_valid = lazy (Jsparse.Parser.is_valid src);
+      fc_base = Hashtbl.create 2;
       fc_supports = Hashtbl.create 2;
       fc_groups = Hashtbl.create 8;
     }
+
+  (* Every parser-level quirk, enabled at once for the base parse. *)
+  let permissive_quirks =
+    Quirk.Set.of_list
+      [
+        Quirk.Q_eval_for_missing_body_accepted;
+        Quirk.Q_strict_dup_params_accepted;
+        Quirk.Q_strict_delete_unqualified_accepted;
+      ]
+
+  let base_frontend (fc : cache) ~(es5 : bool) : Run.frontend =
+    match Hashtbl.find_opt fc.fc_base es5 with
+    | Some fe -> fe
+    | None ->
+        let parse_opts =
+          if es5 then Jsparse.Parser.es5_options
+          else Jsparse.Parser.default_options
+        in
+        (* [reach_strict]: the base front end may serve strict groups,
+           and the strict reach set is a superset of the sloppy one *)
+        let fe =
+          Run.parse_frontend ~quirks:permissive_quirks ~parse_opts
+            ~strict:false ~reach_strict:true fc.fc_src
+        in
+        Hashtbl.replace fc.fc_base es5 fe;
+        fe
+
+  (* Parses under the profile's own options (no quirk acceptances): the
+     permissive base succeeded without leaning on any acceptance. *)
+  let parses_clean (fe : Run.frontend) : bool =
+    (match fe.Run.fe_program with Ok _ -> true | Error _ -> false)
+    && Quirk.Set.is_empty fe.Run.fe_fired
+
+  (* Syntactic validity under the standard front end, derived from the
+     standard base parse instead of a parse of its own. *)
+  let valid (fc : cache) : bool = parses_clean (base_frontend fc ~es5:false)
 
   let supports (fc : cache) (c : Registry.config) : bool =
     let key = c.Registry.cfg_es = Registry.ES5 in
     match Hashtbl.find_opt fc.fc_supports key with
     | Some b -> b
     | None ->
-        let b =
-          match
-            Jsparse.Parser.parse_program
-              ~opts:(Registry.parse_opts_of_config c) fc.fc_src
-          with
-          | _ -> true
-          | exception Jsparse.Parser.Syntax_error _ ->
-              not (Lazy.force fc.fc_valid)
-        in
+        let b = parses_clean (base_frontend fc ~es5:key) || not (valid fc) in
         Hashtbl.replace fc.fc_supports key b;
         b
 
@@ -130,14 +169,38 @@ module Frontend = struct
 
   (* The shared front end of an arbitrary parse group. Two profiles with
      the same [key] have identical effective options, so whichever member
-     arrives first parses on behalf of the whole group. *)
+     arrives first parses on behalf of the whole group — and when the
+     base parse's sunk-quirk and strict-sensitivity evidence proves the
+     group's options unobservable on this source, the group shares the
+     base front end without parsing at all. *)
   let frontend_for (fc : cache) ~(key : Registry.parse_key * bool)
       ~(quirks : Quirk.Set.t) ~(parse_opts : Jsparse.Parser.options)
       ~(strict : bool) : Run.frontend =
     match Hashtbl.find_opt fc.fc_groups key with
     | Some fe -> fe
     | None ->
-        let fe = Run.parse_frontend ~quirks ~parse_opts ~strict fc.fc_src in
+        let pk, _ = key in
+        let base = base_frontend fc ~es5:pk.Registry.pk_es5 in
+        let subsumed =
+          (* all quirks the base parse leaned on are enabled here, so
+             this group's parse accepts at the same points and sinks the
+             same (post-filter) set *)
+          Quirk.Set.subset base.Run.fe_fired quirks
+        in
+        let mode_ok =
+          (not strict)
+          || (not base.Run.fe_strict_sensitive)
+          ||
+          (* a directive-prologue opt-in makes the sloppy parse strict
+             already; forcing the mode changes nothing *)
+          match base.Run.fe_program with
+          | Ok p -> p.Jsast.Ast.prog_strict
+          | Error _ -> false
+        in
+        let fe =
+          if subsumed && mode_ok then base
+          else Run.parse_frontend ~quirks ~parse_opts ~strict fc.fc_src
+        in
         Hashtbl.replace fc.fc_groups key fe;
         fe
 
@@ -176,25 +239,42 @@ end
    source string and is NOT domain-safe: the campaign executor builds one
    per case inside the worker that owns the case. *)
 module Exec = struct
+  (* One (parse group, strict, fuel) equivalence-class table entry: the
+     representative list (ground truth, oldest first) plus the static
+     partition cells hanging off it. A cell key is the quirk set ∩ the
+     parse group's static reach set, packed into its two machine words —
+     [Quirk.Bits]; a Quirk.Set.t has order-dependent tree shape and a
+     sorted element list allocates and hashes slowly, which PR 6
+     measured as a throughput regression. The static reach set
+     over-approximates every touched set of the parse group, so two
+     quirk sets in one cell agree on every checkpoint any execution can
+     consult — a cell hit shares without scanning the full class list.
+     Purely an acceleration: the class list stays the ground truth, so
+     executions performed are identical with or without the analysis.
+     Cells live inside the class entry as a small inline list with the
+     two cell words compared directly (rather than in a Hashtbl keyed by
+     the full class key, or even by the word pair): a class sees at most
+     a handful of distinct cells, and PR 7 measured the polymorphic
+     hashing of structured keys — ~0.5µs per call, ~40k calls per
+     campaign — as the overhead that made the reach row slower than
+     plain sharing. The inline walk is two integer compares per entry
+     and allocates nothing on the lookup path. *)
+  type cell = {
+    ce_lo : int;
+    ce_hi : int;  (* quirks ∩ reach set, packed ([Quirk.Bits]) *)
+    mutable ce_reps : Run.exec list;
+  }
+
+  type cls = {
+    mutable cl_reps : Run.exec list;
+    mutable cl_cells : cell list;
+  }
+
   type cache = {
     ec_frontend : Frontend.cache;
-    ec_classes :
-      (Registry.parse_key * bool * int, Run.exec list ref) Hashtbl.t;
-        (* (parse group, strict, fuel) -> class representatives, oldest
-           first; fuel is in the key so a cache survives mixed budgets *)
-    ec_buckets :
-      (Registry.parse_key * bool * int * Quirk.t list, Run.exec list ref)
-      Hashtbl.t;
-        (* static partition: (class key, quirks ∩ static reach set, as a
-           sorted element list — Quirk.Set.t itself has order-dependent
-           tree shape and cannot key a hashtable) -> representatives known
-           to serve that partition cell. The static reach set over-
-           approximates every touched set of the parse group, so two quirk
-           sets in one cell agree on every checkpoint any execution can
-           consult — a cell hit shares without scanning the full class
-           list. Purely an acceleration: the class list stays the ground
-           truth, so executions performed are identical with or without
-           the analysis. *)
+    ec_classes : (Registry.parse_key * bool * int, cls) Hashtbl.t;
+        (* (parse group, strict, fuel) -> class entry; fuel is in the
+           key so a cache survives mixed budgets *)
     mutable ec_executed : int;  (* real interpreter executions *)
     mutable ec_shared : int;    (* runs answered by class inheritance *)
     mutable ec_seeded : int;    (* shared runs answered by the static cell *)
@@ -210,7 +290,6 @@ module Exec = struct
     {
       ec_frontend = Frontend.cache src;
       ec_classes = Hashtbl.create 8;
-      ec_buckets = Hashtbl.create 8;
       ec_executed = 0;
       ec_shared = 0;
       ec_seeded = 0;
@@ -220,7 +299,6 @@ module Exec = struct
     {
       ec_frontend = fc;
       ec_classes = Hashtbl.create 8;
-      ec_buckets = Hashtbl.create 8;
       ec_executed = 0;
       ec_shared = 0;
       ec_seeded = 0;
@@ -233,11 +311,18 @@ module Exec = struct
   let stats (ec : cache) = (ec.ec_executed, ec.ec_shared)
   let seeded (ec : cache) = ec.ec_seeded
 
-  let run_keyed ?resolve ?reach (ec : cache) ~(pkey : Registry.parse_key)
-      ~(quirks : Quirk.Set.t) ~(parse_opts : Jsparse.Parser.options)
-      ~(strict : bool) ~(fuel : int) : Run.result =
+
+  let run_keyed ?resolve ?reach ?specialize ?qbits (ec : cache)
+      ~(pkey : Registry.parse_key) ~(quirks : Quirk.Set.t)
+      ~(parse_opts : Jsparse.Parser.options) ~(strict : bool) ~(fuel : int)
+      : Run.result =
     let reach =
       match reach with Some r -> r | None -> Run.reach_by_default ()
+    in
+    (* packed quirk words; callers on the campaign hot path pass the
+       precomputed [Registry.cfg_qbits] so nothing is rebuilt per case *)
+    let qbits =
+      match qbits with Some b -> b | None -> Quirk.Bits.of_set quirks
     in
     let fe =
       Frontend.frontend_for ec.ec_frontend ~key:(pkey, strict) ~quirks
@@ -247,37 +332,42 @@ module Exec = struct
     | Error _ ->
         (* nothing executes; [run ~frontend] only renders the stored
            syntax error and filters the sunk parse quirks *)
-        Run.run ~quirks ~parse_opts ~strict ~fuel ?resolve ~reach ~frontend:fe
+        Run.run ~quirks ~parse_opts ~strict ~fuel ?resolve ~reach ?specialize
+          ~frontend:fe
           (Frontend.source ec.ec_frontend)
     | Ok _ -> (
         let ckey = (pkey, strict, fuel) in
-        let classes =
+        let cls =
           match Hashtbl.find_opt ec.ec_classes ckey with
-          | Some l -> l
+          | Some c -> c
           | None ->
-              let l = ref [] in
-              Hashtbl.replace ec.ec_classes ckey l;
-              l
+              let c = { cl_reps = []; cl_cells = [] } in
+              Hashtbl.replace ec.ec_classes ckey c;
+              c
         in
-        (* the static cell of this quirk set, when the analysis is on *)
+        (* the static cell of this quirk set, when the analysis is on:
+           two machine words of intersection, then an inline walk of the
+           class's few cells — no hashing, no allocation *)
         let bucket =
           if not reach then None
-          else
-            let cell =
-              Quirk.Set.elements
-                (Quirk.Set.inter quirks (Run.reach_set fe))
+          else begin
+            let qlo, qhi = qbits in
+            let rlo, rhi = Lazy.force fe.Run.fe_reach_bits in
+            let lo = qlo land rlo and hi = qhi land rhi in
+            let rec find = function
+              | [] ->
+                  let c = { ce_lo = lo; ce_hi = hi; ce_reps = [] } in
+                  cls.cl_cells <- c :: cls.cl_cells;
+                  c
+              | c :: tl ->
+                  if c.ce_lo = lo && c.ce_hi = hi then c else find tl
             in
-            let bkey = (pkey, strict, fuel, cell) in
-            match Hashtbl.find_opt ec.ec_buckets bkey with
-            | Some l -> Some l
-            | None ->
-                let l = ref [] in
-                Hashtbl.replace ec.ec_buckets bkey l;
-                Some l
+            Some (find cls.cl_cells)
+          end
         in
         let cell_hit =
           match bucket with
-          | Some l -> List.find_opt (Run.shares_class ~quirks) !l
+          | Some c -> List.find_opt (Run.shares_class_bits ~qbits) c.ce_reps
           | None -> None
         in
         match cell_hit with
@@ -290,7 +380,9 @@ module Exec = struct
             Atomic.incr seeded_total;
             Run.share ~frontend:fe ~quirks ex
         | None -> (
-            match List.find_opt (Run.shares_class ~quirks) !classes with
+            match
+              List.find_opt (Run.shares_class_bits ~qbits) cls.cl_reps
+            with
             | Some ex ->
                 (* cross-cell share (the representative's cell differs on
                    some statically-reachable but dynamically-untouched
@@ -298,7 +390,7 @@ module Exec = struct
                    same-cell member hits without the full scan *)
                 ec.ec_shared <- ec.ec_shared + 1;
                 (match bucket with
-                | Some l -> l := !l @ [ ex ]
+                | Some c -> c.ce_reps <- c.ce_reps @ [ ex ]
                 | None -> ());
                 Run.share ~frontend:fe ~quirks ex
             | None ->
@@ -307,20 +399,21 @@ module Exec = struct
                    execution *)
                 let ex =
                   Run.run_exec ~quirks ~parse_opts ~strict ~fuel ?resolve
-                    ~reach ~frontend:fe
+                    ~reach ?specialize ~frontend:fe
                     (Frontend.source ec.ec_frontend)
                 in
                 ec.ec_executed <- ec.ec_executed + 1;
-                classes := !classes @ [ ex ];
+                cls.cl_reps <- cls.cl_reps @ [ ex ];
                 (match bucket with
-                | Some l -> l := !l @ [ ex ]
+                | Some c -> c.ce_reps <- c.ce_reps @ [ ex ]
                 | None -> ());
                 ex.Run.ex_result))
 
-  let run ?(fuel = Run.default_fuel) ?resolve ?reach (ec : cache)
+  let run ?(fuel = Run.default_fuel) ?resolve ?reach ?specialize (ec : cache)
       (tb : testbed) : Run.result =
     let cfg = tb.tb_config in
-    run_keyed ?resolve ?reach ec ~pkey:(Registry.parse_key cfg)
+    run_keyed ?resolve ?reach ?specialize ~qbits:cfg.Registry.cfg_qbits ec
+      ~pkey:(Registry.parse_key cfg)
       ~quirks:cfg.Registry.cfg_quirks
       ~parse_opts:(Registry.parse_opts_of_config cfg)
       ~strict:(tb.tb_mode = Strict) ~fuel
@@ -329,8 +422,9 @@ module Exec = struct
      standard-front-end, quirk-free parse group and (having no quirks at
      all) shares any class whose representative fired nothing it touched. *)
   let run_reference ?(fuel = Run.default_fuel) ?(strict = false) ?resolve
-      ?reach (ec : cache) : Run.result =
-    run_keyed ?resolve ?reach ec ~pkey:Registry.reference_parse_key
+      ?reach ?specialize (ec : cache) : Run.result =
+    run_keyed ?resolve ?reach ?specialize ~qbits:Quirk.Bits.empty ec
+      ~pkey:Registry.reference_parse_key
       ~quirks:Quirk.Set.empty
       ~parse_opts:Jsparse.Parser.default_options ~strict ~fuel
 end

@@ -24,13 +24,17 @@ val latest_testbeds : ?mode:mode -> unit -> testbed list
     front end (see {!Frontend}), skipping this run's own parse. [resolve]
     selects slot-compiled execution (default [Run.resolve_by_default]);
     [reach] lets the compiler fold statically-unreachable checkpoint
-    consultations (default [Run.reach_by_default]); results are
-    bit-for-bit identical either way. *)
+    consultations (default [Run.reach_by_default]); [specialize] selects
+    the quirk-specialised fast path — copy-on-write realms, per-cell
+    compiled closures, inline caches (default
+    [Run.specialize_by_default]); results are bit-for-bit identical
+    either way. *)
 val run :
   ?fuel:int ->
   ?coverage:bool ->
   ?resolve:bool ->
   ?reach:bool ->
+  ?specialize:bool ->
   ?frontend:Jsinterp.Run.frontend ->
   testbed ->
   string ->
@@ -43,6 +47,7 @@ val run_reference :
   ?strict:bool ->
   ?resolve:bool ->
   ?reach:bool ->
+  ?specialize:bool ->
   string ->
   Jsinterp.Run.result
 
@@ -128,6 +133,7 @@ module Exec : sig
     ?fuel:int ->
     ?resolve:bool ->
     ?reach:bool ->
+    ?specialize:bool ->
     cache ->
     testbed ->
     Jsinterp.Run.result
@@ -139,6 +145,7 @@ module Exec : sig
     ?strict:bool ->
     ?resolve:bool ->
     ?reach:bool ->
+    ?specialize:bool ->
     cache ->
     Jsinterp.Run.result
 end

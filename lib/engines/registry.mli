@@ -33,6 +33,8 @@ type config = {
   cfg_release : string;
   cfg_es : es_edition;
   cfg_quirks : Jsinterp.Quirk.Set.t;  (** bugs present in this build *)
+  cfg_qbits : Jsinterp.Quirk.Bits.t;
+      (** [cfg_quirks] packed into machine words, precomputed once *)
   cfg_index : int;  (** position in the engine's history, oldest = 0 *)
 }
 

@@ -14,7 +14,7 @@ let elements (a : arr) : value list =
 
 let replace_elements ctx (o : obj) (a : arr) (vs : value list) : unit =
   ignore ctx;
-  ignore o;
+  barrier o;
   a.elems <- Array.of_list vs;
   a.alen <- List.length vs;
   a.min_written <- (if vs = [] then max_int else 0)
@@ -30,9 +30,10 @@ let install ctx (array_proto : obj) : unit =
       int_ a.alen);
 
   def_method ctx array_proto "pop" 0 (fun ctx this _ ->
-      let _, a = this_array ctx this in
+      let o, a = this_array ctx this in
       if a.alen = 0 then Undefined
       else begin
+        barrier o;
         let v = a.elems.(a.alen - 1) in
         a.elems.(a.alen - 1) <- Undefined;
         a.alen <- a.alen - 1;
@@ -312,7 +313,10 @@ let install ctx (array_proto : obj) : unit =
         else upto
       in
       for i = from to upto - 1 do
-        if raw_store then a.elems.(i) <- v
+        if raw_store then begin
+          barrier o;
+          a.elems.(i) <- v
+        end
         else Ops.array_store ctx o a i v
       done;
       this);
@@ -325,7 +329,7 @@ let install ctx (array_proto : obj) : unit =
 
   def_method ctx array_proto "copyWithin" 2 (fun ctx this args ->
       let o, a = this_array ctx this in
-      ignore o;
+      barrier o;
       let n = a.alen in
       let target = rel_index n (to_int ctx (arg 0 args)) in
       let from =

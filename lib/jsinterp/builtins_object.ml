@@ -184,6 +184,10 @@ let install ctx (object_proto : obj) (object_ctor : obj) : unit =
       in
       let has k = Ops.has_own ctx desc k in
       let get k = Ops.get_obj ctx desc k in
+      (* mutates prop records in place: journal a pre-image and invalidate
+         inline caches keyed on the current layout *)
+      barrier o;
+      o.version <- o.version + 1;
       let dflt = fire ctx Quirk.Q_defineproperty_defaults_writable in
       (* array length redefinition (Listing 1): length is non-configurable *)
       (match (o.arr, key) with
@@ -280,6 +284,8 @@ let install ctx (object_proto : obj) (object_ctor : obj) : unit =
     if o.oclass = "String" && o.prim <> None
        && fire ctx Quirk.Q_seal_string_object_crash
     then raise (Engine_crash "Object.seal on String wrapper: invalid slot access");
+    barrier o;
+    o.version <- o.version + 1;
     o.extensible <- false;
     List.iter
       (fun (_, p) ->
@@ -326,5 +332,9 @@ let install ctx (object_proto : obj) (object_ctor : obj) : unit =
       match arg 0 args with Obj o -> bool_ o.extensible | _ -> bool_ false);
 
   def_method ctx object_ctor "preventExtensions" 1 (fun _ _ args ->
-      (match arg 0 args with Obj o -> o.extensible <- false | _ -> ());
+      (match arg 0 args with
+      | Obj o ->
+          barrier o;
+          o.extensible <- false
+      | _ -> ());
       arg 0 args)

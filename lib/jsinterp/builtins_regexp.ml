@@ -18,7 +18,10 @@ let sem ctx = Builtins_string.regex_semantics ctx
 let set_last_index ctx (o : obj) (v : float) : unit =
   match find_own o "lastIndex" with
   | Some p ->
-      if p.writable then p.v <- Num v
+      if p.writable then begin
+        barrier o;
+        p.v <- Num v
+      end
       else if fire ctx Quirk.Q_regexp_lastindex_nonwritable_silent then ()
       else Ops.type_error ctx "cannot assign to read only property 'lastIndex'"
   | None -> set_own o "lastIndex" (mkprop ~enumerable:false (Num v))
@@ -92,6 +95,7 @@ let install ctx (regexp_proto : obj) : unit =
       in
       (match Regex.compile pat flags with
       | prog ->
+          barrier o;
           o.regex <- Some { rx_source = pat; rx_flags = flags; rx_prog = prog };
           set_last_index ctx o 0.0;
           (match find_own o "source" with

@@ -55,7 +55,7 @@ let install ctx (typed_proto : obj) : unit =
         | Obj ({ arr = Some ({ ty = Some _; _ } as a); _ } as o) -> (o, a)
         | _ -> Ops.type_error ctx "set called on a non-typed-array"
       in
-      ignore o;
+      barrier o;
       let offset = Float.to_int (Ops.to_integer ctx (arg 1 args)) in
       if offset < 0 then Ops.range_error ctx "invalid or out-of-range index";
       let source_values =
@@ -131,7 +131,10 @@ let make_dataview ctx (len : int) : obj =
 let install_dataview ctx (dv_proto : obj) : unit =
   let this_dv ctx this =
     match this with
-    | Obj { dataview = Some b; _ } -> b
+    | Obj ({ dataview = Some b; _ } as o) ->
+        (* setters mutate the bytes in place; journal before handing them out *)
+        barrier o;
+        b
     | _ -> Ops.type_error ctx "DataView method called on a non-DataView"
   in
   let check_bounds ctx b i width =

@@ -41,20 +41,152 @@ type gstate = {
   gs_folded : Quirk.Set.t;
       (** checkpoints the static reachability analysis proved unreachable;
           their compiled consultation sites are folded to [Deopt_to_tree]
-          traps (see [checkpoint]) *)
+          traps — or, under specialisation, all the way to their quirk-off
+          constants (see [checkpoint]) *)
+  gs_cell : Quirk.Set.t option;
+      (** specialisation cell: [Some c] compiles one closure for the
+          equivalence cell whose quirk set intersected with the inline
+          checkpoints is exactly [c] — every compiled consultation bakes in
+          its answer and only records the consultation. [None] compiles the
+          generic form (identical to what PR 6 produced). *)
 }
 
-(* Checkpoint consultation at a compiled deviation site. When the static
-   reachability analysis ([Analysis.Reach]) proved the checkpoint
-   unreachable for this program, the consultation is constant-folded away:
-   the site collapses to a [Deopt_to_tree] trap, so if the analysis was
-   ever wrong the execution discards its context and replays tree-walked —
-   results stay exact and the soundness audit still sees the true touched
-   set. Resolved per site at compile time: the common case (not folded)
-   compiles to the plain [fire] consultation with zero overhead. *)
+(* Checkpoint consultation at a compiled deviation site.
+
+   Generic form ([gs_cell = None]): the plain [fire] consultation, except
+   that a checkpoint the static reachability analysis ([Analysis.Reach])
+   proved unreachable collapses to a [Deopt_to_tree] trap — if the
+   analysis was ever wrong the execution discards its context and replays
+   tree-walked, so results stay exact and the soundness audit still sees
+   the true touched set.
+
+   Specialised form ([gs_cell = Some c]): the compilation is already
+   per-cell, so every site constant-folds its answer. A statically-dead
+   site folds to its quirk-off constant outright (not even a trap — the
+   sound analysis guarantees the site cannot execute, and
+   [--audit-specialize] cross-checks against the generic form); a live
+   site keeps the [ctx.touched] recording — the execution-sharing class
+   key — and bakes in the membership test and, when on, the [ctx.fired]
+   attribution. *)
 let checkpoint (gs : gstate) (q : Quirk.t) : ctx -> bool =
-  if Quirk.Set.mem q gs.gs_folded then fun _ -> raise Deopt_to_tree
-  else fun ctx -> fire ctx q
+  if Quirk.Set.mem q gs.gs_folded then
+    match gs.gs_cell with
+    | Some _ -> fun _ -> false
+    | None -> fun _ -> raise Deopt_to_tree
+  else
+    match gs.gs_cell with
+    | None -> fun ctx -> fire ctx q
+    | Some cell ->
+        if Quirk.Set.mem q cell then fun ctx ->
+          ctx.touched <- Quirk.Set.add q ctx.touched;
+          ctx.fired <- Quirk.Set.add q ctx.fired;
+          true
+        else fun ctx ->
+          ctx.touched <- Quirk.Set.add q ctx.touched;
+          false
+
+(* --- monomorphic inline caches --------------------------------------
+   Compiled (specialised) property sites remember the last receiver they
+   saw: on [a.k] (load, method load) the cache keys on the receiver's
+   physical identity plus its layout [version] and short-circuits straight
+   to the cached property record, skipping [Ops.get]'s dispatch and the
+   insertion-ordered [find_own] walk; on [a.k = v] (store) likewise for a
+   writable own property. Validity:
+
+   - physical receiver identity pins the object; [version] is bumped by
+     every layout mutation ([set_own], [remove_own], [defineProperty],
+     freeze/seal, COW rollback), so a cached [prop] record can never be
+     observed after the layout it belongs to is gone. Plain value stores
+     ([p.v <- v]) don't bump — the cache holds the record, not the value.
+   - [ctx.ic_gen] confines an entry to the execution that filled it:
+     caches start cold every execution, making per-case hit counts
+     deterministic under any domain scheduling, and a template object
+     journaled by one execution can never serve a stale answer to the
+     next.
+   - only plain data properties ([getter = None]) of plain objects
+     ([arr = None], [prim = None] — index/length magic lives on those
+     storages) are cached; prototype loads additionally pin the holder's
+     identity and version. Prototype links are never reassigned after
+     construction, so receiver identity implies holder identity.
+
+   A hit replays the generic path's observable effects exactly: it burns
+   the 1 fuel [Ops.get]/[Ops.set] burns on entry, and the property-read
+   path consults no quirk checkpoint (verified: [get]/[get_obj]/
+   [get_plain] never call [fire]), so touched/fired are untouched either
+   way. A store hit runs the same write [barrier] the generic
+   [set_plain] runs. *)
+
+type ic_entry =
+  | Ic_empty
+  | Ic_own of int * obj * int * prop  (** gen, receiver, version, slot *)
+  | Ic_proto of int * obj * int * obj * int * prop
+      (** gen, receiver, version, holder, holder version, slot *)
+
+type ic = { mutable ic_e : ic_entry }
+
+let ic_cacheable_load (o : obj) (key : string) : ic_entry option =
+  if o.arr <> None || o.prim <> None then None
+  else
+    match find_own o key with
+    | Some p -> if p.getter = None then Some (Ic_own (0, o, o.version, p)) else None
+    | None -> (
+        match o.proto with
+        | Obj h when h.arr = None && h.prim = None -> (
+            match find_own h key with
+            | Some p when p.getter = None ->
+                Some (Ic_proto (0, o, o.version, h, h.version, p))
+            | _ -> None)
+        | _ -> None)
+
+let ic_get (st : ic) ctx (recv : value) (key : string) : value =
+  match recv with
+  | Obj o -> (
+      match st.ic_e with
+      | Ic_own (gen, co, ver, p)
+        when co == o && ver = o.version && gen = ctx.ic_gen ->
+          burn ctx 1;
+          ctx.ihits <- ctx.ihits + 1;
+          p.v
+      | Ic_proto (gen, co, ver, h, hver, p)
+        when co == o && ver = o.version && hver = h.version
+             && gen = ctx.ic_gen ->
+          burn ctx 1;
+          ctx.ihits <- ctx.ihits + 1;
+          p.v
+      | _ ->
+          let r = Ops.get ctx recv key in
+          (match ic_cacheable_load o key with
+          | Some (Ic_own (_, o, v, p)) -> st.ic_e <- Ic_own (ctx.ic_gen, o, v, p)
+          | Some (Ic_proto (_, o, v, h, hv, p)) ->
+              st.ic_e <- Ic_proto (ctx.ic_gen, o, v, h, hv, p)
+          | _ -> ());
+          r)
+  | _ -> Ops.get ctx recv key
+
+let ic_set (st : ic) ctx ~strict (recv : value) (key : string) (v : value) :
+    unit =
+  match recv with
+  | Obj o -> (
+      match st.ic_e with
+      | Ic_own (gen, co, ver, p)
+        when co == o && ver = o.version && gen = ctx.ic_gen && p.writable ->
+          burn ctx 1;
+          ctx.ihits <- ctx.ihits + 1;
+          barrier o;
+          p.v <- v
+      | _ -> (
+          Ops.set ctx ~strict recv key v;
+          if o.arr = None then
+            match find_own o key with
+            | Some p when p.getter = None && p.writable ->
+                st.ic_e <- Ic_own (ctx.ic_gen, o, o.version, p)
+            | _ -> ()))
+  | _ -> Ops.set ctx ~strict recv key v
+
+(* Process-wide count of specialised compilations, surfaced by campaign
+   reports as [cp_specialized]. *)
+let specialized = Atomic.make 0
+let specialized_count () = Atomic.get specialized
 
 let mk_frame (names : string array) (frz : string list) (parent : frame option)
     : frame =
@@ -490,6 +622,20 @@ let rec compile_expr (gs : gstate) (env : R.level list) ~strict
   | Ast.Call (fx, args) -> (
       let argcs = List.map ce args in
       match fx.Ast.e with
+      | Ast.Member (ox, Ast.Pfield key) when gs.gs_cell <> None ->
+          (* specialised method call on a constant key: the method load
+             goes through an inline cache *)
+          let oc = ce ox in
+          let st = { ic_e = Ic_empty } in
+          fun ctx fr ->
+            burn ctx 1;
+            let ov = oc ctx fr in
+            let fv = ic_get st ctx ov key in
+            if not (is_callable fv) then
+              Ops.type_error ctx
+                (Printf.sprintf "%s.%s is not a function" (type_of ov) key);
+            let argv = List.map (fun ac -> ac ctx fr) argcs in
+            Interp.call_function ctx fv ov argv
       | Ast.Member (ox, prop) ->
           (* method call: receiver becomes [this]; the Member node itself
              is never evaluated by [Interp.eval_call], so it pays no burn *)
@@ -531,6 +677,12 @@ let rec compile_expr (gs : gstate) (env : R.level list) ~strict
   | Ast.Member (ox, prop) -> (
       let oc = ce ox in
       match prop with
+      | Ast.Pfield n when gs.gs_cell <> None ->
+          let st = { ic_e = Ic_empty } in
+          fun ctx fr ->
+            burn ctx 1;
+            let ov = oc ctx fr in
+            ic_get st ctx ov n
       | Ast.Pfield n ->
           fun ctx fr ->
             burn ctx 1;
@@ -591,6 +743,11 @@ and compile_assign_target gs env ~strict ~frz (lhs : Ast.expr) :
             | _ ->
                 let key = Ops.to_string ctx (kc ctx fr) in
                 Ops.set ctx ~strict ov key v)
+      | Ast.Pfield key when gs.gs_cell <> None ->
+          let st = { ic_e = Ic_empty } in
+          fun ctx fr v ->
+            let ov = oc ctx fr in
+            ic_set st ctx ~strict ov key v
       | Ast.Pfield key ->
           fun ctx fr v ->
             let ov = oc ctx fr in
@@ -1115,18 +1272,33 @@ type t = {
 
 (* The deviation checkpoints compiled inline (everything else funnels
    through [Interp]/[Ops]/builtin code shared with the tree-walker, where
-   the consultations stay as written). Only these are fold candidates. *)
-let compiled_checkpoints =
-  Quirk.Set.of_list
-    [
-      Quirk.Q_named_funcexpr_binding_mutable;
-      Quirk.Q_codegen_neg_zero_positive;
-      Quirk.Q_opt_loop_strconcat_drops;
-      Quirk.Q_bool_prop_appends_to_array;
-      Quirk.Q_strict_this_is_global;
-    ]
+   the consultations stay as written). Only these are fold candidates, and
+   only these are what a specialisation cell can bake in. *)
+let compiled_checkpoint_list =
+  [
+    Quirk.Q_named_funcexpr_binding_mutable;
+    Quirk.Q_codegen_neg_zero_positive;
+    Quirk.Q_opt_loop_strconcat_drops;
+    Quirk.Q_bool_prop_appends_to_array;
+    Quirk.Q_strict_this_is_global;
+  ]
 
-let compile ?reach (prog : Ast.program) : t =
+let compiled_checkpoints = Quirk.Set.of_list compiled_checkpoint_list
+
+(* Projection of a quirk set onto the inline-compiled checkpoints, packed
+   into an int. Two specialisation cells with equal keys compile to
+   observably identical closures (the inline sites are the only thing a
+   cell specialises), so callers cache one compilation per key — one or
+   two per case in practice, not one per equivalence cell. *)
+let cell_key (c : Quirk.Set.t) : int =
+  let rec go i acc = function
+    | [] -> acc
+    | q :: rest ->
+        go (i + 1) (if Quirk.Set.mem q c then acc lor (1 lsl i) else acc) rest
+  in
+  go 0 0 compiled_checkpoint_list
+
+let compile ?reach ?cell (prog : Ast.program) : t =
   let folded =
     match reach with
     | None -> Quirk.Set.empty
@@ -1143,7 +1315,8 @@ let compile ?reach (prog : Ast.program) : t =
     }
   else begin
     let strict = prog.Ast.prog_strict in
-    let gs = { gs_deopts = 0; gs_folded = folded } in
+    if cell <> None then Atomic.incr specialized;
+    let gs = { gs_deopts = 0; gs_folded = folded; gs_cell = cell } in
     let plevel = R.new_level () in
     let vars, funcs = R.hoisted prog.Ast.prog_body in
     let var_slots =

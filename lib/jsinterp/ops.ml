@@ -285,6 +285,7 @@ and has_own ctx (o : obj) (key : string) : bool =
 
 (* Growable dense element store. *)
 and array_store ctx (o : obj) (arr : arr) (i : int) (v : value) : unit =
+  barrier o;
   (match arr.ty with
   | Some ty ->
       (* typed arrays never grow; OOB writes are dropped (or crash, under
@@ -344,7 +345,7 @@ and coerce_typed ctx (ty : typed_kind) (v : value) : value =
       else Num (Float.min 255.0 (Float.max 0.0 (Float.round f)))
 
 and set_array_length ctx (o : obj) (arr : arr) (v : value) ~strict : unit =
-  ignore o;
+  barrier o;
   if not arr.length_writable then begin
     if strict then type_error ctx "cannot assign to read only property 'length'"
   end
@@ -396,7 +397,10 @@ and frozen_elements (o : obj) =
 and set_plain ctx ~strict (o : obj) (key : string) (v : value) : unit =
   match find_own o key with
   | Some p ->
-      if p.writable then p.v <- v
+      if p.writable then begin
+        barrier o;
+        p.v <- v
+      end
       else if strict then
         type_error ctx (Printf.sprintf "cannot assign to read only property '%s'" key)
   | None -> (
@@ -423,6 +427,7 @@ and delete ctx ~strict (o : obj) (key : string) : bool =
   | Some _ when key = "length" -> false
   | Some arr when (match array_index_of_key key with Some i -> i < arr.alen | None -> false) ->
       let i = Option.get (array_index_of_key key) in
+      barrier o;
       arr.elems.(i) <- Undefined;
       true
   | _ -> (

@@ -76,6 +76,8 @@ let build () : t =
       cur_this = Undefined;
       slotted = false;
       specials_shadowed = false;
+      ic_gen = 0;
+      ihits = 0;
     }
   in
   Builtins.install ctx;
@@ -90,21 +92,174 @@ let build () : t =
     rt_oid_span = oid1 - oid0 + 1;
   }
 
-let template_lock = Mutex.create ()
-let template_cell : t option ref = ref None
+(* Mark every object reachable from the template as shared (cow = 1) so
+   the [Value.barrier] write barrier journals a pre-image before its first
+   mutation. The memo is the same span-indexed array the clone uses. *)
+let mark_shared (t : t) : unit =
+  let seen = Array.make t.rt_oid_span false in
+  let rec mark_value v = match v with Obj o -> mark_obj o | _ -> ()
+  and mark_obj (o : obj) =
+    let i = o.oid - t.rt_oid_base in
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      o.cow <- 1;
+      mark_value o.proto;
+      List.iter
+        (fun (_, p) ->
+          mark_value p.v;
+          Option.iter mark_value p.getter)
+        o.props;
+      Option.iter (fun a -> Array.iter mark_value a.elems) o.arr;
+      Option.iter mark_value o.prim
+    end
+  in
+  mark_obj t.rt_global;
+  List.iter (fun (_, o) -> mark_obj o) t.rt_protos
+
+(* One template per domain. Executions on a domain are sequential, so the
+   copy-on-write journal (domain-local, see [Value.cow_journal]) never has
+   two writers; nothing template-related is ever shared across domains.
+   Building per domain costs one install (~147µs) amortised over every
+   execution the domain ever runs. *)
+let template_key : t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let template () : t =
-  Mutex.lock template_lock;
-  let t =
-    match !template_cell with
-    | Some t -> t
+  let cell = Domain.DLS.get template_key in
+  match !cell with
+  | Some t -> t
+  | None ->
+      let t = build () in
+      mark_shared t;
+      cell := Some t;
+      t
+
+(* --- copy-on-write acquisition ---
+   [acquire] hands out the domain's template *itself*; the write barrier
+   journals pre-images of any template object the execution mutates, and
+   [release] rolls the journal back so the next acquisition sees a
+   pristine realm. [release] is idempotent (rolling back an empty journal
+   is a no-op), so callers may release on every exit path. *)
+
+let acquire () : obj * (string * obj) list =
+  let t = template () in
+  (t.rt_global, t.rt_protos)
+
+let release () : unit = Value.cow_rollback ()
+
+(* Audit mode: structurally compare the domain's (post-rollback) template
+   against a freshly installed realm — any surviving mutation means a
+   write-barrier gap, i.e. cross-execution leakage. Oids, cow state and
+   version stamps are identity bookkeeping, not observable state, and are
+   ignored. *)
+let check_pristine () : (unit, string) result =
+  let t = template () in
+  let r = build () in
+  let seen : (int, int) Hashtbl.t = Hashtbl.create 512 in
+  let fail path what = Error (Printf.sprintf "%s: %s differs" path what) in
+  let rec cmp_value path (a : value) (b : value) =
+    match (a, b) with
+    | Undefined, Undefined | Null, Null -> Ok ()
+    | Bool x, Bool y when x = y -> Ok ()
+    | Num x, Num y when x = y || (Float.is_nan x && Float.is_nan y) -> Ok ()
+    | Str x, Str y when x = y -> Ok ()
+    | Obj x, Obj y -> cmp_obj path x y
+    | _ -> fail path "value"
+  and cmp_obj path (a : obj) (b : obj) =
+    match Hashtbl.find_opt seen a.oid with
+    | Some oid when oid = b.oid -> Ok ()
+    | Some _ -> fail path "object identity"
     | None ->
-        let t = build () in
-        template_cell := Some t;
-        t
+        Hashtbl.add seen a.oid b.oid;
+        let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+        let* () = if a.oclass = b.oclass then Ok () else fail path "class" in
+        let* () =
+          if a.extensible = b.extensible then Ok () else fail path "extensible"
+        in
+        let* () =
+          match (a.call, b.call) with
+          | None, None -> Ok ()
+          | Some (Native (n1, a1, _)), Some (Native (n2, a2, _))
+            when n1 = n2 && a1 = a2 ->
+              Ok ()
+          | _ -> fail path "callable"
+        in
+        let* () =
+          if List.map fst a.props = List.map fst b.props then Ok ()
+          else fail path "property layout"
+        in
+        let* () =
+          List.fold_left2
+            (fun acc (k, pa) (_, pb) ->
+              match acc with
+              | Error _ -> acc
+              | Ok () ->
+                  let p = path ^ "." ^ k in
+                  if
+                    pa.writable = pb.writable
+                    && pa.enumerable = pb.enumerable
+                    && pa.configurable = pb.configurable
+                  then
+                    let g =
+                      match (pa.getter, pb.getter) with
+                      | None, None -> Ok ()
+                      | Some x, Some y -> cmp_value (p ^ "[get]") x y
+                      | _ -> fail p "getter"
+                    in
+                    (match g with Ok () -> cmp_value p pa.v pb.v | e -> e)
+                  else fail p "attributes")
+            (Ok ()) a.props b.props
+        in
+        let* () =
+          match (a.arr, b.arr) with
+          | None, None -> Ok ()
+          | Some x, Some y
+            when x.ty = y.ty && x.alen = y.alen
+                 && x.length_writable = y.length_writable ->
+              let r = ref (Ok ()) in
+              for i = 0 to x.alen - 1 do
+                match !r with
+                | Error _ -> ()
+                | Ok () ->
+                    r :=
+                      cmp_value
+                        (Printf.sprintf "%s[%d]" path i)
+                        x.elems.(i) y.elems.(i)
+              done;
+              !r
+          | _ -> fail path "array storage"
+        in
+        let* () =
+          match (a.prim, b.prim) with
+          | None, None -> Ok ()
+          | Some x, Some y -> cmp_value (path ^ "[prim]") x y
+          | _ -> fail path "primitive"
+        in
+        let* () =
+          match (a.regex, b.regex) with
+          | None, None -> Ok ()
+          | Some x, Some y
+            when x.rx_source = y.rx_source && x.rx_flags = y.rx_flags ->
+              Ok ()
+          | _ -> fail path "regex"
+        in
+        let* () =
+          match (a.dataview, b.dataview) with
+          | None, None -> Ok ()
+          | Some x, Some y when Bytes.equal x y -> Ok ()
+          | _ -> fail path "dataview"
+        in
+        cmp_value (path ^ "[proto]") a.proto b.proto
   in
-  Mutex.unlock template_lock;
-  t
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let* () = cmp_obj "global" t.rt_global r.rt_global in
+  if List.map fst t.rt_protos <> List.map fst r.rt_protos then
+    Error "prototype registry differs"
+  else
+    List.fold_left2
+      (fun acc (n, a) (_, b) ->
+        match acc with Error _ -> acc | Ok () -> cmp_obj n a b)
+      (Ok ()) t.rt_protos r.rt_protos
 
 (* Structural copy. The memo (an array indexed by template oid, see
    [rt_oid_base]) keeps shared structure shared in the copy — every
@@ -134,6 +289,8 @@ and clone_obj (memo : memo) (o : obj) : obj =
           oid = Atomic.fetch_and_add obj_counter 1 + 1;
           props = [];
           proto = Null;
+          cow = 0;
+          version = 0;
         }
       in
       memo.mm_slots.(o.oid - memo.mm_base) <- Some o';

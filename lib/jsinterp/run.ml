@@ -57,6 +57,48 @@ let reach_by_default () =
   | None | Some "" -> true
   | Some _ -> false
 
+(* Quirk-specialised execution (copy-on-write realms, per-cell compiled
+   closures, inline caches — see [Compile] and [Realm]) is on unless
+   COMFORT_NO_SPECIALIZE is set to a non-empty value. *)
+let specialize_by_default () =
+  match Sys.getenv_opt "COMFORT_NO_SPECIALIZE" with
+  | None | Some "" -> true
+  | Some _ -> false
+
+(* Per-stage wall-clock attribution, for the benchmark harness. Off by
+   default: an execution pays one ref read per stage. Counters are
+   nanosecond totals, atomic so parallel campaigns can be attributed. *)
+module Stage = struct
+  let enabled = ref false
+  let parse_ns = Atomic.make 0
+  let compile_ns = Atomic.make 0
+  let realm_ns = Atomic.make 0
+  let exec_ns = Atomic.make 0
+
+  let reset () =
+    List.iter
+      (fun c -> Atomic.set c 0)
+      [ parse_ns; compile_ns; realm_ns; exec_ns ]
+
+  (* (parse, compile, realm-install, exec) nanosecond totals *)
+  let read () =
+    ( Atomic.get parse_ns,
+      Atomic.get compile_ns,
+      Atomic.get realm_ns,
+      Atomic.get exec_ns )
+
+  let time (slot : int Atomic.t) (f : unit -> 'a) : 'a =
+    if not !enabled then f ()
+    else begin
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+          ignore (Atomic.fetch_and_add slot ns))
+        f
+    end
+end
+
 (* Parser-level quirks live in the front end: derive the engine's parse
    options from its quirk set so a profile is a single source of truth. *)
 let parse_opts_of ~(base : Jsparse.Parser.options) (quirks : Quirk.Set.t) :
@@ -76,14 +118,21 @@ let parse_opts_of ~(base : Jsparse.Parser.options) (quirks : Quirk.Set.t) :
   }
 
 let make_ctx ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_options)
-    ?(fuel = default_fuel) ?(coverage = false) ?(snapshot = false) () :
-    Value.ctx =
+    ?(fuel = default_fuel) ?(coverage = false) ?(snapshot = false)
+    ?(cow = false) () : Value.ctx =
   (* [snapshot] builds the realm by copying the [Realm] template instead
      of re-running [Builtins.install]; the resulting context is
      indistinguishable (same globals, same empty fired/touched sets, no
      fuel spent) but several times cheaper to construct. Selected by the
-     [resolve] execution mode. *)
-  let snap = if snapshot then Some (Realm.fresh ()) else None in
+     [resolve] execution mode. [cow] goes further and shares the domain's
+     template itself behind the [Value.barrier] write barrier — the caller
+     MUST call [Realm.release] when the execution is over, on every exit
+     path, to roll the copy-on-write journal back. *)
+  let snap =
+    if cow then Some (Realm.acquire ())
+    else if snapshot then Some (Realm.fresh ())
+    else None
+  in
   let global =
     match snap with
     | Some (g, _) -> g
@@ -113,6 +162,8 @@ let make_ctx ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_o
       cur_this = Value.Obj global;
       slotted = false;
       specials_shadowed = false;
+      ic_gen = Atomic.fetch_and_add Value.ic_gen_counter 1;
+      ihits = 0;
     }
   in
   (match snap with
@@ -160,25 +211,39 @@ type frontend = {
   fe_fired : Quirk.Set.t;
       (** parse-stage quirks sunk by the front end, unfiltered; callers
           intersect with their own quirk set *)
-  fe_compiled : (bool * bool * Compile.t) option ref;
-      (** slot-compiled program, cached per front end (keyed by the strict
-          mode and reach setting it was compiled under, since a strict
-          override rewrites the program and reach folds checkpoints).
-          Testbeds sharing a front end share one compilation — the
-          compile-stage analogue of sharing the parse. *)
+  fe_compiled : (bool * bool * int, Compile.t) Hashtbl.t;
+      (** slot-compiled program, cached per front end and keyed by
+          (strict mode, reach setting, specialisation cell key) — a strict
+          override rewrites the program, reach folds checkpoints, and a
+          specialisation cell bakes in the answers of the inline
+          checkpoints ([Compile.cell_key]; -1 = the generic, unspecialised
+          form). Testbeds sharing a front end share the compilations — the
+          compile-stage analogue of sharing the parse; since only the
+          inline-checkpoint projection keys the cache, the whole testbed
+          pool compiles each program once or twice in practice. *)
   fe_reach : Quirk.Set.t Lazy.t;
       (** static over-approximation of the checkpoints any execution of
           this front end's program can consult: the [Analysis.Reach] set
           of the parsed program joined with the parse-stage quirks sunk by
           the front end (a parse failure consults nothing at run time).
           Lazy: only forced when the reach layer is on. *)
+  fe_reach_bits : Quirk.Bits.t Lazy.t;
+      (** [fe_reach] packed into machine words, for the execution-sharing
+          cache's per-testbed cell computation *)
+  fe_strict_sensitive : bool;
+      (** the parse reached a construct whose outcome depends on the
+          ambient strict flag; [false] on a sloppy parse proves a
+          [force_strict] parse identical (the mode itself is re-applied
+          downstream through the compiled program's strict key) *)
 }
 
 let parse_frontend ?(quirks = Quirk.Set.empty)
     ?(parse_opts = Jsparse.Parser.default_options) ?(strict = false)
-    (src : string) : frontend =
+    ?reach_strict (src : string) : frontend =
+  let reach_strict = Option.value reach_strict ~default:strict in
   let parse_opts = parse_opts_of ~base:parse_opts quirks in
   let fired = ref Quirk.Set.empty in
+  let sensitive = ref false in
   let opts =
     {
       parse_opts with
@@ -187,23 +252,31 @@ let parse_frontend ?(quirks = Quirk.Set.empty)
           match Quirk.of_string name with
           | Some q -> fired := Quirk.Set.add q !fired
           | None -> ());
+      Jsparse.Parser.strict_sensitive_sink = (fun () -> sensitive := true);
     }
   in
   let frontend fe_program fe_fired =
+    let fe_reach =
+      lazy
+        (match fe_program with
+        | Error _ -> fe_fired
+        | Ok prog ->
+            Quirk.Set.union fe_fired
+              (Analysis.Reach.checkpoints ~strict:reach_strict prog))
+    in
     {
       fe_program;
       fe_fired;
-      fe_compiled = ref None;
-      fe_reach =
-        lazy
-          (match fe_program with
-          | Error _ -> fe_fired
-          | Ok prog ->
-              Quirk.Set.union fe_fired
-                (Analysis.Reach.checkpoints ~strict prog));
+      fe_compiled = Hashtbl.create 4;
+      fe_reach;
+      fe_reach_bits = lazy (Quirk.Bits.of_set (Lazy.force fe_reach));
+      fe_strict_sensitive = !sensitive;
     }
   in
-  match Jsparse.Parser.parse_program ~opts ~force_strict:strict src with
+  match
+    Stage.time Stage.parse_ns (fun () ->
+        Jsparse.Parser.parse_program ~opts ~force_strict:strict src)
+  with
   | prog -> frontend (Ok prog) !fired
   | exception Jsparse.Parser.Syntax_error (msg, line) ->
       frontend (Error (msg, line)) !fired
@@ -227,16 +300,21 @@ type exec = {
   ex_quirks : Quirk.Set.t;  (** quirk set the representative ran under *)
   ex_fired : Quirk.Set.t;   (** execution-stage fired set (no parse stage) *)
   ex_touched : Quirk.Set.t; (** execution-stage touched set *)
+  ex_qbits : Quirk.Bits.t;  (** [ex_quirks] packed into machine words *)
+  ex_tbits : Quirk.Bits.t;  (** [ex_touched] packed into machine words *)
 }
 
 let run_exec ?(quirks = Quirk.Set.empty)
     ?(parse_opts = Jsparse.Parser.default_options) ?(strict = false)
-    ?(fuel = default_fuel) ?(coverage = false) ?resolve ?reach ?frontend
-    (src : string) : exec =
+    ?(fuel = default_fuel) ?(coverage = false) ?resolve ?reach ?specialize
+    ?frontend (src : string) : exec =
   let resolve =
     match resolve with Some r -> r | None -> resolve_by_default ()
   in
   let reach = match reach with Some r -> r | None -> reach_by_default () in
+  let specialize =
+    match specialize with Some s -> s | None -> specialize_by_default ()
+  in
   let fe =
     match frontend with
     | Some fe -> fe
@@ -262,6 +340,8 @@ let run_exec ?(quirks = Quirk.Set.empty)
         ex_quirks = quirks;
         ex_fired = Quirk.Set.empty;
         ex_touched = Quirk.Set.empty;
+        ex_qbits = Quirk.Bits.of_set quirks;
+        ex_tbits = Quirk.Bits.empty;
       }
   | Ok prog ->
       Atomic.incr runs;
@@ -274,46 +354,77 @@ let run_exec ?(quirks = Quirk.Set.empty)
       in
       let compiled =
         if not resolve then None
-        else
-          match !(fe.fe_compiled) with
-          | Some (s, r, cp) when s = strict && r = reach -> Some cp
-          | _ ->
+        else begin
+          (* the specialisation cell: the quirks this engine carries among
+             those any execution can consult. Only its projection onto the
+             inline-compiled checkpoints affects code generation, so the
+             cache key collapses every cell to [Compile.cell_key] (-1 =
+             generic, unspecialised) *)
+          let cell =
+            if not specialize then None
+            else if reach then
+              Some (Quirk.Set.inter quirks (Lazy.force fe.fe_reach))
+            else Some quirks
+          in
+          let spec_key =
+            match cell with None -> -1 | Some c -> Compile.cell_key c
+          in
+          let key = (strict, reach, spec_key) in
+          match Hashtbl.find_opt fe.fe_compiled key with
+          | Some cp -> Some cp
+          | None ->
               let reach_arg =
                 if reach then Some (Lazy.force fe.fe_reach) else None
               in
-              let cp = Compile.compile ?reach:reach_arg prog in
-              fe.fe_compiled := Some (strict, reach, cp);
-              Some cp
-      in
-      let run_with runner =
-        let ctx = make_ctx ~quirks ~parse_opts ~fuel ~coverage ~snapshot:resolve () in
-        bind_globals ctx;
-        let status =
-          try
-            runner ctx;
-            Sts_normal
-          with
-          | Value.Js_throw v ->
-              let name, msg =
-                match v with
-                | Value.Obj o ->
-                    let get k =
-                      match Value.find_own o k with
-                      | Some p -> (
-                          match p.Value.v with Value.Str s -> s | _ -> "")
-                      | None -> ""
-                    in
-                    let n = get "name" in
-                    ((if n = "" then "Error" else n), get "message")
-                | Value.Str s -> ("", s)
-                | v -> ("", Ops.number_to_string (match v with Value.Num f -> f | _ -> 0.0))
+              let cp =
+                Stage.time Stage.compile_ns (fun () ->
+                    Compile.compile ?reach:reach_arg ?cell prog)
               in
-              Sts_uncaught (name, msg)
-          | Value.Engine_crash msg -> Sts_crash msg
-          | Value.Out_of_fuel -> Sts_timeout
-          | Stack_overflow -> Sts_crash "stack exhausted"
+              Hashtbl.replace fe.fe_compiled key cp;
+              Some cp
+        end
+      in
+      (* copy-on-write realms ride the specialise flag: the context borrows
+         the domain's shared template and [Realm.release] rolls the write
+         journal back after the run — on every exit path, including the
+         deopt-to-tree replay, which must see a pristine realm *)
+      let cow = resolve && specialize in
+      let run_with runner =
+        let ctx =
+          Stage.time Stage.realm_ns (fun () ->
+              make_ctx ~quirks ~parse_opts ~fuel ~coverage ~snapshot:resolve
+                ~cow ())
         in
-        (ctx, status)
+        bind_globals ctx;
+        Fun.protect
+          ~finally:(fun () -> if cow then Realm.release ())
+          (fun () ->
+            let status =
+              try
+                Stage.time Stage.exec_ns (fun () -> runner ctx);
+                Sts_normal
+              with
+              | Value.Js_throw v ->
+                  let name, msg =
+                    match v with
+                    | Value.Obj o ->
+                        let get k =
+                          match Value.find_own o k with
+                          | Some p -> (
+                              match p.Value.v with Value.Str s -> s | _ -> "")
+                          | None -> ""
+                        in
+                        let n = get "name" in
+                        ((if n = "" then "Error" else n), get "message")
+                    | Value.Str s -> ("", s)
+                    | v -> ("", Ops.number_to_string (match v with Value.Num f -> f | _ -> 0.0))
+                  in
+                  Sts_uncaught (name, msg)
+              | Value.Engine_crash msg -> Sts_crash msg
+              | Value.Out_of_fuel -> Sts_timeout
+              | Stack_overflow -> Sts_crash "stack exhausted"
+            in
+            (ctx, status))
       in
       let tree_run ctx = ignore (Interp.exec_program ctx prog) in
       let ctx, status =
@@ -329,6 +440,8 @@ let run_exec ?(quirks = Quirk.Set.empty)
             | exception Value.Deopt_to_tree -> run_with tree_run
             | r -> r)
       in
+      if ctx.Value.ihits > 0 then
+        ignore (Atomic.fetch_and_add Value.ic_hits ctx.Value.ihits);
       {
         ex_result =
           {
@@ -345,12 +458,14 @@ let run_exec ?(quirks = Quirk.Set.empty)
         ex_quirks = quirks;
         ex_fired = ctx.Value.fired;
         ex_touched = ctx.Value.touched;
+        ex_qbits = Quirk.Bits.of_set quirks;
+        ex_tbits = Quirk.Bits.of_set ctx.Value.touched;
       }
 
-let run ?quirks ?parse_opts ?strict ?fuel ?coverage ?resolve ?reach ?frontend
-    (src : string) : result =
+let run ?quirks ?parse_opts ?strict ?fuel ?coverage ?resolve ?reach
+    ?specialize ?frontend (src : string) : result =
   (run_exec ?quirks ?parse_opts ?strict ?fuel ?coverage ?resolve ?reach
-     ?frontend src)
+     ?specialize ?frontend src)
     .ex_result
 
 (* Does an engine carrying [quirks] belong to [ex]'s behavioural
@@ -364,6 +479,15 @@ let shares_class ~quirks (ex : exec) : bool =
   Quirk.Set.equal
     (Quirk.Set.inter quirks ex.ex_touched)
     (Quirk.Set.inter ex.ex_quirks ex.ex_touched)
+
+(* The same decision on packed words — a handful of integer instructions
+   instead of two balanced-tree intersections. The execution-sharing cache
+   calls this once per (testbed, representative) pair, which profiling
+   shows is the hottest set algebra in a campaign. *)
+let shares_class_bits ~(qbits : Quirk.Bits.t) (ex : exec) : bool =
+  Quirk.Bits.equal
+    (Quirk.Bits.inter qbits ex.ex_tbits)
+    (Quirk.Bits.inter ex.ex_qbits ex.ex_tbits)
 
 (* The class member's result: execution is inherited verbatim; only the
    parse-stage quirk filter is per-member ([frontend] sank parse quirks

@@ -45,6 +45,23 @@ val resolve_by_default : unit -> bool
     default? True unless COMFORT_NO_REACH is set to a non-empty value. *)
 val reach_by_default : unit -> bool
 
+(** Is quirk-specialised execution (copy-on-write realms, per-cell
+    compiled closures, inline caches) on by default? True unless
+    COMFORT_NO_SPECIALIZE is set to a non-empty value. *)
+val specialize_by_default : unit -> bool
+
+(** Per-stage wall-clock attribution for the benchmark harness. Disabled
+    by default; when [enabled] is set, every parse / compile /
+    realm-install / execute stage adds its duration to the corresponding
+    nanosecond total. *)
+module Stage : sig
+  val enabled : bool ref
+  val reset : unit -> unit
+
+  (** (parse, compile, realm-install, exec) nanosecond totals *)
+  val read : unit -> int * int * int * int
+end
+
 (** Derive front-end options from a quirk set (parser-level bugs live in
     the front end, so a quirk profile is a single source of truth). *)
 val parse_opts_of :
@@ -59,25 +76,41 @@ type frontend = {
   fe_fired : Quirk.Set.t;
       (** parse-stage quirks sunk by the front end, {e unfiltered};
           {!run} intersects them with the executing engine's quirk set *)
-  fe_compiled : (bool * bool * Compile.t) option ref;
-      (** slot-compiled program cached per front end, keyed by the
-          (strict mode, reach enabled) pair it was compiled under;
-          testbeds sharing a front end share one compilation *)
+  fe_compiled : (bool * bool * int, Compile.t) Hashtbl.t;
+      (** slot-compiled programs cached per front end, keyed by
+          (strict mode, reach enabled, specialisation cell key —
+          [Compile.cell_key], -1 for the generic form); testbeds sharing
+          a front end share the compilations *)
   fe_reach : Quirk.Set.t Lazy.t;
       (** static over-approximation of every quirk checkpoint any
           execution of this front end can consult
           ({!Analysis.Reach.checkpoints} joined with the parse-stage
           [fe_fired]); forced on first use, shared by all testbeds of the
           parse group *)
+  fe_reach_bits : Quirk.Bits.t Lazy.t;
+      (** [fe_reach] packed into machine words for the execution-sharing
+          cache's cell computation *)
+  fe_strict_sensitive : bool;
+      (** the parse reached a construct whose outcome depends on the
+          ambient strict flag ({!Jsparse.Parser.options}'
+          [strict_sensitive_sink]). When [false] on a sloppy parse, a
+          [force_strict] parse of the same source is guaranteed
+          identical, so the front end can also serve strict-mode
+          testbeds (the executor re-applies the mode via the compiled
+          program's strict key). *)
 }
 
 (** Parse once with the effective options derived from [parse_opts] and
     [quirks]. The result may be passed to {!run} for any engine whose
-    effective options and mode are identical. *)
+    effective options and mode are identical. [reach_strict] (default
+    [strict]) sets the mode assumed by the reach analysis — pass [true]
+    when the front end may be shared with strict-mode testbeds, since
+    the strict reach set is a superset of the sloppy one. *)
 val parse_frontend :
   ?quirks:Quirk.Set.t ->
   ?parse_opts:Jsparse.Parser.options ->
   ?strict:bool ->
+  ?reach_strict:bool ->
   string ->
   frontend
 
@@ -100,6 +133,12 @@ val reach_set : frontend -> Quirk.Set.t
                       unreachable (with a deopt-to-tree escape hatch);
                       defaults to {!reach_by_default}. Results are
                       bit-for-bit identical either way
+    @param specialize execute on the quirk-specialised fast path:
+                      copy-on-write realms, per-cell compiled closures
+                      with baked-in checkpoint answers, and inline caches
+                      at compiled property sites; defaults to
+                      {!specialize_by_default}. Results are bit-for-bit
+                      identical either way
     @param frontend   a pre-parsed front end to reuse (skips this run's
                       own parse); must have been produced with the same
                       effective options and strictness *)
@@ -111,6 +150,7 @@ val run :
   ?coverage:bool ->
   ?resolve:bool ->
   ?reach:bool ->
+  ?specialize:bool ->
   ?frontend:frontend ->
   string ->
   result
@@ -126,6 +166,8 @@ type exec = {
   ex_quirks : Quirk.Set.t;  (** quirk set the representative ran under *)
   ex_fired : Quirk.Set.t;   (** execution-stage fired set *)
   ex_touched : Quirk.Set.t; (** execution-stage touched set *)
+  ex_qbits : Quirk.Bits.t;  (** [ex_quirks] packed into machine words *)
+  ex_tbits : Quirk.Bits.t;  (** [ex_touched] packed into machine words *)
 }
 
 (** Like {!run}, but keep the sharing evidence. [run] is [ex_result]. *)
@@ -137,6 +179,7 @@ val run_exec :
   ?coverage:bool ->
   ?resolve:bool ->
   ?reach:bool ->
+  ?specialize:bool ->
   ?frontend:frontend ->
   string ->
   exec
@@ -149,6 +192,11 @@ val run_exec :
     must also match the parse group (effective front-end options + mode)
     and the fuel budget — see [Engines.Engine.Exec]. *)
 val shares_class : quirks:Quirk.Set.t -> exec -> bool
+
+(** {!shares_class} on packed quirk words ([Quirk.Bits.of_set quirks]) —
+    the same decision in a handful of integer instructions, for the
+    execution-sharing cache's hot path. *)
+val shares_class_bits : qbits:Quirk.Bits.t -> exec -> bool
 
 (** The result a class member inherits from its representative: execution
     verbatim, with only the parse-stage quirk filter recomputed for the

@@ -27,6 +27,16 @@ and obj = {
   mutable prim : value option;           (** wrapped primitive *)
   mutable regex : regex_data option;
   mutable dataview : bytes option;
+  mutable cow : int;
+      (** copy-on-write state: 0 = ordinary object, 1 = realm-template
+          object shared between executions (first mutation must journal a
+          pre-image, see [cow_save]), 2 = template object already journaled
+          by the execution in flight on this domain *)
+  mutable version : int;
+      (** shape stamp: bumped whenever the property *layout* changes (add /
+          remove / redefine / rollback) — never on a plain [p.v] store.
+          Inline caches key on [(identity, version)], so a bump is what
+          invalidates them; the stamp only ever grows *)
 }
 
 and prop = {
@@ -130,6 +140,15 @@ and ctx = {
       (** some executed program declares a binding named [undefined], [NaN]
           or [Infinity]; until then those identifiers evaluate to their
           constants without any scope-chain walk *)
+  ic_gen : int;
+      (** execution generation stamp for the compiled inline caches: an IC
+          entry is valid only for the execution that filled it, so every
+          execution starts cold and per-case hit counts are deterministic
+          regardless of how executions are scheduled across domains *)
+  mutable ihits : int;
+      (** inline-cache hits of this execution; flushed into the process-wide
+          [ic_hits] tally when the run completes (a plain field so the hot
+          path never touches an atomic) *)
 }
 
 let proto_of ctx name =
@@ -166,10 +185,161 @@ let make_obj ?(oclass = "Object") ?(proto = Null) () =
     prim = None;
     regex = None;
     dataview = None;
+    cow = 0;
+    version = 0;
   }
 
 let mkprop ?(writable = true) ?(enumerable = true) ?(configurable = true) v =
   { v; writable; enumerable; configurable; getter = None }
+
+(* --- copy-on-write journal ---------------------------------------------
+
+   Realm templates (see [Realm]) are shared between every execution on a
+   domain instead of being deep-copied per run. Soundness: the first
+   mutation of a template object journals a pre-image of all its mutable
+   state (the lazy "clone" of the COW scheme — paid only for objects a
+   program actually writes, which for typical generated programs is zero),
+   and [cow_rollback] — run by [Run] after every execution — restores the
+   pre-images so the next execution sees a pristine template.
+
+   The journal is domain-local: executions on one domain are sequential,
+   and each domain shares only its own template, so entries never cross
+   domains. [version] is deliberately *not* restored — rollback bumps it
+   instead, so an inline cache filled against the mutated layout can never
+   validate against the restored one. *)
+
+type cow_prop_save = {
+  cps_prop : prop;
+  cps_v : value;
+  cps_writable : bool;
+  cps_enumerable : bool;
+  cps_configurable : bool;
+  cps_getter : value option;
+}
+
+type cow_arr_save = {
+  cas_arr : arr;
+  cas_elems : value array; (* a copy *)
+  cas_alen : int;
+  cas_length_writable : bool;
+  cas_min_written : int;
+}
+
+type cow_save = {
+  cs_obj : obj;
+  cs_oclass : string;
+  cs_proto : value;
+  cs_props : (string * prop) list;
+  cs_prop_saves : cow_prop_save list;
+  cs_extensible : bool;
+  cs_call : callable option;
+  cs_arr : cow_arr_save option;
+  cs_prim : value option;
+  cs_regex : regex_data option;
+  cs_dataview : bytes option; (* a copy *)
+}
+
+let cow_journal : cow_save list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(* Process-wide count of lazily journaled template objects ("COW clones");
+   campaigns report the delta as [cp_cow_clones]. *)
+let cow_clones = Atomic.make 0
+let cow_count () = Atomic.get cow_clones
+
+let cow_save (o : obj) : unit =
+  o.cow <- 2;
+  Atomic.incr cow_clones;
+  let j = Domain.DLS.get cow_journal in
+  j :=
+    {
+      cs_obj = o;
+      cs_oclass = o.oclass;
+      cs_proto = o.proto;
+      cs_props = o.props;
+      cs_prop_saves =
+        List.map
+          (fun (_, p) ->
+            {
+              cps_prop = p;
+              cps_v = p.v;
+              cps_writable = p.writable;
+              cps_enumerable = p.enumerable;
+              cps_configurable = p.configurable;
+              cps_getter = p.getter;
+            })
+          o.props;
+      cs_extensible = o.extensible;
+      cs_call = o.call;
+      cs_arr =
+        Option.map
+          (fun a ->
+            {
+              cas_arr = a;
+              cas_elems = Array.copy a.elems;
+              cas_alen = a.alen;
+              cas_length_writable = a.length_writable;
+              cas_min_written = a.min_written;
+            })
+          o.arr;
+      cs_prim = o.prim;
+      cs_regex = o.regex;
+      cs_dataview = Option.map Bytes.copy o.dataview;
+    }
+    :: !j
+
+(* The write barrier. Every mutation point of the object model funnels
+   through here (or through [set_own]/[remove_own], which do) before
+   touching a field. Ordinary objects pay one integer compare. *)
+let barrier (o : obj) : unit = if o.cow = 1 then cow_save o
+
+let cow_rollback () : unit =
+  let j = Domain.DLS.get cow_journal in
+  match !j with
+  | [] -> ()
+  | entries ->
+      List.iter
+        (fun s ->
+          let o = s.cs_obj in
+          o.oclass <- s.cs_oclass;
+          o.proto <- s.cs_proto;
+          List.iter
+            (fun ps ->
+              let p = ps.cps_prop in
+              p.v <- ps.cps_v;
+              p.writable <- ps.cps_writable;
+              p.enumerable <- ps.cps_enumerable;
+              p.configurable <- ps.cps_configurable;
+              p.getter <- ps.cps_getter)
+            s.cs_prop_saves;
+          o.props <- s.cs_props;
+          o.extensible <- s.cs_extensible;
+          o.call <- s.cs_call;
+          (match s.cs_arr with
+          | Some a ->
+              a.cas_arr.elems <- a.cas_elems;
+              a.cas_arr.alen <- a.cas_alen;
+              a.cas_arr.length_writable <- a.cas_length_writable;
+              a.cas_arr.min_written <- a.cas_min_written;
+              o.arr <- Some a.cas_arr
+          | None -> o.arr <- None);
+          o.prim <- s.cs_prim;
+          o.regex <- s.cs_regex;
+          o.dataview <- s.cs_dataview;
+          o.version <- o.version + 1;
+          o.cow <- 1)
+        entries;
+      j := []
+
+(* Inline-cache hit counter (see [Compile]); campaigns report the delta as
+   [cp_ic_hits]. Atomic so parallel campaigns count deterministically;
+   executions accumulate in [ctx.ihits] and flush once on completion. *)
+let ic_hits = Atomic.make 0
+let ic_count () = Atomic.get ic_hits
+
+(* Source of [ctx.ic_gen] stamps: globally unique, so an inline cache can
+   never confuse two executions even across domains. *)
+let ic_gen_counter = Atomic.make 0
 
 let type_of = function
   | Undefined -> "undefined"
@@ -208,11 +378,15 @@ let burn ctx n =
 let find_own (o : obj) (k : string) : prop option = List.assoc_opt k o.props
 
 let set_own (o : obj) (k : string) (p : prop) =
+  barrier o;
+  o.version <- o.version + 1;
   if List.mem_assoc k o.props then
     o.props <- List.map (fun (k', p') -> if k' = k then (k, p) else (k', p')) o.props
   else o.props <- o.props @ [ (k, p) ]
 
 let remove_own (o : obj) (k : string) =
+  barrier o;
+  o.version <- o.version + 1;
   o.props <- List.filter (fun (k', _) -> k' <> k) o.props
 
 let own_keys (o : obj) : string list = List.map fst o.props

@@ -24,6 +24,14 @@ type options = {
   quirk_sink : string -> unit;
       (** called with the quirk name when a quirk-gated acceptance actually
           fires, so campaigns can attribute parse-stage deviations *)
+  strict_sensitive_sink : unit -> unit;
+      (** called whenever the parse reaches a construct whose outcome
+          depends on the *ambient* strict flag (duplicate parameters,
+          assignment to eval/arguments, [delete identifier]) — whether or
+          not the parse is strict. If a sloppy parse never calls it, a
+          [force_strict] parse of the same source is guaranteed
+          identical, so front-end caches can share one parse across
+          modes. *)
   reject_template_literals : bool;  (** pre-ES2015 front end *)
   reject_arrow_functions : bool;    (** pre-ES2015 front end *)
   reject_let_const : bool;          (** pre-ES2015 front end *)
@@ -38,6 +46,7 @@ let default_options =
     accept_dup_params_strict = false;
     accept_strict_delete_unqualified = false;
     quirk_sink = ignore;
+    strict_sensitive_sink = ignore;
     reject_template_literals = false;
     reject_arrow_functions = false;
     reject_let_const = false;
@@ -136,17 +145,20 @@ let is_arrow_params st =
   scan st.idx 0
 
 let check_params st params =
-  if st.strict then begin
-    let seen = Hashtbl.create 4 in
-    List.iter
-      (fun p ->
-        if Hashtbl.mem seen p then
+  (* the duplicate scan runs in sloppy mode too: a duplicate is a
+     strict-sensitive construct even when this parse accepts it *)
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p then begin
+        st.opts.strict_sensitive_sink ();
+        if st.strict then
           if st.opts.accept_dup_params_strict then
             st.opts.quirk_sink "strict-dup-params-accepted"
           else err st ("duplicate parameter name in strict mode: " ^ p)
-        else Hashtbl.add seen p ())
-      params
-  end
+      end
+      else Hashtbl.add seen p ())
+    params
 
 (* Cumulative front-end invocation count, across all domains. The campaign
    executor's parse cache is sized against this: tests snapshot it around a
@@ -551,11 +563,12 @@ and parse_assign st ~no_in : Ast.expr =
           (match lhs.Ast.e with
           | Ast.Ident _ | Ast.Member _ -> ()
           | _ -> err st "invalid assignment target");
-          (if st.strict then
-             match lhs.Ast.e with
-             | Ast.Ident ("eval" | "arguments") ->
-                 err st "assignment to eval/arguments in strict mode"
-             | _ -> ());
+          (match lhs.Ast.e with
+          | Ast.Ident ("eval" | "arguments") ->
+              st.opts.strict_sensitive_sink ();
+              if st.strict then
+                err st "assignment to eval/arguments in strict mode"
+          | _ -> ());
           advance st;
           let rhs = parse_assign st ~no_in in
           B.e (Ast.Assign (op, lhs, rhs)))
@@ -666,13 +679,14 @@ and parse_unary st : Ast.expr =
   | Token.Tkeyword "delete" ->
       advance st;
       let x = parse_unary st in
-      (if st.strict then
-         match x.Ast.e with
-         | Ast.Ident _ ->
-             if st.opts.accept_strict_delete_unqualified then
-               st.opts.quirk_sink "strict-delete-unqualified-accepted"
-             else err st "delete of an unqualified identifier in strict mode"
-         | _ -> ());
+      (match x.Ast.e with
+      | Ast.Ident _ ->
+          st.opts.strict_sensitive_sink ();
+          if st.strict then
+            if st.opts.accept_strict_delete_unqualified then
+              st.opts.quirk_sink "strict-delete-unqualified-accepted"
+            else err st "delete of an unqualified identifier in strict mode"
+      | _ -> ());
       B.e (Ast.Unary (Ast.Udelete, x))
   | Token.Tpunct "++" ->
       advance st;

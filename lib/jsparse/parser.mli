@@ -20,6 +20,13 @@ type options = {
   quirk_sink : string -> unit;
       (** called with the quirk name when a quirk-gated acceptance actually
           fires, so campaigns can attribute parse-stage deviations *)
+  strict_sensitive_sink : unit -> unit;
+      (** called whenever the parse reaches a construct whose outcome
+          depends on the ambient strict flag (duplicate parameters,
+          assignment to eval/arguments, [delete identifier]). If a sloppy
+          parse never calls it, a [force_strict] parse of the same source
+          is guaranteed identical, so front-end caches can share one
+          parse across modes. *)
   reject_template_literals : bool;  (** pre-ES2015 front end *)
   reject_arrow_functions : bool;    (** pre-ES2015 front end *)
   reject_let_const : bool;          (** pre-ES2015 front end *)

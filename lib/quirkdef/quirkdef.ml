@@ -249,7 +249,39 @@ let to_string (q : t) =
 let of_string s =
   List.find_opt (fun q -> to_string q = s) all
 
+let count = List.length all
+
+(* Stable catalogue position, used to pack quirk sets into machine words. *)
+let index : t -> int =
+  let tbl = Hashtbl.create (2 * count) in
+  List.iteri (fun i q -> Hashtbl.replace tbl q i) all;
+  fun q -> Hashtbl.find tbl q
+
 module Set = Stdlib.Set.Make (struct
   type nonrec t = t
   let compare = compare
 end)
+
+(* Two-word bitset over the catalogue. The execution-sharing layer performs
+   set algebra (intersect, compare) per testbed per case; on balanced trees
+   those operations allocate and walk, on packed words they are a couple of
+   integer instructions. The catalogue holds 73 quirks, so two 62-bit words
+   cover it with room to grow. *)
+module Bits = struct
+  type t = int * int
+
+  let empty : t = (0, 0)
+
+  let add q ((lo, hi) : t) : t =
+    let i = index q in
+    if i < 62 then (lo lor (1 lsl i), hi) else (lo, hi lor (1 lsl (i - 62)))
+
+  let of_set (s : Set.t) : t = Set.fold add s empty
+  let inter ((a, b) : t) ((c, d) : t) : t = (a land c, b land d)
+  let equal ((a, b) : t) ((c, d) : t) = a = c && b = d
+  let is_empty ((a, b) : t) = a = 0 && b = 0
+
+  let mem q ((lo, hi) : t) =
+    let i = index q in
+    if i < 62 then lo land (1 lsl i) <> 0 else hi land (1 lsl (i - 62)) <> 0
+end

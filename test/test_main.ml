@@ -19,6 +19,7 @@ let () =
       ("sharing", Test_sharing.suite);
       ("reach", Test_reach.suite);
       ("resolve", Test_resolve.suite);
+      ("specialize", Test_specialize.suite);
       ("pipeline", Test_pipeline.suite);
       ("util", Test_util.suite);
       ("test262 export", Test_export.suite);

@@ -153,8 +153,12 @@ let deopt_escape_hatch () =
   let poisoned = Compile.compile ~reach:Quirk.Set.empty p in
   Alcotest.(check bool) "poisoned compile is slotted" true
     poisoned.Compile.cp_slotted;
-  fe.Run.fe_compiled := Some (false, true, poisoned);
-  let r = Run.run ~resolve:true ~reach:true ~frontend:fe src in
+  (* key (strict=false, reach=true, generic): specialisation is forced off
+     below so the run consults exactly this entry *)
+  Hashtbl.replace fe.Run.fe_compiled (false, true, -1) poisoned;
+  let r =
+    Run.run ~resolve:true ~reach:true ~specialize:false ~frontend:fe src
+  in
   Alcotest.(check string) "deopt falls back to the tree answer"
     "-Infinity\n" r.Run.r_output;
   (* and with the quirk installed, the deopted run still honours it *)
@@ -162,11 +166,12 @@ let deopt_escape_hatch () =
   let p2 =
     match fe2.Run.fe_program with Ok p -> p | Error _ -> Alcotest.fail "parse"
   in
-  fe2.Run.fe_compiled := Some (false, true, Compile.compile ~reach:Quirk.Set.empty p2);
+  Hashtbl.replace fe2.Run.fe_compiled (false, true, -1)
+    (Compile.compile ~reach:Quirk.Set.empty p2);
   let r2 =
     Run.run
       ~quirks:(quirks_of [ Quirk.Q_codegen_neg_zero_positive ])
-      ~resolve:true ~reach:true ~frontend:fe2 src
+      ~resolve:true ~reach:true ~specialize:false ~frontend:fe2 src
   in
   Alcotest.(check string) "quirk honoured through the deopt" "Infinity\n"
     r2.Run.r_output
