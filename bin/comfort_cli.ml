@@ -249,7 +249,7 @@ let difftest_cmd =
 
 let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
     no_specialize audit_share audit_reach audit_specialize faults checkpoint
-    checkpoint_every resume halt_after =
+    checkpoint_every resume halt_after profile =
   let jobs = resolve_jobs jobs in
   let share = resolve_share no_share in
   let resolve = resolve_resolve no_resolve in
@@ -284,6 +284,11 @@ let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
        --halt-after\n";
     exit 2
   end;
+  if profile then begin
+    Jsinterp.Run.Stage.enabled := true;
+    Jsinterp.Run.Stage.reset ()
+  end;
+  let t0 = Unix.gettimeofday () in
   let res =
     try
       match resume with
@@ -297,17 +302,21 @@ let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
                 (Comfort.Campaign.Checkpoint.describe st);
               Comfort.Campaign.resume ~jobs ?checkpoint ?halt_after st)
       | None -> (
+          (* constructing the fuzzer forces the spec database and the LM
+             model — real generation cost, attributed to the generate
+             stage so the profile's residual only holds true unknowns *)
           let fz =
-            match String.lowercase_ascii fuzzer_name with
-            | "comfort" -> Comfort.Campaign.comfort_fuzzer ~seed ()
-            | "deepsmith" -> Baselines.Fuzzers.deepsmith ~seed ()
-            | "fuzzilli" -> Baselines.Fuzzers.fuzzilli ~seed ()
-            | "codealchemist" -> Baselines.Fuzzers.codealchemist ~seed ()
-            | "die" -> Baselines.Fuzzers.die ~seed ()
-            | "montage" -> Baselines.Fuzzers.montage ~seed ()
-            | other ->
-                Printf.eprintf "unknown fuzzer %s\n" other;
-                exit 1
+            Jsinterp.Run.Stage.time Jsinterp.Run.Stage.generate (fun () ->
+                match String.lowercase_ascii fuzzer_name with
+                | "comfort" -> Comfort.Campaign.comfort_fuzzer ~seed ()
+                | "deepsmith" -> Baselines.Fuzzers.deepsmith ~seed ()
+                | "fuzzilli" -> Baselines.Fuzzers.fuzzilli ~seed ()
+                | "codealchemist" -> Baselines.Fuzzers.codealchemist ~seed ()
+                | "die" -> Baselines.Fuzzers.die ~seed ()
+                | "montage" -> Baselines.Fuzzers.montage ~seed ()
+                | other ->
+                    Printf.eprintf "unknown fuzzer %s\n" other;
+                    exit 1)
           in
           if feedback then
             let t = Comfort.Feedback.create fz in
@@ -325,6 +334,7 @@ let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
         | None -> " (no --checkpoint configured; progress discarded)");
       exit 0
   in
+  let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
   Printf.printf "fuzzer: %s\ncases: %d\nunique bugs: %d\nrepeats filtered: %d\n"
     res.Comfort.Campaign.cp_fuzzer res.Comfort.Campaign.cp_cases_run
     (List.length res.Comfort.Campaign.cp_discoveries)
@@ -357,6 +367,15 @@ let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
         d.Comfort.Campaign.disc_behavior
         (Jsinterp.Quirk.to_string d.Comfort.Campaign.disc_quirk))
     res.Comfort.Campaign.cp_discoveries;
+  if profile then begin
+    (if jobs > 1 then
+       Printf.printf
+         "profile (jobs=%d: stage sums are CPU time across domains and may \
+          exceed wall)\n"
+         jobs);
+    print_string (Comfort.Metrics.profile_to_string
+                    (Comfort.Metrics.profile ~wall_ns))
+  end;
   match res.Comfort.Campaign.cp_aborted with
   | Some reason ->
       Printf.eprintf "campaign aborted early: %s\n" reason;
@@ -459,11 +478,21 @@ let fuzz_cmd =
              (writing a final checkpoint when $(b,--checkpoint) is set) — \
              the kill-simulation hook behind the CI kill-and-resume job.")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Profile the whole campaign pipeline: per-stage wall time and \
+             allocation (generate, screen, sweep, vote, attr, reduce, fold \
+             plus the nested interpreter substages), printed after the \
+             campaign summary.")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against the simulated engines")
     Term.(const fuzz $ budget $ fuzzer $ seed $ feedback $ jobs_arg
           $ no_share_arg $ no_resolve_arg $ no_reach_arg $ no_specialize_arg
           $ audit_share $ audit_reach $ audit_specialize $ faults
-          $ checkpoint $ checkpoint_every $ resume $ halt_after)
+          $ checkpoint $ checkpoint_every $ resume $ halt_after $ profile)
 
 (* --- analyze --- *)
 

@@ -69,7 +69,7 @@ let deepsmith ?(seed = 21) () : Comfort.Campaign.fuzzer =
   let gen () =
     let header = Rng.pick rng Lm.Js_corpus.seed_headers in
     Lm.Model.generate model rng ~prefix:header ~k:10 ~max_tokens:3000
-      ~stop:Comfort.Generator.braces_matched
+      ~stop:(Comfort.Generator.brace_stop ())
   in
   {
     Comfort.Campaign.fz_name = "DeepSmith";
@@ -244,7 +244,7 @@ let montage ?(seed = 25) () : Comfort.Campaign.fuzzer =
     let header = Rng.pick rng Lm.Js_corpus.seed_headers in
     let src =
       Lm.Model.generate model rng ~prefix:header ~k:10 ~max_tokens:500
-        ~stop:Comfort.Generator.braces_matched
+        ~stop:(Comfort.Generator.brace_stop ())
     in
     match Mutator.parse_opt src with
     | Some { Ast.prog_body = st :: _; _ } -> Some (B.refresh_stmt st)

@@ -171,27 +171,79 @@ let api_of_deviation (dev : Difftest.deviation) (tc : Testcase.t)
    disabling that quirk alone changes the deviating engine's behaviour on
    the test case. This keeps incidental quirk firings (a deviant path that
    executed but produced the same observable output) from inflating the
-   bug count. The per-quirk re-executions are independent, so [jobs > 1]
-   probes them in parallel; the returned order is identical either way. *)
-let causal_quirks ?(jobs = 1) ?resolve ?reach ?specialize
+   bug count.
+
+   Probe execution has two regimes. Down the direct path (no [cache]) the
+   per-quirk re-executions are independent, so [jobs > 1] probes them in
+   parallel on ephemeral domains. When the driver passes a per-case
+   [Engines.Engine.Exec.cache], probes instead join the class-shared
+   execution machinery the sweep itself uses: two probes whose reduced
+   quirk sets agree on every consulted checkpoint share one execution
+   (the common case — most removed quirks were never touched), and probes
+   repeated across rule applications on the same case hit the same class
+   representatives. A shared cache is not domain-safe, so cached probes
+   run serially on the calling domain — the fired sets being probed are
+   small (typically 1–3 quirks), so the parallelism given up is noise
+   next to the executions saved. The [memo] table short-circuits exact
+   repeats — same testbed, same removed quirk, same baseline signature —
+   without even a signature comparison. Returned order is identical down
+   every path. *)
+let causal_quirks ?(jobs = 1) ?resolve ?reach ?specialize ?cache ?memo
     (tb : Engines.Engine.testbed) (src : string) (dev : Difftest.deviation)
     ~fuel : Quirk.t list =
   let cfg = tb.Engines.Engine.tb_config in
+  let strict = tb.Engines.Engine.tb_mode = Engines.Engine.Strict in
+  let parse_opts = Engines.Registry.parse_opts_of_config cfg in
   let base_sig = dev.Difftest.d_actual in
-  let changes q =
+  let probe q =
     let quirks = Quirk.Set.remove q cfg.Engines.Registry.cfg_quirks in
-    let r =
-      Run.run ~quirks ?resolve ?reach ?specialize
-        ~parse_opts:(Engines.Registry.parse_opts_of_config cfg)
-        ~strict:(tb.Engines.Engine.tb_mode = Engines.Engine.Strict)
-        ~fuel src
-    in
-    Difftest.signature_to_string (Difftest.signature_of_result r) <> base_sig
+    match cache with
+    | Some ec ->
+        (* the parse key is derived from the quirk set, so removing a
+           parser-level quirk must move the probe to the parse group it
+           actually belongs to — clearing the corresponding flag keeps
+           the cache's (front end, mode) invariant intact *)
+        let pk = Engines.Registry.parse_key cfg in
+        let pkey =
+          {
+            pk with
+            Engines.Registry.pk_for_missing_body =
+              pk.Engines.Registry.pk_for_missing_body
+              && q <> Quirk.Q_eval_for_missing_body_accepted;
+            pk_dup_params =
+              pk.Engines.Registry.pk_dup_params
+              && q <> Quirk.Q_strict_dup_params_accepted;
+            pk_delete_unqualified =
+              pk.Engines.Registry.pk_delete_unqualified
+              && q <> Quirk.Q_strict_delete_unqualified_accepted;
+          }
+        in
+        Engines.Engine.Exec.run_keyed ?resolve ?reach ?specialize
+          ~qbits:(Quirk.Bits.remove q cfg.Engines.Registry.cfg_qbits)
+          ec ~pkey ~quirks ~parse_opts ~strict ~fuel
+    | None -> Run.run ~quirks ?resolve ?reach ?specialize ~parse_opts ~strict ~fuel src
   in
+  let changes q =
+    let decide () =
+      Difftest.signature_to_string (Difftest.signature_of_result (probe q))
+      <> base_sig
+    in
+    match memo with
+    | None -> decide ()
+    | Some m -> (
+        let key = (Engines.Engine.testbed_id tb, q, base_sig) in
+        match Hashtbl.find_opt m key with
+        | Some b -> b
+        | None ->
+            let b = decide () in
+            Hashtbl.replace m key b;
+            b)
+  in
+  let fired = Quirk.Set.elements dev.Difftest.d_fired in
   let probed =
-    Executor.map ~jobs
-      (fun q -> (q, changes q))
-      (Quirk.Set.elements dev.Difftest.d_fired)
+    match cache with
+    | Some _ -> List.map (fun q -> (q, changes q)) fired
+    | None -> Executor.map ~jobs (fun q -> (q, changes q)) fired
   in
   (* descending quirk order, as the original Set.fold/prepend produced *)
   List.rev
@@ -477,21 +529,39 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
         | p -> Some p
         | exception Jsparse.Parser.Syntax_error _ -> None)
     in
+    (* one execution-sharing cache and one probe memo per case, shared by
+       every causal attribution the case's deviations trigger: probes for
+       different deviations (and different removed quirks) of the same
+       case collapse into shared class representatives instead of
+       re-running the interpreter per probe. Built lazily — most cases
+       produce no new bug and never pay for either. The worker's own
+       sweep cache died with the worker; this one lives on the driver,
+       where attribution runs. *)
+    let probe_cache =
+      lazy (Engines.Engine.Exec.cache tc.Testcase.tc_source)
+    in
+    let probe_memo : (string * Quirk.t * string, bool) Hashtbl.t =
+      Hashtbl.create 8
+    in
     List.iter
       (fun (report : Difftest.case_report) ->
         List.iter
           (fun (dev : Difftest.deviation) ->
             let tb = dev.Difftest.d_testbed in
             let engine = tb.Engines.Engine.tb_config.Engines.Registry.cfg_engine in
-            let api = api_of_deviation dev tc ~ast in
+            let api =
+              Run.Stage.time Run.Stage.attr (fun () ->
+                  api_of_deviation dev tc ~ast)
+            in
             (* developer-facing dedup: the Fig. 6 tree. A repeat of a
                known (engine, api, behaviour) leaf cannot yield a new
                discovery, so the expensive causal re-execution is
                skipped for it *)
             match
-              Bugfilter.classify d.d_filter
-                ~engine:(Engines.Registry.engine_name engine)
-                ~api ~behavior:dev.Difftest.d_behavior
+              Run.Stage.time Run.Stage.attr (fun () ->
+                  Bugfilter.classify d.d_filter
+                    ~engine:(Engines.Registry.engine_name engine)
+                    ~api ~behavior:dev.Difftest.d_behavior)
             with
             | `Seen_before -> ()
             | `New_bug ->
@@ -505,9 +575,11 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
                  to amortize. Results are bit-identical either way, so the
                  discovery stream does not depend on this choice. *)
               let causal =
-                causal_quirks ~jobs ?resolve:d.d_resolve ~reach:false
-                  ?specialize:d.d_specialize tb tc.Testcase.tc_source dev
-                  ~fuel:d.d_fuel
+                Run.Stage.time Run.Stage.attr (fun () ->
+                    causal_quirks ~jobs ?resolve:d.d_resolve ~reach:false
+                      ?specialize:d.d_specialize
+                      ~cache:(Lazy.force probe_cache) ~memo:probe_memo tb
+                      tc.Testcase.tc_source dev ~fuel:d.d_fuel)
               in
               if causal = [] then d.d_unattributed <- d.d_unattributed + 1
               else
@@ -518,13 +590,14 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
                     let reduced =
                       if d.d_reduce then
                         Some
-                          (Reducer.reduce ~jobs
-                             ~still_triggers:
-                               (Reducer.still_triggers_deviation
-                                  ~share:d.d_share ?resolve:d.d_resolve
-                                  ~reach:false ?specialize:d.d_specialize
-                                  tb dev)
-                             tc.Testcase.tc_source)
+                          (Run.Stage.time Run.Stage.reduce (fun () ->
+                               Reducer.reduce ~jobs
+                                 ~still_triggers:
+                                   (Reducer.still_triggers_deviation
+                                      ~share:d.d_share ?resolve:d.d_resolve
+                                      ~reach:false ?specialize:d.d_specialize
+                                      tb dev)
+                                 tc.Testcase.tc_source))
                       else None
                     in
                     let disc =
@@ -574,8 +647,9 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
     | _ -> ());
     (match checkpoint with
     | Some (path, every) when (i + 1) mod every = 0 && i + 1 < total ->
-        sync_seeded ();
-        Checkpoint.save path (snapshot d)
+        Run.Stage.time Run.Stage.fold (fun () ->
+            sync_seeded ();
+            Checkpoint.save path (snapshot d))
     | _ -> ());
     match halt_after with
     | Some n when i + 1 >= n && i + 1 < total && not d.d_stop ->
@@ -584,6 +658,15 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
     | _ -> ()
   in
   let worker ((i, tc) : int * Testcase.t) : work =
+    (* one execution-sharing cache per case, shared by the per-mode-group
+       sweeps below: the base parses and their reach analyses run once
+       per case instead of once per group. The cache is built and
+       consumed entirely inside this worker call (it is not domain-safe),
+       and classes are keyed by mode, so reports are byte-identical to
+       per-group caches. Lazy: audit cases build their own caches. *)
+    let case_cache =
+      lazy (Engines.Engine.Exec.cache tc.Testcase.tc_source)
+    in
     match d.d_sup with
     | Some sup ->
         W_swept
@@ -593,7 +676,7 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
                  ?resolve:d.d_resolve ?reach:d.d_reach
                  ?specialize:d.d_specialize ?plan:d.d_plan
                  ~policy:(Supervisor.policy sup) ~supervisor:sup ~case_key:i
-                 tbs tc)
+                 ~cache:(Lazy.force case_cache) tbs tc)
              by_mode)
     | None ->
         (* cases are keyed by their submission index, so the audit samples
@@ -623,7 +706,8 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
                else
                  Difftest.run_case ~fuel:d.d_fuel ~share:d.d_share
                    ?resolve:d.d_resolve ?reach:d.d_reach
-                   ?specialize:d.d_specialize tbs tc)
+                   ?specialize:d.d_specialize
+                   ~cache:(Lazy.force case_cache) tbs tc)
              by_mode)
   in
   let items =
@@ -647,8 +731,9 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
   sync_seeded ();
   (* final checkpoint: resuming a finished campaign is a cheap no-op that
      reproduces its result *)
-  ignore (save_ck ());
-  final d
+  Run.Stage.time Run.Stage.fold (fun () ->
+      ignore (save_ck ());
+      final d)
 
 let run ?(testbeds = default_testbeds ()) ?(budget = 200)
     ?(fuel = Difftest.campaign_fuel) ?(reduce = false) ?(screen = true)
@@ -680,7 +765,7 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
      campaign gracefully: whatever was gathered still runs, the report is
      marked aborted, and the CLI exits non-zero *)
   let batch n =
-    match fz.fz_batch n with
+    match Run.Stage.time Run.Stage.generate (fun () -> fz.fz_batch n) with
     | l -> l
     | exception e ->
         aborted := Some ("fuzzer exhausted: " ^ Printexc.to_string e);
@@ -710,7 +795,7 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
         List.iter
           (fun tc ->
             if !n_kept < budget then
-              match screen_case tc with
+              match Run.Stage.time Run.Stage.screen (fun () -> screen_case tc) with
               | S_kept tc ->
                   kept := tc :: !kept; incr n_kept; progressed := true
               | S_repaired tc ->

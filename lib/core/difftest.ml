@@ -113,25 +113,34 @@ let share_by_default () =
    equally-slow engines each hide the other and both be falsely flagged. *)
 let apply_2t_rule (results : (Engines.Engine.testbed * Run.result) list) :
     (Engines.Engine.testbed * Run.result * signature) list =
-  (* (position, fuel) of every normally-terminated run *)
-  let fuels =
-    List.filter_map
-      (fun (i, (_, (r : Run.result))) ->
-        if r.Run.r_parsed && r.Run.r_status = Run.Sts_normal then
-          Some (i, r.Run.r_fuel_used)
-        else None)
-      (List.mapi (fun i x -> (i, x)) results)
-  in
-  List.mapi
-    (fun i (tb, (r : Run.result)) ->
+  (* One pass computes the count and top-two max fuels of the
+     normally-terminated pool; excluding run [i] is then O(1): the pool
+     max without [i] is the second max when [i] holds the unique maximum
+     and the max otherwise (a duplicated maximum leaves second = first,
+     which is also what excluding one copy yields). This runs once per
+     execution per case, so the old quadratic rebuild of the pool was a
+     measurable slice of the vote stage. *)
+  let nf = ref 0 and m1 = ref 0 and m2 = ref 0 in
+  List.iter
+    (fun (_, (r : Run.result)) ->
+      if r.Run.r_parsed && r.Run.r_status = Run.Sts_normal then begin
+        incr nf;
+        let f = r.Run.r_fuel_used in
+        if f >= !m1 then begin
+          m2 := !m1;
+          m1 := f
+        end
+        else if f > !m2 then m2 := f
+      end)
+    results;
+  List.map
+    (fun (tb, (r : Run.result)) ->
       let sig_ = signature_of_result r in
-      let others = List.filter_map
-          (fun (j, f) -> if j = i then None else Some f)
-          fuels
-      in
-      let t = List.fold_left max 0 others in
+      let normal = r.Run.r_parsed && r.Run.r_status = Run.Sts_normal in
+      let n_others = if normal then !nf - 1 else !nf in
+      let t = if normal && r.Run.r_fuel_used = !m1 then !m2 else !m1 in
       let slow =
-        sig_ <> Sig_timeout && others <> []
+        sig_ <> Sig_timeout && n_others > 0
         && r.Run.r_fuel_used > max (2 * t) 20_000
       in
       (tb, r, if slow then Sig_timeout else sig_))
@@ -154,16 +163,26 @@ type sweep = {
 }
 
 let sweep_case ?(fuel = campaign_fuel) ?share ?resolve ?reach ?specialize
-    ?plan ?policy ?supervisor ?(case_key = 0)
+    ?plan ?policy ?supervisor ?(case_key = 0) ?cache
     (testbeds : Engines.Engine.testbed list) (tc : Testcase.t) : sweep =
+  Run.Stage.time Run.Stage.sweep @@ fun () ->
   let share =
     match share with Some s -> s | None -> share_by_default ()
   in
   (* one execution-sharing cache per case: edition gating and the
      per-group parse are shared across the whole testbed sweep either
      way; with [share] on, whole executions are shared across behavioural
-     equivalence classes too (DESIGN.md §8) *)
-  let ec = Engines.Engine.Exec.cache tc.Testcase.tc_source in
+     equivalence classes too (DESIGN.md §8). [cache] lets the campaign
+     driver share one cache across this case's several sweeps (one per
+     mode group) so the base parses and their reach analyses run once per
+     case, not once per group — classes are keyed by mode, so no
+     execution is ever shared across groups; it must have been built for
+     [tc]'s source, on the calling domain. *)
+  let ec =
+    match cache with
+    | Some ec -> ec
+    | None -> Engines.Engine.Exec.cache tc.Testcase.tc_source
+  in
   let fc = Engines.Engine.Exec.frontend_cache ec in
   (* edition gating: skip engines whose front end cannot express the
      program when the standard front end can *)
@@ -173,33 +192,40 @@ let sweep_case ?(fuel = campaign_fuel) ?share ?resolve ?reach ?specialize
         Engines.Engine.Frontend.supports fc tb.Engines.Engine.tb_config)
       testbeds
   in
+  let supervised = supervisor <> None || plan <> None || policy <> None in
   let execs =
     List.map
       (fun (tb : Engines.Engine.testbed) ->
-        let tb_id = Engines.Engine.testbed_id tb in
+        let thunk () =
+          if share then
+            Engines.Engine.Exec.run ~fuel ?resolve ?reach ?specialize ec tb
+          else
+            Engines.Engine.run ~fuel ?resolve ?reach ?specialize
+              ~frontend:(Engines.Engine.Frontend.frontend fc tb)
+              tb tc.Testcase.tc_source
+        in
         let outcome =
-          (* the racy peek: skipping work for an already-quarantined
-             testbed is sound because the judge re-checks against driver
-             state, and the quarantine set only grows *)
-          match supervisor with
-          | Some sup when Supervisor.quarantined_now sup tb_id ->
-              Supervisor.Skipped
-          | _ ->
-              let thunk () =
-                if share then
-                  Engines.Engine.Exec.run ~fuel ?resolve ?reach ?specialize
-                    ec tb
+          if not supervised then
+            (* happy path: no supervision requested, run bare — a real
+               escaped exception then still poisons the item, as before
+               this layer existed. The testbed-id string is only built on
+               the supervised path; at ~12.5 executions per case the
+               sprintf was visible in the sweep-stage profile. *)
+            Supervisor.Done (thunk (), Supervisor.ok_meta)
+          else
+            let tb_id = Engines.Engine.testbed_id tb in
+            (* the racy peek: skipping work for an already-quarantined
+               testbed is sound because the judge re-checks against
+               driver state, and the quarantine set only grows *)
+            match supervisor with
+            | Some sup when Supervisor.quarantined_now sup tb_id ->
+                Supervisor.Skipped
+            | _ ->
+                if plan = None && policy = None then
+                  Supervisor.Done (thunk (), Supervisor.ok_meta)
                 else
-                  Engines.Engine.run ~fuel ?resolve ?reach ?specialize
-                    ~frontend:(Engines.Engine.Frontend.frontend fc tb)
-                    tb tc.Testcase.tc_source
-              in
-              if plan = None && policy = None then
-                (* happy path: no supervision requested, run bare — a
-                   real escaped exception then still poisons the item, as
-                   before this layer existed *)
-                Supervisor.Done (thunk (), Supervisor.ok_meta)
-              else Supervisor.execute ?plan ?policy ~testbed_id:tb_id ~case_key thunk
+                  Supervisor.execute ?plan ?policy ~testbed_id:tb_id
+                    ~case_key thunk
         in
         (tb, outcome))
       applicable
@@ -209,44 +235,52 @@ let sweep_case ?(fuel = campaign_fuel) ?share ?resolve ?reach ?specialize
 (* --- the driver half: quarantine filtering, the vote, the verdict --- *)
 
 let judge ?supervisor (sw : sweep) : case_report =
+  Run.Stage.time Run.Stage.vote @@ fun () ->
   let tc = sw.sw_case in
   (* split the sweep against *driver* quarantine state: results from
      testbeds quarantined by an earlier case are discarded whether or not
      the worker skipped them (it may have raced ahead), so the report is
      a pure function of the in-order case stream *)
   let results = ref [] and faulted = ref [] and skipped = ref 0 in
-  let observations =
-    List.filter_map
-      (fun ((tb : Engines.Engine.testbed), outcome) ->
-        let tb_id = Engines.Engine.testbed_id tb in
-        let q =
-          match supervisor with
-          | Some sup -> Supervisor.quarantined sup tb_id
-          | None -> false
-        in
-        if q then begin
-          incr skipped;
-          Some (tb_id, Supervisor.Ob_skipped)
-        end
-        else
-          match outcome with
-          | Supervisor.Done (r, meta) ->
-              results := (tb, r) :: !results;
-              Some (tb_id, Supervisor.Ob_ok meta)
-          | Supervisor.Faulted fr ->
-              faulted := (tb_id, fr) :: !faulted;
-              Some (tb_id, Supervisor.Ob_faulted fr)
-          | Supervisor.Skipped ->
-              (* worker saw a quarantine the driver has not reached yet;
-                 impossible under the monotone protocol, but treat it as
-                 skipped rather than invent a result *)
-              incr skipped;
-              Some (tb_id, Supervisor.Ob_skipped))
-      sw.sw_execs
-  in
   (match supervisor with
-  | Some sup -> Supervisor.observe sup ~case_key:sw.sw_key observations
-  | None -> ());
+  | None ->
+      (* unsupervised: no quarantine to consult and no observation log to
+         feed, so skip building the per-testbed id strings entirely (the
+         ids are only needed for the rare Faulted/Skipped outcomes) *)
+      List.iter
+        (fun ((tb : Engines.Engine.testbed), outcome) ->
+          match outcome with
+          | Supervisor.Done (r, _) -> results := (tb, r) :: !results
+          | Supervisor.Faulted fr ->
+              faulted := (Engines.Engine.testbed_id tb, fr) :: !faulted
+          | Supervisor.Skipped -> incr skipped)
+        sw.sw_execs
+  | Some sup ->
+      let observations =
+        List.filter_map
+          (fun ((tb : Engines.Engine.testbed), outcome) ->
+            let tb_id = Engines.Engine.testbed_id tb in
+            if Supervisor.quarantined sup tb_id then begin
+              incr skipped;
+              Some (tb_id, Supervisor.Ob_skipped)
+            end
+            else
+              match outcome with
+              | Supervisor.Done (r, meta) ->
+                  results := (tb, r) :: !results;
+                  Some (tb_id, Supervisor.Ob_ok meta)
+              | Supervisor.Faulted fr ->
+                  faulted := (tb_id, fr) :: !faulted;
+                  Some (tb_id, Supervisor.Ob_faulted fr)
+              | Supervisor.Skipped ->
+                  (* worker saw a quarantine the driver has not reached
+                     yet; impossible under the monotone protocol, but
+                     treat it as skipped rather than invent a result *)
+                  incr skipped;
+                  Some (tb_id, Supervisor.Ob_skipped))
+          sw.sw_execs
+      in
+      Supervisor.observe sup ~case_key:sw.sw_key observations);
   let results = List.rev !results in
   let faulted = List.rev !faulted in
   let skipped = !skipped in
@@ -322,11 +356,11 @@ let judge ?supervisor (sw : sweep) : case_report =
    no [plan]/[policy]/[supervisor] this computes exactly what it did
    before the supervision layer existed. *)
 let run_case ?fuel ?share ?resolve ?reach ?specialize ?plan ?policy
-    ?supervisor ?case_key (testbeds : Engines.Engine.testbed list)
+    ?supervisor ?case_key ?cache (testbeds : Engines.Engine.testbed list)
     (tc : Testcase.t) : case_report =
   judge ?supervisor
     (sweep_case ?fuel ?share ?resolve ?reach ?specialize ?plan ?policy
-       ?supervisor ?case_key testbeds tc)
+       ?supervisor ?case_key ?cache testbeds tc)
 
 (* Field-wise report equality. [Quirk.Set.t] is a balanced tree whose
    shape depends on insertion order, so structural [(=)] on the whole

@@ -88,7 +88,13 @@ type sweep = {
     applicable testbed under the fault plan and supervision policy.
     [supervisor] is consulted only through its racy monotone quarantine
     snapshot, to skip work {!judge} would discard. With no
-    [plan]/[policy] the per-testbed execution is the bare engine run. *)
+    [plan]/[policy] the per-testbed execution is the bare engine run.
+    [cache] shares one per-case {!Engines.Engine.Exec} cache across this
+    case's several sweeps (the campaign sweeps each mode group
+    separately), so the base parses and reach analyses run once per case;
+    it must have been built for [tc]'s source on the calling domain.
+    Classes are keyed by mode, so no execution is shared across groups —
+    the report is byte-identical with or without it. *)
 val sweep_case :
   ?fuel:int ->
   ?share:bool ->
@@ -99,6 +105,7 @@ val sweep_case :
   ?policy:Supervisor.policy ->
   ?supervisor:Supervisor.t ->
   ?case_key:int ->
+  ?cache:Engines.Engine.Exec.cache ->
   Engines.Engine.testbed list ->
   Testcase.t ->
   sweep
@@ -128,7 +135,7 @@ val judge : ?supervisor:Supervisor.t -> sweep -> case_report
     §12); the report is byte-identical either way.
     [plan]/[policy]/[supervisor] enable supervised execution
     (DESIGN.md §10); with all three absent the report is exactly the
-    pre-supervision one. *)
+    pre-supervision one. [cache] is passed through to {!sweep_case}. *)
 val run_case :
   ?fuel:int ->
   ?share:bool ->
@@ -139,6 +146,7 @@ val run_case :
   ?policy:Supervisor.policy ->
   ?supervisor:Supervisor.t ->
   ?case_key:int ->
+  ?cache:Engines.Engine.Exec.cache ->
   Engines.Engine.testbed list ->
   Testcase.t ->
   case_report

@@ -33,11 +33,28 @@ let braces_matched (s : string) : bool =
     s;
   !seen && !bal <= 0
 
+(* The incremental form [Lm.Model.generate] wants: one stateful closure
+   per generation, fed the prefix and then every appended chunk, carrying
+   the brace balance across calls — same verdicts as [braces_matched] on
+   the accumulated text, without the per-token whole-string rescan. *)
+let brace_stop () : string -> bool =
+  let bal = ref 0 and seen = ref false in
+  fun chunk ->
+    String.iter
+      (fun c ->
+        if c = '{' then begin
+          incr bal;
+          seen := true
+        end
+        else if c = '}' then decr bal)
+      chunk;
+    !seen && !bal <= 0
+
 (* One raw sample from the model. *)
 let sample_program (g : t) : string =
   let header = Cutil.Rng.pick g.rng Lm.Js_corpus.seed_headers in
   Lm.Model.generate g.model g.rng ~prefix:header ~k:g.top_k
-    ~max_tokens:g.max_tokens ~stop:braces_matched
+    ~max_tokens:g.max_tokens ~stop:(brace_stop ())
 
 (* Generate until [n] test cases pass the screening policy: all valid
    programs are kept; invalid ones survive with probability

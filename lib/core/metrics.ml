@@ -122,6 +122,75 @@ let runtime_exception_rate (fz : Campaign.fuzzer) ~(n : int) : float =
       in
       Float.of_int (List.length throwing) /. Float.of_int (List.length valid)
 
+(* --- the campaign pipeline profile (Run.Stage, folded for reporting) --- *)
+
+type stage_row = { st_name : string; st_ns : int; st_bytes : int }
+
+type profile = {
+  pr_wall_ns : int;
+  pr_stages : stage_row list;      (* disjoint pipeline layer, campaign order *)
+  pr_substages : stage_row list;   (* interpreter layer, nested inside stages *)
+  pr_accounted_ns : int;           (* sum of the pipeline layer *)
+  pr_unaccounted_pct : float;      (* (wall - accounted) / wall, percent *)
+}
+
+(* Fold the process-wide [Run.Stage] counters against a measured campaign
+   wall clock. Only meaningful when [Run.Stage.enabled] was set for
+   exactly the timed region and the counters were [reset] at its start.
+   At jobs>1 the accounted sum is CPU time across domains and can exceed
+   wall; the unaccounted percentage clamps at 0 in that case. *)
+let profile ~(wall_ns : int) : profile =
+  let row (n, ns, bytes) = { st_name = n; st_ns = ns; st_bytes = bytes } in
+  let stages = List.map row (Jsinterp.Run.Stage.pipeline ()) in
+  let substages = List.map row (Jsinterp.Run.Stage.substages ()) in
+  let accounted = List.fold_left (fun a r -> a + r.st_ns) 0 stages in
+  let unaccounted_pct =
+    if wall_ns <= 0 then 0.0
+    else
+      Float.max 0.0
+        (100.0 *. Float.of_int (wall_ns - accounted) /. Float.of_int wall_ns)
+  in
+  {
+    pr_wall_ns = wall_ns;
+    pr_stages = stages;
+    pr_substages = substages;
+    pr_accounted_ns = accounted;
+    pr_unaccounted_pct = unaccounted_pct;
+  }
+
+let profile_to_string (p : profile) : string =
+  let b = Buffer.create 512 in
+  let ms ns = Float.of_int ns /. 1e6 in
+  let mb bytes = Float.of_int bytes /. (1024.0 *. 1024.0) in
+  let pct ns =
+    if p.pr_wall_ns <= 0 then 0.0
+    else 100.0 *. Float.of_int ns /. Float.of_int p.pr_wall_ns
+  in
+  Buffer.add_string b
+    (Printf.sprintf "campaign wall        %8.1f ms\n" (ms p.pr_wall_ns));
+  Buffer.add_string b "pipeline stages (disjoint):\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-10s %8.1f ms  %5.1f%%  %8.1f MB alloc\n"
+           r.st_name (ms r.st_ns) (pct r.st_ns) (mb r.st_bytes)))
+    p.pr_stages;
+  Buffer.add_string b
+    (Printf.sprintf "  %-10s %8.1f ms  %5.1f%%\n" "accounted"
+       (ms p.pr_accounted_ns) (pct p.pr_accounted_ns));
+  Buffer.add_string b
+    (Printf.sprintf "  %-10s %8.1f ms  %5.1f%%\n" "residual"
+       (ms (max 0 (p.pr_wall_ns - p.pr_accounted_ns)))
+       p.pr_unaccounted_pct);
+  Buffer.add_string b "interpreter substages (nested inside stages):\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "  %-10s %8.1f ms  %5.1f%%  %8.1f MB alloc\n"
+           r.st_name (ms r.st_ns) (pct r.st_ns) (mb r.st_bytes)))
+    p.pr_substages;
+  Buffer.contents b
+
 (* Coverage degradation of a supervised campaign: how many testbeds the
    quarantine removed from the vote, and how many executions the fault
    layer absorbed, relative to the sweep the campaign started with. *)

@@ -108,8 +108,11 @@ module Frontend = struct
         (* permissive sloppy parse, keyed by "is the ES5 profile?" *)
     fc_supports : (bool, bool) Hashtbl.t;
         (* keyed by "is the ES5 profile?" — all [supports] depends on *)
-    fc_groups : (Registry.parse_key * bool, Run.frontend) Hashtbl.t;
-        (* keyed by (effective front end, strict mode) *)
+    fc_groups : (int, Run.frontend) Hashtbl.t;
+        (* keyed by [Registry.pk_int] of the effective front end, with
+           the strict-mode bit folded in at bit 4 — an int key hashes in
+           a few ns where the (record, bool) pair paid a polymorphic
+           structure walk per lookup, once per testbed per case *)
   }
 
   let cache (src : string) : cache =
@@ -173,10 +176,15 @@ module Frontend = struct
      base parse's sunk-quirk and strict-sensitivity evidence proves the
      group's options unobservable on this source, the group shares the
      base front end without parsing at all. *)
+  (* The packed table key of a parse group: [pk_int] plus the strict bit. *)
+  let group_key (pk : Registry.parse_key) ~(strict : bool) : int =
+    Registry.pk_int pk lor if strict then 16 else 0
+
   let frontend_for (fc : cache) ~(key : Registry.parse_key * bool)
       ~(quirks : Quirk.Set.t) ~(parse_opts : Jsparse.Parser.options)
       ~(strict : bool) : Run.frontend =
-    match Hashtbl.find_opt fc.fc_groups key with
+    let ikey = group_key (fst key) ~strict:(snd key) in
+    match Hashtbl.find_opt fc.fc_groups ikey with
     | Some fe -> fe
     | None ->
         let pk, _ = key in
@@ -201,7 +209,7 @@ module Frontend = struct
           if subsumed && mode_ok then base
           else Run.parse_frontend ~quirks ~parse_opts ~strict fc.fc_src
         in
-        Hashtbl.replace fc.fc_groups key fe;
+        Hashtbl.replace fc.fc_groups ikey fe;
         fe
 
   let frontend (fc : cache) (tb : testbed) : Run.frontend =
@@ -272,9 +280,10 @@ module Exec = struct
 
   type cache = {
     ec_frontend : Frontend.cache;
-    ec_classes : (Registry.parse_key * bool * int, cls) Hashtbl.t;
-        (* (parse group, strict, fuel) -> class entry; fuel is in the
-           key so a cache survives mixed budgets *)
+    ec_classes : (int, cls) Hashtbl.t;
+        (* (parse group, strict, fuel) packed into one int — group key
+           in the low 5 bits, fuel above — -> class entry; fuel is in
+           the key so a cache survives mixed budgets *)
     mutable ec_executed : int;  (* real interpreter executions *)
     mutable ec_shared : int;    (* runs answered by class inheritance *)
     mutable ec_seeded : int;    (* shared runs answered by the static cell *)
@@ -336,7 +345,7 @@ module Exec = struct
           ~frontend:fe
           (Frontend.source ec.ec_frontend)
     | Ok _ -> (
-        let ckey = (pkey, strict, fuel) in
+        let ckey = Frontend.group_key pkey ~strict lor (fuel lsl 5) in
         let cls =
           match Hashtbl.find_opt ec.ec_classes ckey with
           | Some c -> c

@@ -127,6 +127,29 @@ module Exec : sig
       deltas. *)
   val seeded_count : unit -> int
 
+  (** Execute an arbitrary quirk profile on the cached source, sharing
+      across its behavioural equivalence class — the generalisation of
+      {!run} to profiles not backed by a registry config (the campaign's
+      causal-attribution probes, which run a testbed's quirk set with one
+      quirk removed). [pkey] must be the parse key of the {e effective}
+      front end — callers removing a parser-level quirk must clear the
+      corresponding flag — and profiles mapping to the same [pkey] must
+      have identical effective options, as in {!Frontend.frontend_for}.
+      [qbits] defaults to packing [quirks]; pass a precomputed value on
+      hot paths. *)
+  val run_keyed :
+    ?resolve:bool ->
+    ?reach:bool ->
+    ?specialize:bool ->
+    ?qbits:Jsinterp.Quirk.Bits.t ->
+    cache ->
+    pkey:Registry.parse_key ->
+    quirks:Jsinterp.Quirk.Set.t ->
+    parse_opts:Jsparse.Parser.options ->
+    strict:bool ->
+    fuel:int ->
+    Jsinterp.Run.result
+
   (** Execute [tb] on the cached source, sharing across the testbed's
       equivalence class. Same contract as {!Engine.run} on that source. *)
   val run :

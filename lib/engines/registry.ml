@@ -45,6 +45,31 @@ let es_to_string = function
   | ES2019 -> "ES2019"
   | ES2020 -> "ES2020"
 
+(* The effective front end of a config is fully determined by its base
+   option set (ES5 vs standard — see [parse_opts_of_config]) plus the
+   three parser-level quirks that [Run.parse_opts_of] folds in. [parse_key]
+   projects exactly those inputs into a flat record of booleans, giving a
+   comparable and hashable cache key: two configs with equal keys parse any
+   source identically and sink the same parse-stage quirks, so one parse
+   can serve both. The parser's [quirk_sink] closure makes the options
+   record itself unusable as a key. *)
+
+type parse_key = {
+  pk_es5 : bool;               (** base front end is the ES5.1 profile *)
+  pk_for_missing_body : bool;  (** [Q_eval_for_missing_body_accepted] *)
+  pk_dup_params : bool;        (** [Q_strict_dup_params_accepted] *)
+  pk_delete_unqualified : bool;(** [Q_strict_delete_unqualified_accepted] *)
+}
+
+(* Injective low-4-bit packing, so cache tables can key on a plain int
+   (plus mode/fuel bits) instead of polymorphic-hashing the record — the
+   lookup runs per testbed per case on the campaign hot path. *)
+let pk_int (pk : parse_key) : int =
+  (if pk.pk_es5 then 1 else 0)
+  lor (if pk.pk_for_missing_body then 2 else 0)
+  lor (if pk.pk_dup_params then 4 else 0)
+  lor (if pk.pk_delete_unqualified then 8 else 0)
+
 type config = {
   cfg_engine : engine;
   cfg_version : string;
@@ -55,6 +80,8 @@ type config = {
   cfg_qbits : Quirk.Bits.t;
       (** [cfg_quirks] packed into machine words, precomputed once — the
           execution-sharing cache consumes it per testbed per case *)
+  cfg_pkey : parse_key;
+      (** the config's [parse_key], precomputed once, same consumer *)
   cfg_index : int;  (** position in the engine's version history, oldest = 0 *)
 }
 
@@ -290,6 +317,7 @@ let configs_of (e : engine) : config list =
             if live then Quirk.Set.add aq acc else acc)
           Quirk.Set.empty asg
       in
+      let mem q = Quirk.Set.mem q quirks in
       {
         cfg_engine = e;
         cfg_version = version;
@@ -298,6 +326,14 @@ let configs_of (e : engine) : config list =
         cfg_es = es;
         cfg_quirks = quirks;
         cfg_qbits = Quirk.Bits.of_set quirks;
+        cfg_pkey =
+          {
+            pk_es5 = (es = ES5);
+            pk_for_missing_body = mem Quirk.Q_eval_for_missing_body_accepted;
+            pk_dup_params = mem Quirk.Q_strict_dup_params_accepted;
+            pk_delete_unqualified =
+              mem Quirk.Q_strict_delete_unqualified_accepted;
+          };
         cfg_index = idx;
       })
     rows
@@ -336,22 +372,6 @@ let parse_opts_of_config (c : config) : Jsparse.Parser.options =
   | ES5 -> Jsparse.Parser.es5_options
   | ES2015 | ES2019 | ES2020 -> Jsparse.Parser.default_options
 
-(* The effective front end of a config is fully determined by its base
-   option set (ES5 vs standard — see [parse_opts_of_config]) plus the
-   three parser-level quirks that [Run.parse_opts_of] folds in. [parse_key]
-   projects exactly those inputs into a flat record of booleans, giving a
-   comparable and hashable cache key: two configs with equal keys parse any
-   source identically and sink the same parse-stage quirks, so one parse
-   can serve both. The parser's [quirk_sink] closure makes the options
-   record itself unusable as a key. *)
-
-type parse_key = {
-  pk_es5 : bool;               (** base front end is the ES5.1 profile *)
-  pk_for_missing_body : bool;  (** [Q_eval_for_missing_body_accepted] *)
-  pk_dup_params : bool;        (** [Q_strict_dup_params_accepted] *)
-  pk_delete_unqualified : bool;(** [Q_strict_delete_unqualified_accepted] *)
-}
-
 (* The conforming reference front end: standard profile, no parser quirks.
    Reference runs routed through the execution-sharing cache use this key,
    so they join the parse/execution groups of any standard-front-end,
@@ -364,11 +384,4 @@ let reference_parse_key : parse_key =
     pk_delete_unqualified = false;
   }
 
-let parse_key (c : config) : parse_key =
-  let mem q = Quirk.Set.mem q c.cfg_quirks in
-  {
-    pk_es5 = (c.cfg_es = ES5);
-    pk_for_missing_body = mem Quirk.Q_eval_for_missing_body_accepted;
-    pk_dup_params = mem Quirk.Q_strict_dup_params_accepted;
-    pk_delete_unqualified = mem Quirk.Q_strict_delete_unqualified_accepted;
-  }
+let parse_key (c : config) : parse_key = c.cfg_pkey

@@ -26,6 +26,25 @@ type es_edition = ES5 | ES2015 | ES2019 | ES2020
 
 val es_to_string : es_edition -> string
 
+(** A comparable, hashable projection of a config's {e effective} front
+    end: the base option profile (ES5 vs standard) plus the three
+    parser-level quirks {!Jsinterp.Run.parse_opts_of} folds in. Two
+    configs with equal keys parse any source identically and sink the
+    same parse-stage quirks, so the campaign's front-end cache shares one
+    parse between them. *)
+type parse_key = {
+  pk_es5 : bool;
+  pk_for_missing_body : bool;
+  pk_dup_params : bool;
+  pk_delete_unqualified : bool;
+}
+
+(** Injective packing of a parse key into the low 4 bits of an int —
+    the front-end and execution-sharing caches key their tables by this
+    (plus mode/fuel bits) so lookups hash a plain int instead of
+    polymorphic-hashing a record. *)
+val pk_int : parse_key -> int
+
 type config = {
   cfg_engine : engine;
   cfg_version : string;
@@ -35,6 +54,9 @@ type config = {
   cfg_quirks : Jsinterp.Quirk.Set.t;  (** bugs present in this build *)
   cfg_qbits : Jsinterp.Quirk.Bits.t;
       (** [cfg_quirks] packed into machine words, precomputed once *)
+  cfg_pkey : parse_key;
+      (** the config's {!parse_key}, precomputed once — consumed per
+          testbed per case by the execution-sharing cache *)
   cfg_index : int;  (** position in the engine's history, oldest = 0 *)
 }
 
@@ -69,19 +91,7 @@ val earliest_version : engine -> Jsinterp.Quirk.t -> string option
 (** Front-end options implementing the version's supported ES edition. *)
 val parse_opts_of_config : config -> Jsparse.Parser.options
 
-(** A comparable, hashable projection of a config's {e effective} front
-    end: the base option profile (ES5 vs standard) plus the three
-    parser-level quirks {!Jsinterp.Run.parse_opts_of} folds in. Two
-    configs with equal keys parse any source identically and sink the
-    same parse-stage quirks, so the campaign's front-end cache shares one
-    parse between them. *)
-type parse_key = {
-  pk_es5 : bool;
-  pk_for_missing_body : bool;
-  pk_dup_params : bool;
-  pk_delete_unqualified : bool;
-}
-
+(** The config's precomputed {!type-parse_key} ([cfg_pkey]). *)
 val parse_key : config -> parse_key
 
 (** The conforming reference front end (standard profile, no parser

@@ -78,11 +78,10 @@ let checkpoint (gs : gstate) (q : Quirk.t) : ctx -> bool =
     | None -> fun ctx -> fire ctx q
     | Some cell ->
         if Quirk.Set.mem q cell then fun ctx ->
-          ctx.touched <- Quirk.Set.add q ctx.touched;
-          ctx.fired <- Quirk.Set.add q ctx.fired;
+          Value.touch_fire ctx q;
           true
         else fun ctx ->
-          ctx.touched <- Quirk.Set.add q ctx.touched;
+          Value.touch ctx q;
           false
 
 (* --- monomorphic inline caches --------------------------------------

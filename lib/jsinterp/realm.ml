@@ -64,8 +64,12 @@ let build () : t =
       fuel = max_int;
       fuel_cap = max_int;
       out = Buffer.create 16;
-      fired = Quirk.Set.empty;
-      touched = Quirk.Set.empty;
+      q_lo = 0;
+      q_hi = 0;
+      f_lo = 0;
+      f_hi = 0;
+      t_lo = 0;
+      t_hi = 0;
       call_hook = (fun _ _ _ _ -> Undefined);
       eval_hook = (fun _ _ _ _ -> Undefined);
       coverage = None;

@@ -65,37 +65,188 @@ let specialize_by_default () =
   | None | Some "" -> true
   | Some _ -> false
 
-(* Per-stage wall-clock attribution, for the benchmark harness. Off by
-   default: an execution pays one ref read per stage. Counters are
-   nanosecond totals, atomic so parallel campaigns can be attributed. *)
+(* Whole-pipeline profiler. Off by default: a disabled probe pays one ref
+   read. Two layers of attribution:
+
+   - {e pipeline stages} (generate, screen, sweep, vote, attr, reduce,
+     fold) partition a campaign's wall clock. [time] attributes to the
+     OUTERMOST active stage only (a per-domain re-entrancy flag): when the
+     reducer replays a case through the sweep+vote path, the inner probes
+     are no-ops, so at jobs=1 the stage sums can never double-count and
+     their total is a lower bound on wall (what's missing is the
+     unaccounted residual the bench gates below 10%). At jobs>1 the
+     worker domains accumulate concurrently, so the sums bound wall times
+     the domain count instead — CPU-time attribution, not wall.
+
+   - {e interpreter substages} (parse, compile, realm-install, exec) nest
+     inside whichever pipeline stage is running them and always record
+     ([time_sub]); they answer "of the sweep's cost, how much is the
+     engine core?" and are reported as a separate layer, never added to
+     the pipeline total.
+
+   Each slot accumulates wall nanoseconds and allocated bytes
+   ([Gc.allocated_bytes] delta — per-domain in OCaml 5, so concurrent
+   stages don't bleed into each other) as atomics, so parallel campaigns
+   attribute to the same counters. *)
 module Stage = struct
   let enabled = ref false
-  let parse_ns = Atomic.make 0
-  let compile_ns = Atomic.make 0
-  let realm_ns = Atomic.make 0
-  let exec_ns = Atomic.make 0
+
+  type slot = { ns : int Atomic.t; bytes : int Atomic.t }
+
+  let mk () = { ns = Atomic.make 0; bytes = Atomic.make 0 }
+
+  (* interpreter substages *)
+  let parse = mk ()
+  let compile = mk ()
+  let realm = mk ()
+  let exec = mk ()
+
+  (* disjoint pipeline stages *)
+  let generate = mk ()
+  let screen = mk ()
+  let sweep = mk ()
+  let vote = mk ()
+  let attr = mk ()
+  let reduce = mk ()
+  let fold = mk ()
+
+  let sub_slots =
+    [ ("parse", parse); ("compile", compile); ("realm", realm); ("exec", exec) ]
+
+  let pipe_slots =
+    [
+      ("generate", generate);
+      ("screen", screen);
+      ("sweep", sweep);
+      ("vote", vote);
+      ("attr", attr);
+      ("reduce", reduce);
+      ("fold", fold);
+    ]
 
   let reset () =
     List.iter
-      (fun c -> Atomic.set c 0)
-      [ parse_ns; compile_ns; realm_ns; exec_ns ]
+      (fun (_, s) ->
+        Atomic.set s.ns 0;
+        Atomic.set s.bytes 0)
+      (sub_slots @ pipe_slots)
 
-  (* (parse, compile, realm-install, exec) nanosecond totals *)
+  (* legacy view: (parse, compile, realm-install, exec) nanosecond totals *)
   let read () =
-    ( Atomic.get parse_ns,
-      Atomic.get compile_ns,
-      Atomic.get realm_ns,
-      Atomic.get exec_ns )
+    ( Atomic.get parse.ns,
+      Atomic.get compile.ns,
+      Atomic.get realm.ns,
+      Atomic.get exec.ns )
 
-  let time (slot : int Atomic.t) (f : unit -> 'a) : 'a =
+  let read_of slots =
+    List.map (fun (n, s) -> (n, Atomic.get s.ns, Atomic.get s.bytes)) slots
+
+  (* (name, wall ns, allocated bytes) rows, in pipeline order *)
+  let pipeline () = read_of pipe_slots
+  let substages () = read_of sub_slots
+
+  let record (slot : slot) (t0 : float) (a0 : float) : unit =
+    let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+    let b = int_of_float (Gc.allocated_bytes () -. a0) in
+    ignore (Atomic.fetch_and_add slot.ns ns);
+    ignore (Atomic.fetch_and_add slot.bytes b)
+
+  (* interpreter-substage probe: always records when enabled *)
+  let time_sub (slot : slot) (f : unit -> 'a) : 'a =
     if not !enabled then f ()
     else begin
       let t0 = Unix.gettimeofday () in
-      Fun.protect
-        ~finally:(fun () ->
-          let ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
-          ignore (Atomic.fetch_and_add slot ns))
-        f
+      let a0 = Gc.allocated_bytes () in
+      Fun.protect ~finally:(fun () -> record slot t0 a0) f
+    end
+
+  (* pipeline-stage probe: outermost active stage wins (per domain) *)
+  let in_stage : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+  let time (slot : slot) (f : unit -> 'a) : 'a =
+    if not !enabled then f ()
+    else begin
+      let flag = Domain.DLS.get in_stage in
+      if !flag then f ()
+      else begin
+        flag := true;
+        let t0 = Unix.gettimeofday () in
+        let a0 = Gc.allocated_bytes () in
+        Fun.protect
+          ~finally:(fun () ->
+            flag := false;
+            record slot t0 a0)
+          f
+      end
+    end
+end
+
+(* --- per-domain execution scratch (COMFORT_GC) ---
+
+   A campaign performs ~12.5 interpreter executions per case, each
+   allocating a fresh output buffer, global-scope table, realm copy and
+   frame graph. Recycling the two allocations that provably die with
+   their execution cuts steady-state allocation several-fold (the bench's
+   per-stage byte columns show exec dropping ~5x); COMFORT_GC=off (or =0)
+   is the escape hatch restoring the exact allocation behaviour of
+   earlier builds. Results are bit-identical either way — the CI runs a
+   full COMFORT_GC=off suite leg to prove it.
+
+   Minor-heap widening was tried here and measured as a regression:
+   growing the per-domain minor heap to 4M words (32MB) cost ~10% on the
+   production bench row, and 1M words still cost ~5% — the interpreter's
+   working set lives in cache under the default 256k-word minor heap and
+   a wider nursery trades cheap minor collections for cache misses. The
+   default heap geometry is deliberately left alone (EXPERIMENTS.md
+   records the numbers). *)
+let gc_by_default () =
+  match Sys.getenv_opt "COMFORT_GC" with
+  | Some "off" | Some "0" -> false
+  | None | Some _ -> true
+
+(* Execution scratch, recycled per domain: the [ctx.out] buffer and the
+   global scope's bindings table are the two per-execution allocations
+   that provably die with the execution — [r_output] is an immutable
+   string copy ([Buffer.contents]) and nothing outlives [run_exec] that
+   can still reach the scope (the COW rollback / realm-copy discard takes
+   any closure created during the run with it). Each domain keeps one
+   slot of each; [take] empties the slot (so any unexpected reentrancy
+   simply allocates fresh) and resets the scratch before reuse, [release]
+   refits the slot at the exec's report boundary. Compiled frames are
+   deliberately NOT recycled: closures capture them and may legally
+   outlive statements (DESIGN.md §13). *)
+module Scratch = struct
+  type slot = {
+    mutable sc_buf : Buffer.t option;
+    mutable sc_bindings : (string, Value.value ref) Hashtbl.t option;
+  }
+
+  let key : slot Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> { sc_buf = None; sc_bindings = None })
+
+  let buffer () : Buffer.t =
+    let s = Domain.DLS.get key in
+    match s.sc_buf with
+    | Some b when gc_by_default () ->
+        s.sc_buf <- None;
+        Buffer.reset b;
+        b
+    | _ -> Buffer.create 256
+
+  let bindings () : (string, Value.value ref) Hashtbl.t =
+    let s = Domain.DLS.get key in
+    match s.sc_bindings with
+    | Some h when gc_by_default () ->
+        s.sc_bindings <- None;
+        Hashtbl.reset h;
+        h
+    | _ -> Hashtbl.create 16
+
+  let release (ctx : Value.ctx) : unit =
+    if gc_by_default () then begin
+      let s = Domain.DLS.get key in
+      s.sc_buf <- Some ctx.Value.out;
+      s.sc_bindings <- Some ctx.Value.global_scope.Value.bindings
     end
 end
 
@@ -139,8 +290,9 @@ let make_ctx ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_o
     | None -> Value.make_obj ~oclass:"Object" ()
   in
   let global_scope =
-    { Value.bindings = Hashtbl.create 16; parent = None; frozen_names = [] }
+    { Value.bindings = Scratch.bindings (); parent = None; frozen_names = [] }
   in
+  let q_lo, q_hi = Quirk.Bits.of_set quirks in
   let ctx : Value.ctx =
     {
       Value.global;
@@ -149,9 +301,13 @@ let make_ctx ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_o
       parse_opts;
       fuel;
       fuel_cap = fuel;
-      out = Buffer.create 256;
-      fired = Quirk.Set.empty;
-      touched = Quirk.Set.empty;
+      out = Scratch.buffer ();
+      q_lo;
+      q_hi;
+      f_lo = 0;
+      f_hi = 0;
+      t_lo = 0;
+      t_hi = 0;
       call_hook = (fun _ _ _ _ -> Value.Undefined);
       eval_hook = (fun _ _ _ _ -> Value.Undefined);
       coverage = (if coverage then Some (Coverage.create ()) else None);
@@ -179,9 +335,8 @@ let make_ctx ?(quirks = Quirk.Set.empty) ?(parse_opts = Jsparse.Parser.default_o
           Jsparse.Parser.quirk_sink =
             (fun name ->
               match Quirk.of_string name with
-              | Some q when Value.quirk_on ctx q ->
-                  ctx.fired <- Quirk.Set.add q ctx.fired
-              | _ -> ());
+              | Some q -> ignore (Value.fire ctx q)
+              | None -> ());
         }
       in
       match Jsparse.Parser.parse_program ~opts ~force_strict:strict src with
@@ -274,7 +429,7 @@ let parse_frontend ?(quirks = Quirk.Set.empty)
     }
   in
   match
-    Stage.time Stage.parse_ns (fun () ->
+    Stage.time_sub Stage.parse (fun () ->
         Jsparse.Parser.parse_program ~opts ~force_strict:strict src)
   with
   | prog -> frontend (Ok prog) !fired
@@ -298,10 +453,14 @@ let reach_set (fe : frontend) : Quirk.Set.t = Lazy.force fe.fe_reach
 type exec = {
   ex_result : result;       (** the representative's own full result *)
   ex_quirks : Quirk.Set.t;  (** quirk set the representative ran under *)
-  ex_fired : Quirk.Set.t;   (** execution-stage fired set (no parse stage) *)
-  ex_touched : Quirk.Set.t; (** execution-stage touched set *)
   ex_qbits : Quirk.Bits.t;  (** [ex_quirks] packed into machine words *)
-  ex_tbits : Quirk.Bits.t;  (** [ex_touched] packed into machine words *)
+  ex_fbits : Quirk.Bits.t;
+      (** execution-stage fired set (no parse stage), packed words *)
+  ex_tbits : Quirk.Bits.t;  (** execution-stage touched set, packed words *)
+  ex_fired : Quirk.Set.t Lazy.t;
+      (** [ex_fbits] as a [Quirk.Set.t]; forced only when a class member
+          actually inherits parse-stage quirks (see [share]) or by tests *)
+  ex_touched : Quirk.Set.t Lazy.t;  (** [ex_tbits] as a [Quirk.Set.t] *)
 }
 
 let run_exec ?(quirks = Quirk.Set.empty)
@@ -338,10 +497,11 @@ let run_exec ?(quirks = Quirk.Set.empty)
             r_coverage = None;
           };
         ex_quirks = quirks;
-        ex_fired = Quirk.Set.empty;
-        ex_touched = Quirk.Set.empty;
         ex_qbits = Quirk.Bits.of_set quirks;
+        ex_fbits = Quirk.Bits.empty;
         ex_tbits = Quirk.Bits.empty;
+        ex_fired = lazy Quirk.Set.empty;
+        ex_touched = lazy Quirk.Set.empty;
       }
   | Ok prog ->
       Atomic.incr runs;
@@ -377,7 +537,7 @@ let run_exec ?(quirks = Quirk.Set.empty)
                 if reach then Some (Lazy.force fe.fe_reach) else None
               in
               let cp =
-                Stage.time Stage.compile_ns (fun () ->
+                Stage.time_sub Stage.compile (fun () ->
                     Compile.compile ?reach:reach_arg ?cell prog)
               in
               Hashtbl.replace fe.fe_compiled key cp;
@@ -391,7 +551,7 @@ let run_exec ?(quirks = Quirk.Set.empty)
       let cow = resolve && specialize in
       let run_with runner =
         let ctx =
-          Stage.time Stage.realm_ns (fun () ->
+          Stage.time_sub Stage.realm (fun () ->
               make_ctx ~quirks ~parse_opts ~fuel ~coverage ~snapshot:resolve
                 ~cow ())
         in
@@ -401,7 +561,7 @@ let run_exec ?(quirks = Quirk.Set.empty)
           (fun () ->
             let status =
               try
-                Stage.time Stage.exec_ns (fun () -> runner ctx);
+                Stage.time_sub Stage.exec (fun () -> runner ctx);
                 Sts_normal
               with
               | Value.Js_throw v ->
@@ -442,25 +602,41 @@ let run_exec ?(quirks = Quirk.Set.empty)
       in
       if ctx.Value.ihits > 0 then
         ignore (Atomic.fetch_and_add Value.ic_hits ctx.Value.ihits);
-      {
-        ex_result =
-          {
-            r_parsed = true;
-            r_parse_error = None;
-            r_status = status;
-            r_output = Buffer.contents ctx.Value.out;
-            r_fuel_used = ctx.Value.fuel_cap - ctx.Value.fuel;
-            r_fired = Quirk.Set.union parse_fired ctx.Value.fired;
-            r_touched = Quirk.Set.union parse_fired ctx.Value.touched;
-            r_coverage =
-              Option.map (fun c -> Coverage.summarize c prog) ctx.Value.coverage;
-          };
-        ex_quirks = quirks;
-        ex_fired = ctx.Value.fired;
-        ex_touched = ctx.Value.touched;
-        ex_qbits = Quirk.Bits.of_set quirks;
-        ex_tbits = Quirk.Bits.of_set ctx.Value.touched;
-      }
+      let fbits = Value.fired_bits ctx in
+      let tbits = Value.touched_bits ctx in
+      (* the representative's own result rebuilds real [Quirk.Set.t]s — once
+         per actual execution, this is the report boundary; class members
+         inherit through [share] without re-materialising anything *)
+      let ex_fired = lazy (Quirk.Bits.to_set fbits) in
+      let ex_touched = lazy (Quirk.Bits.to_set tbits) in
+      let ex =
+        {
+          ex_result =
+            {
+              r_parsed = true;
+              r_parse_error = None;
+              r_status = status;
+              r_output = Buffer.contents ctx.Value.out;
+              r_fuel_used = ctx.Value.fuel_cap - ctx.Value.fuel;
+              r_fired = Quirk.Set.union parse_fired (Lazy.force ex_fired);
+              r_touched = Quirk.Set.union parse_fired (Lazy.force ex_touched);
+              r_coverage =
+                Option.map
+                  (fun c -> Coverage.summarize c prog)
+                  ctx.Value.coverage;
+            };
+          ex_quirks = quirks;
+          ex_qbits = (ctx.Value.q_lo, ctx.Value.q_hi);
+          ex_fbits = fbits;
+          ex_tbits = tbits;
+          ex_fired;
+          ex_touched;
+        }
+      in
+      (* the result captured everything it needs as immutable copies; the
+         ctx's buffer and scope table go back to the domain's scratch *)
+      Scratch.release ctx;
+      ex
 
 let run ?quirks ?parse_opts ?strict ?fuel ?coverage ?resolve ?reach
     ?specialize ?frontend (src : string) : result =
@@ -474,33 +650,37 @@ let run ?quirks ?parse_opts ?strict ?fuel ?coverage ?resolve ?reach
    conformance decision resolves the same way, control flow is identical,
    and (in particular) exactly the same checkpoints get consulted, so the
    verdict is self-validating: no member can secretly reach a checkpoint
-   outside [ex_touched]. *)
-let shares_class ~quirks (ex : exec) : bool =
-  Quirk.Set.equal
-    (Quirk.Set.inter quirks ex.ex_touched)
-    (Quirk.Set.inter ex.ex_quirks ex.ex_touched)
-
-(* The same decision on packed words — a handful of integer instructions
-   instead of two balanced-tree intersections. The execution-sharing cache
-   calls this once per (testbed, representative) pair, which profiling
-   shows is the hottest set algebra in a campaign. *)
+   outside [ex_tbits]. The decision is a handful of integer instructions
+   on the packed words — profiling shows class matching is the hottest
+   set algebra in a campaign. *)
 let shares_class_bits ~(qbits : Quirk.Bits.t) (ex : exec) : bool =
   Quirk.Bits.equal
     (Quirk.Bits.inter qbits ex.ex_tbits)
     (Quirk.Bits.inter ex.ex_qbits ex.ex_tbits)
 
+(* Set-typed convenience over [shares_class_bits] (packs and delegates). *)
+let shares_class ~quirks (ex : exec) : bool =
+  shares_class_bits ~qbits:(Quirk.Bits.of_set quirks) ex
+
 (* The class member's result: execution is inherited verbatim; only the
    parse-stage quirk filter is per-member ([frontend] sank parse quirks
    unfiltered, and members of one parse group may own different subsets).
    A quirk both sunk at parse time and fired during execution is on for
-   every member (it is in the class key), so the union loses nothing. *)
+   every member (it is in the class key), so the union loses nothing.
+   The common case — the front end sank no parse-stage quirks at all, so
+   the representative's and every member's parse filter are both empty —
+   returns the representative's result verbatim, allocating nothing; with
+   ~100 testbeds inheriting per shared execution this is the sharing
+   layer's hottest path. *)
 let share ~(frontend : frontend) ~quirks (ex : exec) : result =
-  let parse_fired = Quirk.Set.inter frontend.fe_fired quirks in
-  {
-    ex.ex_result with
-    r_fired = Quirk.Set.union parse_fired ex.ex_fired;
-    r_touched = Quirk.Set.union parse_fired ex.ex_touched;
-  }
+  if Quirk.Set.is_empty frontend.fe_fired then ex.ex_result
+  else
+    let parse_fired = Quirk.Set.inter frontend.fe_fired quirks in
+    {
+      ex.ex_result with
+      r_fired = Quirk.Set.union parse_fired (Lazy.force ex.ex_fired);
+      r_touched = Quirk.Set.union parse_fired (Lazy.force ex.ex_touched);
+    }
 
 (* Convenience for tests and examples: run on the standard-conforming
    reference engine and return printed output. *)

@@ -50,16 +50,67 @@ val reach_by_default : unit -> bool
     COMFORT_NO_SPECIALIZE is set to a non-empty value. *)
 val specialize_by_default : unit -> bool
 
-(** Per-stage wall-clock attribution for the benchmark harness. Disabled
-    by default; when [enabled] is set, every parse / compile /
-    realm-install / execute stage adds its duration to the corresponding
-    nanosecond total. *)
+(** Is per-domain execution-scratch recycling on? True unless COMFORT_GC
+    is set to "off" or "0" — the escape hatch that restores the exact
+    allocation behaviour of non-recycling builds (results are
+    bit-identical either way). Minor-heap widening was also tried under
+    this flag and measured as a ~10% regression on the campaign bench;
+    the default heap geometry is deliberately untouched (see
+    EXPERIMENTS.md). *)
+val gc_by_default : unit -> bool
+
+(** Whole-pipeline campaign profiler. Disabled by default (a disabled
+    probe pays one ref read); when [enabled] is set, every probe adds its
+    wall-clock duration and its [Gc.allocated_bytes] delta to the
+    corresponding slot.
+
+    Two layers: {e pipeline stages} (generate, screen, sweep, vote, attr,
+    reduce, fold) partition the campaign's wall clock — [time] attributes
+    to the outermost active stage only (per-domain re-entrancy flag), so
+    at [jobs = 1] their sum is a no-double-counting lower bound on wall.
+    {e Interpreter substages} (parse, compile, realm-install, exec) nest
+    inside pipeline stages, always record, and are reported as a
+    separate layer. At [jobs > 1] worker domains accumulate concurrently,
+    so stage sums measure CPU time, which may exceed wall. *)
 module Stage : sig
   val enabled : bool ref
   val reset : unit -> unit
 
-  (** (parse, compile, realm-install, exec) nanosecond totals *)
+  (** (parse, compile, realm-install, exec) nanosecond totals — the
+      interpreter-substage view, kept for the benchmark harness *)
   val read : unit -> int * int * int * int
+
+  type slot
+
+  (** The pipeline stages, in campaign order. *)
+
+  val generate : slot  (** LM program generation + mutation *)
+
+  val screen : slot  (** reference-engine screening of raw cases *)
+
+  val sweep : slot
+  (** the 102-testbed sweep: frontend cache, class discovery probing,
+      execution sharing — the interpreter substages mostly nest here *)
+
+  val vote : slot  (** per-mode majority vote + 2t rule + deviation build *)
+
+  val attr : slot  (** bug-filter classification + causal attribution *)
+
+  val reduce : slot  (** test-case reduction of surfaced discoveries *)
+
+  val fold : slot  (** report folding, timeline, checkpoint saves *)
+
+  (** Run [f] attributed to a pipeline stage. Re-entrant calls (a stage
+      probe inside an active stage probe, on the same domain) do not
+      record — outermost wins. *)
+  val time : slot -> (unit -> 'a) -> 'a
+
+  (** (name, wall ns, allocated bytes) rows for the pipeline layer, in
+      campaign order. *)
+  val pipeline : unit -> (string * int * int) list
+
+  (** Same rows for the interpreter-substage layer. *)
+  val substages : unit -> (string * int * int) list
 end
 
 (** Derive front-end options from a quirk set (parser-level bugs live in
@@ -164,10 +215,16 @@ val run :
 type exec = {
   ex_result : result;       (** the representative's own full result *)
   ex_quirks : Quirk.Set.t;  (** quirk set the representative ran under *)
-  ex_fired : Quirk.Set.t;   (** execution-stage fired set *)
-  ex_touched : Quirk.Set.t; (** execution-stage touched set *)
   ex_qbits : Quirk.Bits.t;  (** [ex_quirks] packed into machine words *)
-  ex_tbits : Quirk.Bits.t;  (** [ex_touched] packed into machine words *)
+  ex_fbits : Quirk.Bits.t;
+      (** execution-stage fired set, packed into machine words *)
+  ex_tbits : Quirk.Bits.t;
+      (** execution-stage touched set, packed into machine words — the
+          execution-sharing class key ({!shares_class_bits}) *)
+  ex_fired : Quirk.Set.t Lazy.t;
+      (** [ex_fbits] rebuilt as a [Quirk.Set.t], forced only at report
+          boundaries (a {!share} that must re-filter parse quirks, tests) *)
+  ex_touched : Quirk.Set.t Lazy.t;  (** [ex_tbits] as a [Quirk.Set.t] *)
 }
 
 (** Like {!run}, but keep the sharing evidence. [run] is [ex_result]. *)

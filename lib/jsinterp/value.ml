@@ -110,12 +110,23 @@ and ctx = {
   mutable fuel : int;            (** remaining execution budget *)
   fuel_cap : int;
   out : Buffer.t;
-  mutable fired : Quirk.Set.t;   (** quirks whose deviant path executed *)
-  mutable touched : Quirk.Set.t;
+  q_lo : int;
+  q_hi : int;
+      (** [quirks] packed into machine words ([Quirk.Bits] layout), so the
+          per-checkpoint membership test is one [land] *)
+  mutable f_lo : int;
+  mutable f_hi : int;
+      (** quirks whose deviant path executed, as packed words *)
+  mutable t_lo : int;
+  mutable t_hi : int;
       (** quirk checkpoints *consulted* during execution, active or not —
-          a superset of [fired]. Two engines whose quirk sets agree on a
-          run's touched set replay the run identically, which is what the
-          campaign's execution-sharing layer keys on *)
+          a superset of the fired words. Two engines whose quirk sets agree
+          on a run's touched set replay the run identically, which is what
+          the campaign's execution-sharing layer keys on. Packed words
+          rather than [Quirk.Set.t]: checkpoints sit on the interpreter's
+          hot path, and a balanced-tree [Set.add] per consultation was the
+          single largest allocation source a campaign profile showed;
+          [Run] rebuilds the set form once, at the report boundary *)
   mutable call_hook : ctx -> value -> value -> value list -> value;
       (** function value, this, args — set by [Interp] *)
   mutable eval_hook : ctx -> scope -> bool -> string -> value;
@@ -353,21 +364,71 @@ let is_callable = function Obj { call = Some _; _ } -> true | _ -> false
 
 (* Every conformance-relevant decision point funnels through here (directly
    or via [fire]); recording the consultation — whether or not the quirk is
-   active — is what makes the touched set a sound execution-sharing key. *)
+   active — is what makes the touched set a sound execution-sharing key.
+   [Quirk.index] is a constant-constructor match, so the whole consultation
+   is a handful of integer instructions and allocates nothing. *)
 let quirk_on ctx q =
-  ctx.touched <- Quirk.Set.add q ctx.touched;
-  Quirk.Set.mem q ctx.quirks
+  let i = Quirk.index q in
+  if i < 62 then begin
+    let m = 1 lsl i in
+    ctx.t_lo <- ctx.t_lo lor m;
+    ctx.q_lo land m <> 0
+  end
+  else begin
+    let m = 1 lsl (i - 62) in
+    ctx.t_hi <- ctx.t_hi lor m;
+    ctx.q_hi land m <> 0
+  end
 
 (* Check-and-record: returns whether the quirk is active, and if so marks it
    as fired. All deviation points in the interpreter and builtins go through
    this so that campaign scoring can attribute observed deviations to
    ground-truth bugs. *)
 let fire ctx q =
-  if quirk_on ctx q then begin
-    ctx.fired <- Quirk.Set.add q ctx.fired;
-    true
+  let i = Quirk.index q in
+  if i < 62 then begin
+    let m = 1 lsl i in
+    ctx.t_lo <- ctx.t_lo lor m;
+    if ctx.q_lo land m <> 0 then begin
+      ctx.f_lo <- ctx.f_lo lor m;
+      true
+    end
+    else false
   end
-  else false
+  else begin
+    let m = 1 lsl (i - 62) in
+    ctx.t_hi <- ctx.t_hi lor m;
+    if ctx.q_hi land m <> 0 then begin
+      ctx.f_hi <- ctx.f_hi lor m;
+      true
+    end
+    else false
+  end
+
+(* Record a consultation whose answer the caller has baked in — the
+   specialised compiler's checkpoint sites ([Compile.checkpoint]). *)
+let touch ctx q =
+  let i = Quirk.index q in
+  if i < 62 then ctx.t_lo <- ctx.t_lo lor (1 lsl i)
+  else ctx.t_hi <- ctx.t_hi lor (1 lsl (i - 62))
+
+(* [touch] plus the fired attribution, for baked-in cell-member sites. *)
+let touch_fire ctx q =
+  let i = Quirk.index q in
+  if i < 62 then begin
+    let m = 1 lsl i in
+    ctx.t_lo <- ctx.t_lo lor m;
+    ctx.f_lo <- ctx.f_lo lor m
+  end
+  else begin
+    let m = 1 lsl (i - 62) in
+    ctx.t_hi <- ctx.t_hi lor m;
+    ctx.f_hi <- ctx.f_hi lor m
+  end
+
+(* The packed-word views of a context's recording fields. *)
+let fired_bits ctx : Quirk.Bits.t = (ctx.f_lo, ctx.f_hi)
+let touched_bits ctx : Quirk.Bits.t = (ctx.t_lo, ctx.t_hi)
 
 let burn ctx n =
   ctx.fuel <- ctx.fuel - n;

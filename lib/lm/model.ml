@@ -51,23 +51,42 @@ let eof (t : t) : int = Bpe.eof_id t.tokenizer
 let generate (t : t) (rng : Cutil.Rng.t) ~(prefix : string) ~(k : int)
     ~(max_tokens : int) ~(stop : string -> bool) : string =
   let prefix_ids = encode t prefix in
-  let history = ref (List.rev (Ngram.initial_history t.model prefix_ids)) in
-  (* history kept reversed for O(1) push *)
+  (* [Ngram.candidates] never consults more than [order - 1] trailing
+     tokens, so the generation loop keeps a bounded context window (kept
+     reversed for O(1) push) instead of the full history — re-reversing
+     an unbounded history per sampled token made long programs quadratic
+     in their own length, which the campaign profiler surfaced as the
+     bulk of the generate stage. *)
+  let ctx_len = Ngram.order t.model - 1 in
+  let rec take n = function
+    | [] -> []
+    | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+  in
+  let window =
+    ref (take ctx_len (List.rev (Ngram.initial_history t.model prefix_ids)))
+  in
   let acc = Buffer.create 256 in
   Buffer.add_string acc prefix;
+  (* seed stateful stop predicates with the prefix; its own verdict is
+     ignored, as at least one token is always sampled *)
+  let (_ : bool) = stop prefix in
   let eof_id = eof t in
   let continue_ = ref true in
   let steps = ref 0 in
   while !continue_ && !steps < max_tokens do
     incr steps;
-    match Ngram.sample t.model rng (List.rev !history) ~k with
+    match Ngram.sample t.model rng (List.rev !window) ~k with
     | None -> continue_ := false
     | Some tok when tok = eof_id -> continue_ := false
     | Some tok ->
-        (match Bpe.token_of t.tokenizer tok with
-        | Some s -> Buffer.add_string acc s
-        | None -> ());
-        history := tok :: !history;
-        if stop (Buffer.contents acc) then continue_ := false
+        let chunk =
+          match Bpe.token_of t.tokenizer tok with
+          | Some s ->
+              Buffer.add_string acc s;
+              s
+          | None -> ""
+        in
+        window := take ctx_len (tok :: !window);
+        if stop chunk then continue_ := false
   done;
   Buffer.contents acc

@@ -25,7 +25,12 @@ val decode : t -> int list -> string
 val eof : t -> int
 
 (** Sample a continuation of [prefix] with top-[k] sampling until [stop]
-    accepts the text so far, [<EOF>] is produced, or [max_tokens] is hit. *)
+    accepts, [<EOF>] is produced, or [max_tokens] is hit. [stop] is an
+    {e incremental} predicate: it is called once on the prefix (verdict
+    ignored — at least one token is always sampled) and then once per
+    appended chunk, so a stateful predicate sees the whole text exactly
+    once where a whole-string rescan per token would be quadratic. Build
+    a fresh predicate per call (e.g. the generator's [brace_stop ()]). *)
 val generate :
   t ->
   Cutil.Rng.t ->

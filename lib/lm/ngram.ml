@@ -7,10 +7,20 @@
    uses the same code at character level with a short context, reproducing
    the LSTM-vs-Transformer gap of Fig. 9. *)
 
+(* One context's continuation counts, with the count-descending sort
+   memoised: models are trained once and then sampled for the life of
+   the process, and re-sorting the cell on every sampled token was a
+   measurable slice of the campaign's generate stage. An empty [cc_sorted]
+   means dirty ([candidates] only consults non-empty cells). *)
+type cell = {
+  mutable cc_counts : (int * int) list;  (* assoc of next-token counts *)
+  mutable cc_sorted : (int * int) list;  (* memoised sorted view *)
+}
+
 type t = {
   order : int;                                  (* max context length + 1 *)
-  tables : (string, (int * int) list ref) Hashtbl.t array;
-      (* tables.(k): context of length k -> assoc of next-token counts *)
+  tables : (string, cell) Hashtbl.t array;
+      (* tables.(k): context of length k -> its continuation cell *)
   bos : int;                                    (* synthetic begin marker *)
 }
 
@@ -29,14 +39,15 @@ let bump tbl ctx next =
     match Hashtbl.find_opt tbl k with
     | Some c -> c
     | None ->
-        let c = ref [] in
+        let c = { cc_counts = []; cc_sorted = [] } in
         Hashtbl.replace tbl k c;
         c
   in
-  cell :=
-    (match List.assoc_opt next !cell with
-    | Some n -> (next, n + 1) :: List.remove_assoc next !cell
-    | None -> (next, 1) :: !cell)
+  cell.cc_counts <-
+    (match List.assoc_opt next cell.cc_counts with
+    | Some n -> (next, n + 1) :: List.remove_assoc next cell.cc_counts
+    | None -> (next, 1) :: cell.cc_counts);
+  cell.cc_sorted <- []
 
 (* Train on one token sequence (one program). *)
 let add_sequence (t : t) (seq : int list) : unit =
@@ -63,14 +74,14 @@ let candidates (t : t) (history : int list) ~(k : int) : (int * int) list =
     else begin
       let ctx = Array.to_list (Array.sub hist (n - len) len) in
       match Hashtbl.find_opt t.tables.(len) (key ctx) with
-      | Some cell when !cell <> [] ->
-          let sorted =
-            List.sort
-              (fun (t1, c1) (t2, c2) ->
-                match compare c2 c1 with 0 -> compare t1 t2 | c -> c)
-              !cell
-          in
-          List.filteri (fun i _ -> i < k) sorted
+      | Some cell when cell.cc_counts <> [] ->
+          if cell.cc_sorted = [] then
+            cell.cc_sorted <-
+              List.sort
+                (fun (t1, c1) (t2, c2) ->
+                  match compare c2 c1 with 0 -> compare t1 t2 | c -> c)
+                cell.cc_counts;
+          List.filteri (fun i _ -> i < k) cell.cc_sorted
       | _ -> back_off (len - 1)
     end
   in
@@ -85,3 +96,5 @@ let sample (t : t) (rng : Cutil.Rng.t) (history : int list) ~(k : int) : int opt
 (* Pad the history with BOS for a fresh generation. *)
 let initial_history (t : t) (prefix : int list) : int list =
   List.init (t.order - 1) (fun _ -> t.bos) @ prefix
+
+let order (t : t) : int = t.order

@@ -20,3 +20,8 @@ val sample : t -> Cutil.Rng.t -> int list -> k:int -> int option
 
 (** Pad a prompt with begin markers for a fresh generation. *)
 val initial_history : t -> int list -> int list
+
+(** The model's order: {!candidates} never consults more than
+    [order t - 1] trailing tokens of history, so generation loops may
+    keep a context window of that length instead of the full history. *)
+val order : t -> int

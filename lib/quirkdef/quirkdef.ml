@@ -251,11 +251,85 @@ let of_string s =
 
 let count = List.length all
 
-(* Stable catalogue position, used to pack quirk sets into machine words. *)
-let index : t -> int =
-  let tbl = Hashtbl.create (2 * count) in
-  List.iteri (fun i q -> Hashtbl.replace tbl q i) all;
-  fun q -> Hashtbl.find tbl q
+(* Stable catalogue position, used to pack quirk sets into machine words.
+   An explicit match (not a Hashtbl over [all]): the interpreter consults
+   this at every quirk checkpoint on the execution hot path, and a constant
+   constructor compiles to its tag, so the whole function is one jump
+   table. [test_properties] asserts the match agrees with the position in
+   [all] for every constructor. *)
+let index : t -> int = function
+  | Q_substr_undefined_length_empty -> 0
+  | Q_defineproperty_array_length_no_typeerror -> 1
+  | Q_array_reverse_fill_quadratic -> 2
+  | Q_uint32array_fractional_length_typeerror -> 3
+  | Q_tofixed_no_rangeerror -> 4
+  | Q_typedarray_set_string_typeerror -> 5
+  | Q_bool_prop_appends_to_array -> 6
+  | Q_eval_for_missing_body_accepted -> 7
+  | Q_split_regexp_anchor_bug -> 8
+  | Q_normalize_empty_crash -> 9
+  | Q_seal_string_object_crash -> 10
+  | Q_string_big_null_no_typeerror -> 11
+  | Q_regexp_lastindex_nonwritable_silent -> 12
+  | Q_named_funcexpr_binding_mutable -> 13
+  | Q_replace_dollar_group_literal -> 14
+  | Q_replace_fn_missing_offset -> 15
+  | Q_replace_undefined_search_noop -> 16
+  | Q_replace_empty_pattern_skips -> 17
+  | Q_charat_negative_wraps -> 18
+  | Q_padstart_overlong_truncates -> 19
+  | Q_trim_missing_vt -> 20
+  | Q_repeat_negative_empty -> 21
+  | Q_string_indexof_fromindex_ignored -> 22
+  | Q_slice_negative_start_zero -> 23
+  | Q_startswith_position_ignored -> 24
+  | Q_lastindexof_nan_zero -> 25
+  | Q_array_sort_numeric_default -> 26
+  | Q_splice_negative_delcount_deletes -> 27
+  | Q_array_indexof_nan_found -> 28
+  | Q_array_includes_strict_nan -> 29
+  | Q_unshift_returns_undefined -> 30
+  | Q_join_prints_null_undefined -> 31
+  | Q_reduce_empty_returns_undefined -> 32
+  | Q_flat_ignores_depth -> 33
+  | Q_array_fill_skips_last -> 34
+  | Q_tostring_radix_no_rangeerror -> 35
+  | Q_toprecision_zero_accepted -> 36
+  | Q_parseint_no_hex_prefix -> 37
+  | Q_parsefloat_trailing_nan -> 38
+  | Q_number_isinteger_coerces -> 39
+  | Q_freeze_array_elements_writable -> 40
+  | Q_keys_includes_nonenumerable -> 41
+  | Q_getownpropertynames_sorted -> 42
+  | Q_defineproperty_defaults_writable -> 43
+  | Q_assign_skips_numeric_keys -> 44
+  | Q_hasownproperty_walks_proto -> 45
+  | Q_delete_nonconfigurable_succeeds -> 46
+  | Q_json_stringify_undefined_string -> 47
+  | Q_json_parse_trailing_comma -> 48
+  | Q_json_stringify_nan_literal -> 49
+  | Q_regex_dot_matches_newline -> 50
+  | Q_regex_ignorecase_broken -> 51
+  | Q_regex_class_negation_broken -> 52
+  | Q_typedarray_oob_write_crash -> 53
+  | Q_uint8clamped_wraps -> 54
+  | Q_dataview_no_bounds_check -> 55
+  | Q_typedarray_fill_no_coerce -> 56
+  | Q_eval_expr_returns_undefined -> 57
+  | Q_eval_string_result_quoted -> 58
+  | Q_codegen_neg_zero_positive -> 59
+  | Q_codegen_mod_sign_wrong -> 60
+  | Q_codegen_shift_count_unmasked -> 61
+  | Q_codegen_ushr_signed -> 62
+  | Q_codegen_string_relational_numeric -> 63
+  | Q_codegen_null_eq_undefined_false -> 64
+  | Q_codegen_plus_bool_concat -> 65
+  | Q_opt_int_add_overflow_wraps -> 66
+  | Q_opt_loop_strconcat_drops -> 67
+  | Q_strict_undeclared_assign_silent -> 68
+  | Q_strict_this_is_global -> 69
+  | Q_strict_delete_unqualified_accepted -> 70
+  | Q_strict_dup_params_accepted -> 71
 
 module Set = Stdlib.Set.Make (struct
   type nonrec t = t
@@ -276,12 +350,35 @@ module Bits = struct
     let i = index q in
     if i < 62 then (lo lor (1 lsl i), hi) else (lo, hi lor (1 lsl (i - 62)))
 
+  let singleton q : t = add q empty
+
+  let remove q ((lo, hi) : t) : t =
+    let i = index q in
+    if i < 62 then (lo land lnot (1 lsl i), hi)
+    else (lo, hi land lnot (1 lsl (i - 62)))
+
   let of_set (s : Set.t) : t = Set.fold add s empty
   let inter ((a, b) : t) ((c, d) : t) : t = (a land c, b land d)
+  let union ((a, b) : t) ((c, d) : t) : t = (a lor c, b lor d)
+  let diff ((a, b) : t) ((c, d) : t) : t = (a land lnot c, b land lnot d)
   let equal ((a, b) : t) ((c, d) : t) = a = c && b = d
   let is_empty ((a, b) : t) = a = 0 && b = 0
+
+  (* a ⊆ b *)
+  let subset ((a, b) : t) ((c, d) : t) = a land lnot c = 0 && b land lnot d = 0
 
   let mem q ((lo, hi) : t) =
     let i = index q in
     if i < 62 then lo land (1 lsl i) <> 0 else hi land (1 lsl (i - 62)) <> 0
+
+  (* Rebuild the balanced-tree form — the report-boundary conversion. One
+     pass over the catalogue, so cost is O(|catalogue|) regardless of how
+     many executions shared the packed form. *)
+  let to_set (b : t) : Set.t =
+    List.fold_left (fun acc q -> if mem q b then Set.add q acc else acc)
+      Set.empty all
+
+  let cardinal ((lo, hi) : t) =
+    let rec pop n x = if x = 0 then n else pop (n + 1) (x land (x - 1)) in
+    pop 0 lo + pop 0 hi
 end

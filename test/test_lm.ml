@@ -39,7 +39,7 @@ let ngram_determinism () =
     let m = Lazy.force Lm.Model.comfort in
     let rng = Cutil.Rng.create seed in
     Lm.Model.generate m rng ~prefix:"var a = function(x) {" ~k:10 ~max_tokens:300
-      ~stop:Comfort.Generator.braces_matched
+      ~stop:(Comfort.Generator.brace_stop ())
   in
   Alcotest.(check string) "same seed, same program" (gen 5) (gen 5);
   (* different seeds should usually differ (not a hard guarantee; check a

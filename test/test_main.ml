@@ -27,6 +27,7 @@ let () =
       ("properties", Test_properties.suite);
       ("feedback", Test_feedback.suite);
       ("supervisor", Test_supervisor.suite);
+      ("profiler", Test_profiler.suite);
       ("coercions", Test_coercion.suite);
       ("ground truth", Test_groundtruth.suite);
     ]

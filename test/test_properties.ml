@@ -91,6 +91,55 @@ let printer_preserves_behavior =
           Comfort.Difftest.signature_of_result r1
           = Comfort.Difftest.signature_of_result r2)
 
+(* --- Quirk.Bits ↔ Quirk.Set equivalence ---
+   The execution-sharing layer does its per-testbed set algebra on the
+   packed Bits form; these properties pin it to the balanced-tree Set
+   semantics over the whole catalogue. *)
+
+let gen_quirks =
+  QCheck2.Gen.(
+    map Jsinterp.Quirk.Set.of_list
+      (list_size (0 -- 72) (oneofl Jsinterp.Quirk.all)))
+
+let bits_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"Bits.of_set/to_set roundtrip" gen_quirks
+    (fun s ->
+      Jsinterp.Quirk.Set.equal
+        (Jsinterp.Quirk.Bits.to_set (Jsinterp.Quirk.Bits.of_set s))
+        s)
+
+let bits_mem_agrees =
+  QCheck2.Test.make ~count:200 ~name:"Bits.mem agrees with Set.mem" gen_quirks
+    (fun s ->
+      let b = Jsinterp.Quirk.Bits.of_set s in
+      List.for_all
+        (fun q -> Jsinterp.Quirk.Bits.mem q b = Jsinterp.Quirk.Set.mem q s)
+        Jsinterp.Quirk.all)
+
+let bits_algebra_agrees =
+  QCheck2.Test.make ~count:200 ~name:"Bits algebra commutes with Set algebra"
+    QCheck2.Gen.(pair gen_quirks gen_quirks)
+    (fun (s1, s2) ->
+      let module Q = Jsinterp.Quirk in
+      let b1 = Q.Bits.of_set s1 and b2 = Q.Bits.of_set s2 in
+      Q.Set.equal (Q.Bits.to_set (Q.Bits.union b1 b2)) (Q.Set.union s1 s2)
+      && Q.Set.equal (Q.Bits.to_set (Q.Bits.inter b1 b2)) (Q.Set.inter s1 s2)
+      && Q.Set.equal (Q.Bits.to_set (Q.Bits.diff b1 b2)) (Q.Set.diff s1 s2)
+      && Q.Bits.subset b1 b2 = Q.Set.subset s1 s2
+      && Q.Bits.equal b1 b2 = Q.Set.equal s1 s2
+      && Q.Bits.is_empty b1 = Q.Set.is_empty s1
+      && Q.Bits.cardinal b1 = Q.Set.cardinal s1)
+
+let bits_point_ops_agree =
+  QCheck2.Test.make ~count:200 ~name:"Bits.add/remove/singleton agree with Set"
+    QCheck2.Gen.(pair gen_quirks (oneofl Jsinterp.Quirk.all))
+    (fun (s, q) ->
+      let module Q = Jsinterp.Quirk in
+      let b = Q.Bits.of_set s in
+      Q.Set.equal (Q.Bits.to_set (Q.Bits.add q b)) (Q.Set.add q s)
+      && Q.Set.equal (Q.Bits.to_set (Q.Bits.remove q b)) (Q.Set.remove q s)
+      && Q.Set.equal (Q.Bits.to_set (Q.Bits.singleton q)) (Q.Set.singleton q))
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -101,4 +150,8 @@ let suite =
       fuel_monotone;
       reducer_output_still_valid;
       printer_preserves_behavior;
+      bits_roundtrip;
+      bits_mem_agrees;
+      bits_algebra_agrees;
+      bits_point_ops_agree;
     ]

@@ -31,9 +31,11 @@ let fixpoint_splits_on_exposed_checkpoint () =
      the sort checkpoint is unreachable *)
   let rep = Run.run_exec ~quirks:Quirk.Set.empty steering_src in
   Alcotest.(check bool) "charAt checkpoint touched" true
-    (Quirk.Set.mem Quirk.Q_charat_negative_wraps rep.Run.ex_touched);
+    (Quirk.Set.mem Quirk.Q_charat_negative_wraps
+       (Lazy.force rep.Run.ex_touched));
   Alcotest.(check bool) "sort checkpoint not reached" false
-    (Quirk.Set.mem Quirk.Q_array_sort_numeric_default rep.Run.ex_touched);
+    (Quirk.Set.mem Quirk.Q_array_sort_numeric_default
+       (Lazy.force rep.Run.ex_touched));
   (* a config where the charAt quirk is present differs on a touched
      checkpoint: it must split into its own class *)
   Alcotest.(check bool) "charAt config splits" false
@@ -52,7 +54,8 @@ let fixpoint_splits_on_exposed_checkpoint () =
       steering_src
   in
   Alcotest.(check bool) "firing charAt exposes the sort checkpoint" true
-    (Quirk.Set.mem Quirk.Q_array_sort_numeric_default rep2.Run.ex_touched);
+    (Quirk.Set.mem Quirk.Q_array_sort_numeric_default
+       (Lazy.force rep2.Run.ex_touched));
   (* ...so a config that also carries the sort quirk splits again, while
      one differing only in a still-unreached quirk shares *)
   Alcotest.(check bool) "charAt+sort splits from charAt" false
