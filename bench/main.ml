@@ -571,6 +571,39 @@ let campaign_bench () =
     if env > 1 then env else min 4 cores
   in
   let multi = cores > 1 && njobs > 1 in
+  (* process-isolated workers row: measured once, up front — it must
+     run before any jobs>1 row spawns a domain, which permanently
+     disables fork — and outside the best-of-3 grid. The jobs=1
+     profiler and allocation gates do not apply to it: the sweep
+     executes in forked children, so driver-side stage probes and
+     Gc.allocated_bytes see only the coordinator, and wall clock on a
+     shared container is dominated by fork/IPC noise anyway. Its gates
+     (identity, folded execution count) are checked against the grid's
+     rows below. Skipped (and flagged in the JSON) where fork is
+     unavailable. *)
+  let wn = 2 in
+  let workers_row =
+    if not (Comfort.Coordinator.available ()) then None
+    else begin
+      let fz = Comfort.Campaign.comfort_fuzzer ~seed:11 () in
+      let e0 = Jsinterp.Run.run_count () in
+      let k0 = Comfort.Coordinator.stat_kills () in
+      let r0 = Comfort.Coordinator.stat_respawns () in
+      let t0 = Unix.gettimeofday () in
+      let res =
+        Comfort.Campaign.run ~testbeds ~budget ~jobs:1 ~share:true
+          ~resolve:true ~reach:true ~specialize:true ~workers:wn fz
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      let execs = Jsinterp.Run.run_count () - e0 in
+      Some
+        ( res,
+          dt,
+          execs,
+          Comfort.Coordinator.stat_kills () - k0,
+          Comfort.Coordinator.stat_respawns () - r0 )
+    end
+  in
   Jsinterp.Run.Stage.enabled := true;
   let measure ~jobs ~share ~resolve ~reach ~specialize =
     let fz = Comfort.Campaign.comfort_fuzzer ~seed:11 () in
@@ -779,6 +812,46 @@ let campaign_bench () =
       spec_alloc_per_case alloc_budget_per_case;
     exit 1
   end;
+  (* gates on the process-isolated row measured up front (before the
+     grid could spawn domains): identity with the in-process report and
+     an exact folded execution count — the determinism contract of
+     DESIGN.md §14 *)
+  let workers_same =
+    match workers_row with
+    | None -> true
+    | Some (r, _, _, _, _) ->
+        List.map key r.Comfort.Campaign.cp_discoveries
+        = List.map key base.Comfort.Campaign.cp_discoveries
+        && r.Comfort.Campaign.cp_timeline = base.Comfort.Campaign.cp_timeline
+        && r.Comfort.Campaign.cp_filtered_repeats
+           = base.Comfort.Campaign.cp_filtered_repeats
+  in
+  let workers_execs_ok =
+    match workers_row with
+    | None -> true
+    | Some (_, _, execs, _, _) -> execs = shared_execs
+  in
+  (match workers_row with
+  | None ->
+      Printf.printf
+        "process isolation: fork unavailable on this host; workers row \
+         skipped\n"
+  | Some (_, dt, _, kills, respawns) ->
+      Printf.printf
+        "process isolation: %d workers, %.2fs wall (%.2fx vs in-process \
+         production row), identical results: %b, folded executions match \
+         share row: %b, %d respawns (%d hard-kills)\n"
+        wn dt (spec_dt /. dt) workers_same workers_execs_ok respawns kills);
+  if not workers_same then begin
+    Printf.eprintf
+      "FAIL: the process-isolated row disagrees with the in-process report\n";
+    exit 1
+  end;
+  if not workers_execs_ok then begin
+    Printf.eprintf
+      "FAIL: the process-isolated row's folded execution count diverged\n";
+    exit 1
+  end;
   let json_stage_obj rows get =
     String.concat ", "
       (List.map
@@ -840,7 +913,14 @@ let campaign_bench () =
   "max_unaccounted_pct": %.1f,
   "alloc_budget_bytes_per_case": %.0f,
   "alloc_bytes_per_case_production": %.0f,
-  "identical_results": %b
+  "identical_results": %b,
+  "workers_row_skipped": %b,
+  "workers": %d,
+  "workers_wall_s": %.3f,
+  "workers_identical_results": %b,
+  "workers_executions_match_share": %b,
+  "workers_respawns": %d,
+  "workers_kills": %d
 }
 |}
       budget (List.length testbeds) cores (not multi)
@@ -863,6 +943,12 @@ let campaign_bench () =
       alloc_budget_per_case
       spec_alloc_per_case
       same
+      (workers_row = None)
+      wn
+      (match workers_row with Some (_, dt, _, _, _) -> dt | None -> 0.0)
+      workers_same workers_execs_ok
+      (match workers_row with Some (_, _, _, _, r) -> r | None -> 0)
+      (match workers_row with Some (_, _, _, k, _) -> k | None -> 0)
   in
   let oc = open_out "BENCH_campaign.json" in
   output_string oc json;

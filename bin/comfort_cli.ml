@@ -37,6 +37,24 @@ let jobs_arg =
 
 let resolve_jobs n = if n <= 0 then Comfort.Executor.default_jobs () else n
 
+(* [--workers 0] (the default) defers to COMFORT_WORKERS, else in-process.
+   Campaign results are byte-identical at any worker count. *)
+let workers_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Process-isolated campaign workers: fork $(docv) worker \
+           processes and run every per-case sweep in one of them, so an \
+           execution that segfaults, hangs or is hard-killed (the \
+           $(b,worker_kill) fault class) costs one worker, never the \
+           campaign. 0 reads $(b,COMFORT_WORKERS) from the environment \
+           (default: in-process). Results are identical at any worker \
+           count.")
+
+let resolve_workers n =
+  if n <= 0 then Comfort.Coordinator.default_workers () else n
+
 (* [--no-share] disables execution sharing for one invocation; without it
    the default comes from COMFORT_NO_SHARE (sharing on if unset). *)
 let no_share_arg =
@@ -247,10 +265,11 @@ let difftest_cmd =
 
 (* --- fuzz --- *)
 
-let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
-    no_specialize audit_share audit_reach audit_specialize faults checkpoint
-    checkpoint_every resume halt_after profile =
+let fuzz budget fuzzer_name seed feedback jobs workers no_share no_resolve
+    no_reach no_specialize audit_share audit_reach audit_specialize faults
+    checkpoint checkpoint_every resume halt_after profile =
   let jobs = resolve_jobs jobs in
+  let workers = resolve_workers workers in
   let share = resolve_share no_share in
   let resolve = resolve_resolve no_resolve in
   let reach = resolve_reach no_reach in
@@ -277,13 +296,17 @@ let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
   if
     feedback
     && (Option.is_some plan || Option.is_some resume
-       || Option.is_some checkpoint || Option.is_some halt_after)
+       || Option.is_some checkpoint || Option.is_some halt_after
+       || workers > 0)
   then begin
     Printf.eprintf
       "--feedback cannot be combined with --faults/--checkpoint/--resume/\
-       --halt-after\n";
+       --halt-after/--workers\n";
     exit 2
   end;
+  let respawns0 = Comfort.Coordinator.stat_respawns () in
+  let kills0 = Comfort.Coordinator.stat_kills () in
+  let hangs0 = Comfort.Coordinator.stat_hangs () in
   if profile then begin
     Jsinterp.Run.Stage.enabled := true;
     Jsinterp.Run.Stage.reset ()
@@ -300,7 +323,8 @@ let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
           | Ok st ->
               Printf.printf "resuming %s\n"
                 (Comfort.Campaign.Checkpoint.describe st);
-              Comfort.Campaign.resume ~jobs ?checkpoint ?halt_after st)
+              Comfort.Campaign.resume ~jobs ~workers ?checkpoint
+                ?halt_after st)
       | None -> (
           (* constructing the fuzzer forces the spec database and the LM
              model — real generation cost, attributed to the generate
@@ -324,16 +348,42 @@ let fuzz budget fuzzer_name seed feedback jobs no_share no_resolve no_reach
               ~budget_per_round:(max 1 (budget / 4))
               ~jobs ?share ?resolve ?reach ?specialize t
           else
-            Comfort.Campaign.run ~budget ~jobs ?share ?resolve ?reach
-              ?specialize ~audit_share ~audit_reach ~audit_specialize
+            Comfort.Campaign.run ~budget ~jobs ~workers ?share ?resolve
+              ?reach ?specialize ~audit_share ~audit_reach ~audit_specialize
               ?faults:plan ?checkpoint ?halt_after fz)
-    with Comfort.Campaign.Halted { halted_at; halted_checkpoint } ->
-      Printf.printf "campaign halted after %d cases%s\n" halted_at
-        (match halted_checkpoint with
-        | Some p -> Printf.sprintf "; resume with --resume %s" p
-        | None -> " (no --checkpoint configured; progress discarded)");
-      exit 0
+    with
+    | Comfort.Campaign.Halted { halted_at; halted_checkpoint } ->
+        Printf.printf "campaign halted after %d cases%s\n" halted_at
+          (match halted_checkpoint with
+          | Some p -> Printf.sprintf "; resume with --resume %s" p
+          | None -> " (no --checkpoint configured; progress discarded)");
+        exit 0
+    | Comfort.Campaign.Interrupted { int_signal; int_at; int_checkpoint } ->
+        (* operator kill: the worker pool is already torn down and a
+           final checkpoint written; 130 is the conventional
+           killed-by-signal exit *)
+        Printf.eprintf "campaign interrupted by %s after %d cases%s\n"
+          int_signal int_at
+          (match int_checkpoint with
+          | Some p -> Printf.sprintf "; resume with --resume %s" p
+          | None -> " (no --checkpoint configured; progress discarded)");
+        exit 130
   in
+  (* robustness telemetry goes to stderr so stdout stays byte-comparable
+     across worker counts (the CI chaos jobs diff it) *)
+  if workers > 0 then begin
+    let r = Comfort.Coordinator.stat_respawns () - respawns0 in
+    let k = Comfort.Coordinator.stat_kills () - kills0 in
+    let h = Comfort.Coordinator.stat_hangs () - hangs0 in
+    if Comfort.Coordinator.available () then
+      Printf.eprintf
+        "process isolation: %d workers, %d respawns (%d hard-kills, %d \
+         watchdog reaps)\n"
+        workers r k h
+    else
+      Printf.eprintf
+        "process isolation unavailable (no fork); ran in-process\n"
+  end;
   let wall_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
   Printf.printf "fuzzer: %s\ncases: %d\nunique bugs: %d\nrepeats filtered: %d\n"
     res.Comfort.Campaign.cp_fuzzer res.Comfort.Campaign.cp_cases_run
@@ -490,9 +540,10 @@ let fuzz_cmd =
   in
   Cmd.v (Cmd.info "fuzz" ~doc:"Run a fuzzing campaign against the simulated engines")
     Term.(const fuzz $ budget $ fuzzer $ seed $ feedback $ jobs_arg
-          $ no_share_arg $ no_resolve_arg $ no_reach_arg $ no_specialize_arg
-          $ audit_share $ audit_reach $ audit_specialize $ faults
-          $ checkpoint $ checkpoint_every $ resume $ halt_after $ profile)
+          $ workers_arg $ no_share_arg $ no_resolve_arg $ no_reach_arg
+          $ no_specialize_arg $ audit_share $ audit_reach $ audit_specialize
+          $ faults $ checkpoint $ checkpoint_every $ resume $ halt_after
+          $ profile)
 
 (* --- analyze --- *)
 
@@ -627,10 +678,12 @@ let analyze_cmd =
 
 (* --- export --- *)
 
-let export budget seed dir jobs no_share no_resolve no_reach no_specialize =
+let export budget seed dir jobs workers no_share no_resolve no_reach
+    no_specialize =
   let fz = Comfort.Campaign.comfort_fuzzer ~seed () in
   let res =
     Comfort.Campaign.run ~budget ~jobs:(resolve_jobs jobs)
+      ~workers:(resolve_workers workers)
       ?share:(resolve_share no_share)
       ?resolve:(resolve_resolve no_resolve)
       ?reach:(resolve_reach no_reach)
@@ -666,8 +719,8 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Fuzz, then render discoveries as Test262-style conformance tests")
-    Term.(const export $ budget $ seed $ dir $ jobs_arg $ no_share_arg
-          $ no_resolve_arg $ no_reach_arg $ no_specialize_arg)
+    Term.(const export $ budget $ seed $ dir $ jobs_arg $ workers_arg
+          $ no_share_arg $ no_resolve_arg $ no_reach_arg $ no_specialize_arg)
 
 (* --- reduce --- *)
 
@@ -768,12 +821,45 @@ let engines_cmd =
   Cmd.v (Cmd.info "engines" ~doc:"List the simulated engine registry")
     Term.(const engines_list $ const ())
 
+(* A downstream pipe closing early (e.g. `comfort export | head`) must be
+   a clean exit, not a SIGPIPE death or an uncaught Unix_error: ignore the
+   signal so writes fail with EPIPE instead, and treat that (in either its
+   Unix or its out_channel clothing) as "the consumer has seen enough".
+   Stdlib's at_exit flush ignores write errors, so exit itself is safe. *)
+let broken_pipe = function
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | Sys_error msg ->
+      let needle = "roken pipe" in
+      let lm = String.length msg and ln = String.length needle in
+      let rec scan i = i + ln <= lm && (String.sub msg i ln = needle || scan (i + 1)) in
+      scan 0
+  | _ -> false
+
 let () =
+  if Sys.unix then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let doc = "Comfort: conformance fuzzing for (simulated) JavaScript engines" in
   exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "comfort" ~doc)
-          [
-            generate_cmd; mutate_cmd; run_cmd; difftest_cmd; fuzz_cmd;
-            analyze_cmd; export_cmd; reduce_cmd; spec_cmd; engines_cmd;
-          ]))
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group (Cmd.info "comfort" ~doc)
+            [
+              generate_cmd; mutate_cmd; run_cmd; difftest_cmd; fuzz_cmd;
+              analyze_cmd; export_cmd; reduce_cmd; spec_cmd; engines_cmd;
+            ])
+     with
+    | e when broken_pipe e ->
+        (* Stdlib's at_exit flush ignores errors but Format's does not:
+           point the standard formatters at the void so exiting cannot
+           re-raise from their flush *)
+        List.iter
+          (fun fmt ->
+            Format.pp_set_formatter_output_functions fmt
+              (fun _ _ _ -> ())
+              (fun () -> ()))
+          [ Format.std_formatter; Format.err_formatter ];
+        0
+    | e ->
+        (* what Cmd.eval ~catch:true would have done *)
+        Printf.eprintf "comfort: internal error, uncaught exception:\n%s\n"
+          (Printexc.to_string e);
+        124)

@@ -74,6 +74,13 @@ type result = {
 
 exception Halted of { halted_at : int; halted_checkpoint : string option }
 
+exception
+  Interrupted of {
+    int_signal : string;
+    int_at : int;
+    int_checkpoint : string option;
+  }
+
 (* --- the Comfort fuzzer: LM generation + Algorithm 1 mutants --- *)
 
 let comfort_fuzzer ?(seed = 7) ?(with_datagen = true) () : fuzzer =
@@ -319,7 +326,12 @@ module Checkpoint = struct
       (List.length st.ck_discoveries)
 
   (* Write-to-temp plus rename keeps checkpointing atomic: a campaign
-     killed mid-save leaves the previous checkpoint intact. *)
+     killed mid-save leaves the previous checkpoint intact. The tmp file
+     is fsynced before the rename and the directory after it, so a
+     host crash cannot publish a torn checkpoint under [path] or lose
+     the rename itself; without the first fsync the rename could land
+     before the data. (A torn tmp file from a SIGKILL mid-write is
+     unreachable by [load] either way — it only ever reads [path].) *)
   let save (path : string) (st : state) : unit =
     let tmp = path ^ ".tmp" in
     let oc = open_out_bin tmp in
@@ -327,8 +339,17 @@ module Checkpoint = struct
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
         Printf.fprintf oc "%s v%d\n" magic version;
-        Marshal.to_channel oc st []);
-    Sys.rename tmp path
+        Marshal.to_channel oc st [];
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc));
+    Sys.rename tmp path;
+    (* directory fsync is best-effort: some filesystems refuse it *)
+    try
+      let dfd = Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync dfd with Unix.Unix_error _ -> ())
+    with Unix.Unix_error _ -> ()
 
   let load (path : string) : (state, string) Stdlib.result =
     match open_in_bin path with
@@ -400,6 +421,18 @@ type work =
   | W_swept of Difftest.sweep list
   | W_failed of exn  (* the worker itself blew up: case failed-and-skipped *)
 
+(* [work], flattened for the pipe to a forked worker: exceptions are not
+   Marshal-safe, so worker failures travel as strings and the three audit
+   divergences — which must poison the whole run, not one case — as a
+   tagged constructor the driver re-raises. *)
+type audit_kind = A_share | A_reach | A_specialize
+
+type wire =
+  | Wire_judged of Difftest.case_report list
+  | Wire_swept of Difftest.sweep list
+  | Wire_failed of string
+  | Wire_audit of audit_kind * string
+
 let snapshot (d : st) : Checkpoint.state =
   {
     Checkpoint.ck_fuzzer = d.d_fuzzer;
@@ -459,7 +492,8 @@ let final (d : st) : result =
     cp_aborted = d.d_aborted;
   }
 
-let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
+let drive ~jobs ~workers ?worker_limits ?checkpoint ?halt_after (d : st) :
+    result =
   (match checkpoint with
   | Some (_, every) when every <= 0 ->
       invalid_arg "Campaign: checkpoint interval must be positive"
@@ -715,19 +749,84 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
       (fun k _ -> k >= d.d_consumed)
       (List.mapi (fun i tc -> (i, tc)) d.d_cases)
   in
-  Executor.with_pool ~jobs (fun pool ->
-      Executor.run_ordered pool
-        ~on_exn:(fun _ _ e ->
-          (* an audit divergence is a soundness bug, never a fault to
-             absorb — let it poison the run loudly *)
-          match e with
-          | Difftest.Share_mismatch _ | Difftest.Reach_unsound _
-          | Difftest.Specialize_mismatch _ ->
-              raise e
-          | e -> W_failed e)
-        ~stop:(fun () -> d.d_stop)
-        worker items
-        ~consume:(fun _ (i, tc) w -> consume i tc w));
+  let use_workers = workers > 0 && Coordinator.available () in
+  if not use_workers then
+    Executor.with_pool ~jobs (fun pool ->
+        Executor.run_ordered pool
+          ~on_exn:(fun _ _ e ->
+            (* an audit divergence is a soundness bug, never a fault to
+               absorb — let it poison the run loudly *)
+            match e with
+            | Difftest.Share_mismatch _ | Difftest.Reach_unsound _
+            | Difftest.Specialize_mismatch _ ->
+                raise e
+            | e -> W_failed e)
+          ~stop:(fun () -> d.d_stop)
+          worker items
+          ~consume:(fun _ (i, tc) w -> consume i tc w))
+  else begin
+    (* Process-isolated fan-out (DESIGN.md §14): same worker function and
+       same in-submission-order consume, so the report is byte-identical
+       to the in-process pool — but a segfaulting, hung or hard-killed
+       execution now costs one child process, not the campaign. Runs in
+       the child, so results cross a pipe as [wire]. *)
+    let worker_wire (it : int * Testcase.t) : wire =
+      match worker it with
+      | W_judged rs -> Wire_judged rs
+      | W_swept sws -> Wire_swept sws
+      | W_failed e -> Wire_failed (Printexc.to_string e)
+      | exception Difftest.Share_mismatch m -> Wire_audit (A_share, m)
+      | exception Difftest.Reach_unsound m -> Wire_audit (A_reach, m)
+      | exception Difftest.Specialize_mismatch m ->
+          Wire_audit (A_specialize, m)
+    in
+    (* SIGINT/SIGTERM land between consumes: finish the case in hand,
+       write a final checkpoint, and surface [Interrupted] so the
+       operator kill is always resumable. Installed only around the
+       multi-process phase; the previous behaviour is restored even if
+       the run raises. *)
+    let interrupted = ref None in
+    let note_signal name = Sys.Signal_handle (fun _ -> interrupted := Some name) in
+    let prev_int = Sys.signal Sys.sigint (note_signal "SIGINT") in
+    let prev_term = Sys.signal Sys.sigterm (note_signal "SIGTERM") in
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.set_signal Sys.sigint prev_int;
+        Sys.set_signal Sys.sigterm prev_term)
+      (fun () ->
+        try
+          Coordinator.with_pool ~workers ?limits:worker_limits
+            ~worker:worker_wire (fun pool ->
+              Coordinator.run_ordered pool
+                ~on_task_fail:(fun _ _ msg -> Wire_failed msg)
+                ~stop:(fun () -> d.d_stop || !interrupted <> None)
+                items
+                ~consume:(fun _ (i, tc) w ->
+                  let work =
+                    match w with
+                    | Wire_judged rs -> W_judged rs
+                    | Wire_swept sws -> W_swept sws
+                    | Wire_failed msg ->
+                        W_failed (Failure ("worker: " ^ msg))
+                    | Wire_audit (A_share, m) ->
+                        raise (Difftest.Share_mismatch m)
+                    | Wire_audit (A_reach, m) ->
+                        raise (Difftest.Reach_unsound m)
+                    | Wire_audit (A_specialize, m) ->
+                        raise (Difftest.Specialize_mismatch m)
+                  in
+                  consume i tc work))
+        with Coordinator.Exhausted msg ->
+          (* PR 5 pool-exhaustion semantics: partial report, marked
+             aborted, non-zero CLI exit — never a crash *)
+          if d.d_aborted = None then
+            d.d_aborted <- Some ("worker pool exhausted: " ^ msg));
+    match !interrupted with
+    | Some name ->
+        let ck = save_ck () in
+        raise (Interrupted { int_signal = name; int_at = d.d_consumed; int_checkpoint = ck })
+    | None -> ()
+  end;
   sync_seeded ();
   (* final checkpoint: resuming a finished campaign is a cheap no-op that
      reproduces its result *)
@@ -737,9 +836,11 @@ let drive ~jobs ?checkpoint ?halt_after (d : st) : result =
 
 let run ?(testbeds = default_testbeds ()) ?(budget = 200)
     ?(fuel = Difftest.campaign_fuel) ?(reduce = false) ?(screen = true)
-    ?(jobs = Executor.default_jobs ()) ?share ?resolve ?reach ?specialize
-    ?(audit_share = 0) ?(audit_reach = 0) ?(audit_specialize = 0) ?faults
-    ?policy ?checkpoint ?halt_after (fz : fuzzer) : result =
+    ?(jobs = Executor.default_jobs ())
+    ?(workers = Coordinator.default_workers ()) ?worker_limits ?share
+    ?resolve ?reach ?specialize ?(audit_share = 0) ?(audit_reach = 0)
+    ?(audit_specialize = 0) ?faults ?policy ?checkpoint ?halt_after
+    (fz : fuzzer) : result =
   let share =
     match share with Some s -> s | None -> Difftest.share_by_default ()
   in
@@ -851,10 +952,11 @@ let run ?(testbeds = default_testbeds ()) ?(budget = 200)
       d_stop = false;
     }
   in
-  drive ~jobs ?checkpoint ?halt_after d
+  drive ~jobs ~workers ?worker_limits ?checkpoint ?halt_after d
 
-let resume ?(jobs = Executor.default_jobs ()) ?checkpoint ?halt_after
-    (ck : Checkpoint.state) : result =
+let resume ?(jobs = Executor.default_jobs ())
+    ?(workers = Coordinator.default_workers ()) ?worker_limits ?checkpoint
+    ?halt_after (ck : Checkpoint.state) : result =
   let testbeds =
     List.map
       (fun id ->
@@ -912,4 +1014,4 @@ let resume ?(jobs = Executor.default_jobs ()) ?checkpoint ?halt_after
       d_stop = false;
     }
   in
-  drive ~jobs ?checkpoint ?halt_after d
+  drive ~jobs ~workers ?worker_limits ?checkpoint ?halt_after d

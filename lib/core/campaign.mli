@@ -80,6 +80,18 @@ type result = {
     a checkpoint sink was configured. *)
 exception Halted of { halted_at : int; halted_checkpoint : string option }
 
+(** Raised by a [workers > 0] campaign when the operator SIGINT/SIGTERMs
+    the driver: the case in hand is finished, a final checkpoint is
+    written (when a checkpoint sink is configured), the worker pool is
+    torn down, and this surfaces with the resume path. The CLI converts
+    it into exit code 130. *)
+exception
+  Interrupted of {
+    int_signal : string;       (** ["SIGINT"] or ["SIGTERM"] *)
+    int_at : int;              (** cases consumed before stopping *)
+    int_checkpoint : string option;  (** where the final checkpoint went *)
+  }
+
 (** The Comfort fuzzer: LM program generation plus Algorithm 1 mutants.
     [with_datagen:false] keeps driver synthesis but strips all spec
     boundary values (the guidance ablation). *)
@@ -180,7 +192,20 @@ end
     @param halt_after deterministically halt (raising {!Halted}) once this
                      many cases are consumed — the kill-simulation hook;
                      a halt writes a final checkpoint first when a sink is
-                     configured. No effect when >= the drawn case count *)
+                     configured. No effect when >= the drawn case count
+    @param workers   when positive (default [COMFORT_WORKERS], else 0)
+                     and {!Coordinator.available}, run every per-case
+                     sweep in one of this many forked worker processes
+                     instead of the in-process executor: a segfault,
+                     runaway or hard-killed execution costs one worker,
+                     never the campaign, and reports stay byte-identical
+                     at any worker count (DESIGN.md §14). Otherwise
+                     degrades to the in-process pool. [jobs] only
+                     affects driver-side diagnostics in this mode
+    @param worker_limits watchdog/respawn budgets for the worker pool;
+                     budget exhaustion aborts with a partial report
+                     ({!result.cp_aborted}), mirroring testbed-pool
+                     exhaustion *)
 val run :
   ?testbeds:Engines.Engine.testbed list ->
   ?budget:int ->
@@ -188,6 +213,8 @@ val run :
   ?reduce:bool ->
   ?screen:bool ->
   ?jobs:int ->
+  ?workers:int ->
+  ?worker_limits:Coordinator.limits ->
   ?share:bool ->
   ?resolve:bool ->
   ?reach:bool ->
@@ -203,14 +230,18 @@ val run :
   result
 
 (** Continue a checkpointed campaign to completion. Every campaign
-    parameter except [jobs] (orthogonal to the outcome) is restored from
-    the checkpoint; the final report is byte-identical to the
-    uninterrupted run's. [checkpoint]/[halt_after] behave as in {!run},
-    so a resumed campaign can itself checkpoint and halt.
+    parameter except [jobs] and [workers] (both orthogonal to the
+    outcome) is restored from the checkpoint; the final report is
+    byte-identical to the uninterrupted run's, at any combination of
+    job/worker counts on either side of the kill.
+    [checkpoint]/[halt_after] behave as in {!run}, so a resumed campaign
+    can itself checkpoint and halt.
     @raise Invalid_argument when the checkpoint names testbeds or a fault
     plan this binary does not know. *)
 val resume :
   ?jobs:int ->
+  ?workers:int ->
+  ?worker_limits:Coordinator.limits ->
   ?checkpoint:string * int ->
   ?halt_after:int ->
   Checkpoint.state ->

@@ -1,0 +1,131 @@
+(** Fork-based process-isolated worker pool for campaigns.
+
+    The paper's campaigns drove 51 external engine builds that segfault,
+    hang and leak for infrastructure reasons; PR 5's supervisor
+    reproduced the {e policy} half (fault injection, retry, quarantine,
+    checkpoint/resume) but every execution still ran in the driver's
+    address space. This module supplies the {e mechanism} half: the
+    driver [fork]s N workers, ships case tasks over pipes ({!Ipc}
+    frames), and folds replies back in submission order — the same
+    in-order consume contract as [Executor.run_ordered] — so campaign
+    reports are byte-identical at any worker count. A worker that
+    segfaults, is hard-killed by a [worker_kill] fault draw, wedges in
+    an un-interruptible loop, or dies mid-frame costs a re-dispatch,
+    never the campaign.
+
+    Robustness layers (DESIGN.md §14):
+    - {b watchdog}: each worker arms [Unix.setitimer ITIMER_REAL] per
+      task and self-exits on SIGALRM; the driver's deadline poll
+      SIGKILLs any worker that overruns twice that budget, so even an
+      un-interruptible hang is reaped.
+    - {b heartbeat}: workers acknowledge each dispatch before starting
+      it, distinguishing "died idle" from "died executing".
+    - {b bounded recovery}: a task survives at most [li_task_deaths]
+      unexpected worker deaths before it is failed-and-skipped (the
+      driver's existing poisoned-work lane); the pool survives at most
+      [li_respawn_budget] respawns after unexpected deaths — with
+      exponential backoff — before {!Exhausted} aborts the campaign
+      with a partial report. Deliberate [worker_kill] deaths respawn
+      without charging the budget: they are self-bounding (each
+      increments the task's absorb count, which converges), so injected
+      chaos can never exhaust the allowance that guards against real
+      death storms.
+
+    Determinism: tasks must be pure (a function of the dispatched
+    payload), which campaign sweeps are; replies are consumed strictly
+    in submission order; deliberate [worker_kill] deaths re-dispatch
+    with an incremented absorb count (see [Supervisor.arm_kill_hook]) so
+    the surviving execution is exactly the in-process one; and counter
+    deltas are folded only from completed replies, so statistics also
+    match in-process runs exactly. *)
+
+(** Pool limits. *)
+type limits = {
+  li_watchdog_s : float;
+      (** per-dispatch wall-clock budget, seconds. The worker self-exits
+          at this age; the driver SIGKILLs at [2x + 0.5s] as a backstop. *)
+  li_task_deaths : int;
+      (** unexpected worker deaths (crash or watchdog reap) a single
+          task survives before it is failed-and-skipped *)
+  li_respawn_budget : int;
+      (** worker respawns after {e unexpected} deaths (crashes, watchdog
+          reaps) before {!Exhausted}; deliberate [worker_kill] respawns
+          are not charged *)
+  li_backoff_ms : int;
+      (** respawn backoff base; consecutive deaths double it (capped) *)
+}
+
+val default_limits : limits
+(** [{ li_watchdog_s = 30.0; li_task_deaths = 2; li_respawn_budget = 32;
+      li_backoff_ms = 25 }] *)
+
+exception Exhausted of string
+(** The respawn budget ran out: workers are dying faster than the pool
+    may replace them. The campaign driver converts this into an aborted
+    partial report with a non-zero exit, mirroring PR 5's
+    pool-exhaustion semantics. *)
+
+type ('a, 'b) t
+(** A pool dispatching ['a] tasks and collecting ['b] replies. *)
+
+val available : unit -> bool
+(** Can this process fork workers at all? False on non-Unix systems,
+    when COMFORT_NO_FORK is set non-empty (the CI escape hatch), and —
+    permanently — once any executor domain has ever been spawned
+    (OCaml 5 forbids [fork] from then on, even after the domains are
+    joined); callers degrade to the in-process executor. *)
+
+val default_workers : unit -> int
+(** COMFORT_WORKERS, else 0 (in-process). The [--workers] default. *)
+
+val create :
+  workers:int -> ?limits:limits -> worker:('a -> 'b) -> unit -> ('a, 'b) t
+(** Fork [workers] children, each looping over dispatched tasks with
+    [worker]. Must be called before any domains are spawned (fork and
+    domains do not mix); shared lazy state (spec database, LM) is
+    forced first so children inherit it copy-on-write. [worker] runs in
+    the child; exceptions it raises are shipped back as strings and
+    surface through [run_ordered]'s [on_task_fail]. *)
+
+val shutdown : ('a, 'b) t -> unit
+(** SIGKILL and reap every worker. Idempotent. *)
+
+val with_pool :
+  workers:int ->
+  ?limits:limits ->
+  worker:('a -> 'b) ->
+  (('a, 'b) t -> 'c) ->
+  'c
+(** [create]/[shutdown] bracket; the pool is torn down on any exit. *)
+
+val run_ordered :
+  ('a, 'b) t ->
+  ?on_task_fail:(int -> 'a -> string -> 'b) ->
+  ?stop:(unit -> bool) ->
+  'a list ->
+  consume:(int -> 'a -> 'b -> unit) ->
+  unit
+(** Dispatch every task and call [consume i task reply] strictly in
+    submission order from the calling thread — the process-isolated
+    mirror of [Executor.run_ordered]. [on_task_fail i task msg]
+    supplies the reply for a task whose worker raised, or that exceeded
+    [li_task_deaths] (absent: such a task raises [Failure msg]).
+    [stop], polled between consumes and before each new dispatch, ends
+    the run early, discarding in-flight work. May raise {!Exhausted}.
+    A pool outlives its runs; a wedged pool is recovered by
+    {!shutdown}. *)
+
+(** {2 Process-wide robustness telemetry}
+
+    Monotone counters over every pool in this process, driver-mutated
+    only. The CLI prints the deltas of a run; tests use them to assert
+    that real process deaths (not just simulated faults) occurred. *)
+
+val stat_respawns : unit -> int
+(** Workers forked to replace a dead one (any cause). *)
+
+val stat_kills : unit -> int
+(** Deliberate [worker_kill] hard-kills performed. *)
+
+val stat_hangs : unit -> int
+(** Workers reaped by the driver's watchdog deadline. *)

@@ -39,6 +39,18 @@ let default_jobs () =
 
 let jobs (t : t) = t.jobs
 
+(* OCaml 5 forbids [Unix.fork] in any process that has ever spawned a
+   domain — permanently, even after every domain is joined. The
+   coordinator consults this flag to degrade to in-process execution
+   instead of tripping the runtime's failure. *)
+let domains_spawned = Atomic.make false
+
+let domains_ever_spawned () = Atomic.get domains_spawned
+
+let spawn_domain f =
+  Atomic.set domains_spawned true;
+  Domain.spawn f
+
 let create ?(jobs = default_jobs ()) () : t =
   let jobs = max 1 jobs in
   let t =
@@ -76,7 +88,7 @@ let create ?(jobs = default_jobs ()) () : t =
     in
     (* the workers share [t]'s queue/lock through the closure; only the
        array field differs between the two records *)
-    { t with workers = Array.init jobs (fun _ -> Domain.spawn worker) }
+    { t with workers = Array.init jobs (fun _ -> spawn_domain worker) }
   end
 
 let submit (t : t) (f : unit -> unit) : unit =
@@ -241,7 +253,7 @@ let map ?(jobs = 1) (f : 'a -> 'b) (xs : 'a list) : 'b list =
       in
       loop ()
     in
-    let ds = Array.init jobs (fun _ -> Domain.spawn worker) in
+    let ds = Array.init jobs (fun _ -> spawn_domain worker) in
     Array.iter Domain.join ds;
     Array.to_list
       (Array.map

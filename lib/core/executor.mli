@@ -28,6 +28,13 @@ val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
 
+(** Has this process ever spawned a worker domain (by any pool or
+    {!map})? OCaml 5 forbids [Unix.fork] from then on — permanently,
+    even after every domain is joined — so [Coordinator.available]
+    consults this to degrade process isolation to in-process execution
+    instead of tripping the runtime failure. *)
+val domains_ever_spawned : unit -> bool
+
 (** Run a queued thunk on some worker (callers normally want
     {!run_ordered}). *)
 val submit : t -> (unit -> unit) -> unit

@@ -35,6 +35,8 @@
 type fault_kind =
   | F_crash         (* simulated engine-process crash *)
   | F_hang          (* simulated hang; the watchdog kills it *)
+  | F_kill          (* the coordinator hard-kills the whole worker
+                       process (in-process runs treat it as a crash) *)
   | F_flaky         (* transient failure that clears after N attempts *)
   | F_slow of int   (* slow start of the given latency; beyond the
                        watchdog budget it is killed like a hang *)
@@ -43,6 +45,7 @@ type fault_kind =
 let fault_kind_to_string = function
   | F_crash -> "crash"
   | F_hang -> "hang"
+  | F_kill -> "kill"
   | F_flaky -> "flaky"
   | F_slow l -> Printf.sprintf "slow(%d)" l
   | F_exn m -> "exn:" ^ m
@@ -64,6 +67,8 @@ module Faultplan = struct
     fp_flaky_tries : int;    (* failed attempts before a flake clears *)
     fp_slow : float;         (* per-attempt probability *)
     fp_slow_max : int;       (* latency drawn uniformly in [1, max] *)
+    fp_kill : float;         (* per-attempt probability of a real
+                                worker-process hard-kill *)
     fp_targets : string list;(* testbed-id substrings; [] = everywhere *)
   }
 
@@ -76,6 +81,7 @@ module Faultplan = struct
       fp_flaky_tries = 1;
       fp_slow = 0.0;
       fp_slow_max = 150;
+      fp_kill = 0.0;
       fp_targets = [];
     }
 
@@ -117,6 +123,8 @@ module Faultplan = struct
                 | "slow" -> Result.map (fun f -> { t with fp_slow = f }) (parse_float k v)
                 | "slow_max" ->
                     Result.map (fun n -> { t with fp_slow_max = max 1 n }) (parse_int k v)
+                | "worker_kill" ->
+                    Result.map (fun f -> { t with fp_kill = f }) (parse_float k v)
                 | "targets" ->
                     Ok
                       {
@@ -140,10 +148,10 @@ module Faultplan = struct
            [ Printf.sprintf "flaky_tries=%d" t.fp_flaky_tries ]
          else [])
       @ f "slow" t.fp_slow
-      @
-      if t.fp_slow > 0.0 && t.fp_slow_max <> default.fp_slow_max then
-        [ Printf.sprintf "slow_max=%d" t.fp_slow_max ]
-      else [])
+      @ (if t.fp_slow > 0.0 && t.fp_slow_max <> default.fp_slow_max then
+           [ Printf.sprintf "slow_max=%d" t.fp_slow_max ]
+         else [])
+      @ f "worker_kill" t.fp_kill)
 
   (* COMFORT_FAULTS, the chaos-campaign switch CI uses. A malformed spec
      fails loudly: silently fuzzing without faults would defeat the job. *)
@@ -208,6 +216,7 @@ module Faultplan = struct
       then Some F_flaky
       else if t.fp_crash > 0.0 && u 1 attempt < t.fp_crash then Some F_crash
       else if t.fp_hang > 0.0 && u 2 attempt < t.fp_hang then Some F_hang
+      else if t.fp_kill > 0.0 && u 6 attempt < t.fp_kill then Some F_kill
       else if t.fp_slow > 0.0 && u 4 attempt < t.fp_slow then
         Some
           (F_slow (1 + int_of_float (u 5 attempt *. float_of_int t.fp_slow_max)))
@@ -230,6 +239,34 @@ type policy = {
 
 let default_policy =
   { p_retries = 2; p_backoff_base = 10; p_watchdog = 100; p_quarantine_after = 3 }
+
+(* --- worker-process kill hook (set only inside Coordinator children) ---
+
+   [worker_kill] draws must behave identically in-process and under real
+   process isolation for reports to be byte-identical at any worker
+   count. In-process, a drawn [F_kill] simply fails the attempt like a
+   crash. In a forked worker the coordinator arms this hook per dispatch
+   with the number of kill draws to absorb (how many times this task's
+   worker has already been hard-killed): the first [absorb] draws — in
+   the same deterministic sweep order as in-process — again fail the
+   attempt in-process, and the next one invokes [die], which asks the
+   coordinator for a real SIGKILL and never returns. Re-dispatch with
+   [absorb+1] therefore makes monotone progress and converges on exactly
+   the in-process outcome.
+
+   Plain refs, not atomics: the hook is armed only in single-threaded
+   forked children; the driver and its domains only ever observe [None]. *)
+
+let kill_hook : (unit -> unit) option ref = ref None
+let kill_absorb : int ref = ref 0
+
+let arm_kill_hook ~(absorb : int) ~(die : unit -> unit) : unit =
+  kill_hook := Some die;
+  kill_absorb := absorb
+
+let disarm_kill_hook () : unit =
+  kill_hook := None;
+  kill_absorb := 0
 
 (* --- worker half: one supervised execution --- *)
 
@@ -293,6 +330,17 @@ let execute ?plan ?(policy = default_policy) ~(testbed_id : string)
     match injected with
     | Some F_crash -> fail F_crash
     | Some F_hang -> fail F_hang
+    | Some F_kill -> (
+        match !kill_hook with
+        | Some die when !kill_absorb <= 0 ->
+            die ();
+            (* [die] never returns; keep the fault ladder sound if a
+               test-double hook does *)
+            fail F_kill
+        | Some _ ->
+            decr kill_absorb;
+            fail F_kill
+        | None -> fail F_kill)
     | Some F_flaky -> fail F_flaky
     | Some (F_slow latency) ->
         (* within the watchdog's startup budget the engine is merely slow;

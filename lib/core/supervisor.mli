@@ -26,6 +26,10 @@
 type fault_kind =
   | F_crash          (** simulated engine-process crash *)
   | F_hang           (** simulated hang; killed by the watchdog *)
+  | F_kill           (** a real worker-process hard-kill: under
+                         [Coordinator] the driver SIGKILLs the worker
+                         mid-case; in-process it degrades to a simulated
+                         crash, with identical reports either way *)
   | F_flaky          (** transient failure that clears after N attempts *)
   | F_slow of int    (** slow start of the given latency; beyond the
                          watchdog budget it is killed like a hang *)
@@ -44,9 +48,12 @@ module Faultplan : sig
   (** Parse a spec such as
       ["seed=9;targets=V8|Hermes;crash=0.1;hang=0.05;flaky=0.3;flaky_tries=2;slow=0.2"].
       Keys: [seed], [crash], [hang], [flaky], [flaky_tries], [slow],
-      [slow_max], [targets] ([|]-separated case-insensitive testbed-id
-      substrings; absent = every testbed). Probabilities are per attempt
-      (per execution for [flaky]). Unknown keys are errors. *)
+      [slow_max], [worker_kill], [targets] ([|]-separated
+      case-insensitive testbed-id substrings; absent = every testbed).
+      Probabilities are per attempt (per execution for [flaky]).
+      [worker_kill] picks executions whose whole worker process the
+      coordinator hard-kills (see {!fault_kind}). Unknown keys are
+      errors. *)
   val of_spec : string -> (t, string) result
 
   (** Render back to a spec that {!of_spec} round-trips. *)
@@ -120,6 +127,21 @@ val execute :
   case_key:int ->
   (unit -> 'a) ->
   'a outcome
+
+(** {2 Worker-process kill hook}
+
+    Set only inside [Coordinator]'s forked children, where a drawn
+    [F_kill] must escalate to a real process death. [arm_kill_hook]
+    is called per dispatch: the first [absorb] kill draws (in
+    deterministic sweep order) fail their attempt in-process exactly as
+    with no hook, and the next invokes [die], which must not return
+    (the coordinator SIGKILLs the worker). With the hook unarmed — the
+    driver, its domains, in-process campaigns — [F_kill] always
+    degrades to an in-process attempt failure, which is what makes
+    reports byte-identical at any worker count. *)
+
+val arm_kill_hook : absorb:int -> die:(unit -> unit) -> unit
+val disarm_kill_hook : unit -> unit
 
 (** Aggregate supervision counters for a campaign report. *)
 type stats = {

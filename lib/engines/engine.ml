@@ -295,6 +295,10 @@ module Exec = struct
   let seeded_total = Atomic.make 0
   let seeded_count () = Atomic.get seeded_total
 
+  (* Fold a forked campaign worker's reach-seeded delta into this
+     process's count (see [Run.add_runs]). *)
+  let add_seeded n = if n > 0 then ignore (Atomic.fetch_and_add seeded_total n)
+
   let cache (src : string) : cache =
     {
       ec_frontend = Frontend.cache src;

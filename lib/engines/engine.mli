@@ -127,6 +127,10 @@ module Exec : sig
       deltas. *)
   val seeded_count : unit -> int
 
+  (** Fold a forked campaign worker's {!seeded_count} delta into this
+      process's count (see [Run.add_runs]). No-op for [n <= 0]. *)
+  val add_seeded : int -> unit
+
   (** Execute an arbitrary quirk profile on the cached source, sharing
       across its behavioural equivalence class — the generalisation of
       {!run} to profiles not backed by a registry config (the campaign's

@@ -187,6 +187,10 @@ let ic_set (st : ic) ctx ~strict (recv : value) (key : string) (v : value) :
 let specialized = Atomic.make 0
 let specialized_count () = Atomic.get specialized
 
+(* Fold a forked campaign worker's specialisation delta into this
+   process's count (see [Run.add_runs]). *)
+let add_specialized n = if n > 0 then ignore (Atomic.fetch_and_add specialized n)
+
 let mk_frame (names : string array) (frz : string list) (parent : frame option)
     : frame =
   {

@@ -41,6 +41,12 @@ let runs = Atomic.make 0
 
 let run_count () = Atomic.get runs
 
+(* Fold executions performed elsewhere (a forked campaign worker, whose
+   address space dies with it) into this process's count; the
+   coordinator calls it with per-task deltas so campaign statistics are
+   identical with and without process isolation. *)
+let add_runs n = if n > 0 then ignore (Atomic.fetch_and_add runs n)
+
 (* Slot-compiled execution ([Compile]) is on unless COMFORT_NO_RESOLVE is
    set to a non-empty value — the same contract as COMFORT_NO_SHARE for the
    execution-sharing layer. *)

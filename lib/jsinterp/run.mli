@@ -36,6 +36,12 @@ val default_fuel : int
     campaign (or the sharing layer) performed. *)
 val run_count : unit -> int
 
+(** Fold [n] executions performed in another process (a forked campaign
+    worker, whose counters die with it) into {!run_count}; the campaign
+    coordinator folds per-task deltas so statistics are identical with
+    and without process isolation. No-op for [n <= 0]. *)
+val add_runs : int -> unit
+
 (** Is slot-compiled execution ({!Compile}) on by default? True unless the
     COMFORT_NO_RESOLVE environment variable is set to a non-empty value —
     the compile-stage analogue of COMFORT_NO_SHARE. *)

@@ -258,6 +258,10 @@ let cow_journal : cow_save list ref Domain.DLS.key =
 let cow_clones = Atomic.make 0
 let cow_count () = Atomic.get cow_clones
 
+(* Fold a forked campaign worker's COW-clone delta into this process's
+   count (see [Run.add_runs]). *)
+let add_cow n = if n > 0 then ignore (Atomic.fetch_and_add cow_clones n)
+
 let cow_save (o : obj) : unit =
   o.cow <- 2;
   Atomic.incr cow_clones;
@@ -347,6 +351,7 @@ let cow_rollback () : unit =
    executions accumulate in [ctx.ihits] and flush once on completion. *)
 let ic_hits = Atomic.make 0
 let ic_count () = Atomic.get ic_hits
+let add_ic n = if n > 0 then ignore (Atomic.fetch_and_add ic_hits n)
 
 (* Source of [ctx.ic_gen] stamps: globally unique, so an inline cache can
    never confuse two executions even across domains. *)

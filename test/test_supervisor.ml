@@ -453,6 +453,24 @@ let checkpoint_load_rejects_garbage () =
   Alcotest.(check bool) "missing file rejected" true
     (Result.is_error (Campaign.Checkpoint.load path))
 
+let checkpoint_load_rejects_torn_file () =
+  (* a real checkpoint cut off mid-Marshal — what a disk-full or a
+     crash during a non-atomic copy would leave behind. [load] must
+     return its typed error, not let a Marshal exception escape. *)
+  let path = ckpt_path "comfort-test-torn.ckpt" in
+  (try ignore (run_chaos ~checkpoint:(path, 5) ~halt_after:7 ()) with
+  | Campaign.Halted _ -> ());
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (String.length full * 2 / 3));
+  close_out oc;
+  (match Campaign.Checkpoint.load path with
+  | Ok _ -> Alcotest.fail "torn checkpoint accepted"
+  | Error e ->
+      Alcotest.(check bool) "typed corruption diagnostic" true
+        (contains e "truncated" || contains e "corrupt"));
+  Sys.remove path
+
 let halt_and_resume_matches_uninterrupted () =
   let path = ckpt_path "comfort-test-resume.ckpt" in
   let uninterrupted = run_chaos () in
@@ -528,6 +546,7 @@ let suite =
     Helpers.case "chaos campaign: pool exhaustion aborts" all_testbeds_quarantined_aborts;
     Helpers.case "campaign: fuzzer exhaustion aborts gracefully" fuzzer_exhaustion_aborts;
     Helpers.case "checkpoint: garbage rejected" checkpoint_load_rejects_garbage;
+    Helpers.case "checkpoint: torn file rejected" checkpoint_load_rejects_torn_file;
     Helpers.case "checkpoint: halt + resume = uninterrupted" halt_and_resume_matches_uninterrupted;
     Helpers.case "checkpoint: resume can halt and resume again" resume_can_halt_again;
   ]
